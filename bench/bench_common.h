@@ -1,0 +1,76 @@
+// Shared plumbing for the benchmark harness binaries (one per paper table
+// or figure).
+//
+// Environment knobs:
+//   SASTA_CACHE_DIR   - characterization cache directory
+//                       (default: .sasta-charcache in the working dir)
+//   SASTA_BENCH_FAST  - if set (non-empty), use the fast characterization
+//                       profile and reduced circuit/path budgets: smoke-run
+//                       mode for CI.  Default is the paper-style full sweep.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cell/library_builder.h"
+#include "charlib/serialize.h"
+#include "tech/technology.h"
+
+namespace sasta::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("SASTA_BENCH_FAST");
+  return env != nullptr && env[0] != '\0';
+}
+
+inline const cell::Library& library() {
+  static const cell::Library lib = cell::build_standard_library();
+  return lib;
+}
+
+inline charlib::CharacterizeOptions characterize_options() {
+  charlib::CharacterizeOptions opt;
+  opt.profile = fast_mode() ? charlib::CharacterizeOptions::Profile::kFast
+                            : charlib::CharacterizeOptions::Profile::kFull;
+  return opt;
+}
+
+/// Characterized library for a technology, through the disk cache.
+inline const charlib::CharLibrary& charlib_for(const std::string& tech_name) {
+  static std::map<std::string, charlib::CharLibrary> cache;
+  auto it = cache.find(tech_name);
+  if (it == cache.end()) {
+    std::cerr << "[bench] loading/characterizing " << tech_name
+              << " library (" << characterize_options().profile_name()
+              << " profile; cached after the first run)...\n";
+    it = cache
+             .emplace(tech_name, charlib::load_or_characterize(
+                                     library(), tech::technology(tech_name),
+                                     characterize_options(),
+                                     charlib::default_cache_dir()))
+             .first;
+  }
+  return it->second;
+}
+
+/// Simple fixed-width table printing.
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::string c = cells[i];
+    const int w = i < widths.size() ? widths[i] : 12;
+    if (static_cast<int>(c.size()) < w) c.resize(w, ' ');
+    line += c;
+    line += " ";
+  }
+  std::cout << line << "\n";
+}
+
+inline void print_title(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace sasta::bench

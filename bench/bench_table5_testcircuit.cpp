@@ -1,0 +1,126 @@
+// Reproduces paper Section V.A (Fig. 4 circuit + Table 5):
+//
+//   - the developed tool reports TWO sensitizations of the same critical
+//     path course through AO22 input A, with different input vectors and
+//     different delays;
+//   - the commercial-tool baseline reports only the easiest-to-justify
+//     vector, whose delay is the SMALLER of the two, i.e. it underestimates
+//     the true critical delay (paper: 361 ps reported vs 387 ps actual,
+//     a ~7 % gap);
+//   - golden transistor-level simulation of both sensitizations confirms
+//     which vector is the worst.
+#include <algorithm>
+#include <map>
+
+#include "baseline/baseline_tool.h"
+#include "bench_common.h"
+#include "golden/pathsim.h"
+#include "netlist/fig4_testcircuit.h"
+#include "sta/sta_tool.h"
+#include "util/strings.h"
+
+namespace sasta::bench {
+namespace {
+
+std::string format_pi_vector(const netlist::Netlist& nl,
+                             const sta::TruePath& p) {
+  std::string s = nl.net(p.source).name;
+  s += p.launch_edge == spice::Edge::kRise ? "=R" : "=F";
+  std::map<std::string, std::string> values;
+  for (const auto& [net, val] : p.pi_assignment) {
+    values[nl.net(net).name] = val ? "1" : "0";
+  }
+  for (netlist::NetId pi : nl.primary_inputs()) {
+    if (pi == p.source) continue;
+    const std::string& name = nl.net(pi).name;
+    s += ", " + name + "=" + (values.count(name) ? values[name] : "X");
+  }
+  return s;
+}
+
+int run() {
+  const std::string tech_name = "130nm";
+  const auto& tech = tech::technology(tech_name);
+  const auto& cl = charlib_for(tech_name);
+  const netlist::Fig4Circuit fig4 = netlist::build_fig4_circuit(library());
+  const netlist::Netlist& nl = fig4.nl;
+
+  print_title("Fig.4 test circuit (" + tech_name + ")");
+  std::cout << "gates: " << nl.num_instances()
+            << ", complex gates: " << nl.complex_gate_count()
+            << ", PIs: " << nl.primary_inputs().size() << "\n";
+
+  // --- Developed tool ------------------------------------------------------
+  sta::StaToolOptions opt;
+  sta::StaTool tool(nl, cl, tech, opt);
+  const sta::StaResult res = tool.run();
+
+  print_title("Developed tool: sensitizations of the critical course "
+              "(N1 -> n10 -> n11 -> n12 -> N20, falling launch)");
+  print_row({"input vector", "AO22 case", "poly delay (ps)",
+             "golden delay (ps)"},
+            {46, 10, 16, 18});
+  struct Entry {
+    int vec;
+    double poly;
+    double golden;
+  };
+  std::vector<Entry> entries;
+  for (const auto& tp : res.paths) {
+    if (tp.path.source != fig4.n1) continue;
+    if (tp.path.launch_edge != spice::Edge::kFall) continue;
+    if (tp.path.steps.size() != 4) continue;
+    const auto g = golden::simulate_path(nl, cl, tech, tp.path);
+    entries.push_back({tp.path.steps[2].vector_id, tp.delay, g.path_delay});
+    print_row({format_pi_vector(nl, tp.path),
+               "Case " + std::to_string(tp.path.steps[2].vector_id + 1),
+               util::format_fixed(tp.delay * 1e12, 2),
+               util::format_fixed(g.path_delay * 1e12, 2)},
+              {46, 10, 16, 18});
+  }
+  std::cout << "(paper Table 5: two vectors, delays 387.55 ps vs 361.06 ps, "
+               "+7%)\n";
+
+  // --- Commercial-tool baseline --------------------------------------------
+  baseline::BaselineOptions bopt;
+  baseline::BaselineTool base(nl, cl, tech, bopt);
+  const baseline::BaselineResult bres = base.run();
+  print_title("Commercial-tool baseline on the same circuit");
+  for (const auto& bp : bres.paths) {
+    if (bp.outcome.status != baseline::SensitizeStatus::kTrue) continue;
+    if (bp.structural.source != fig4.n1 ||
+        bp.structural.launch_edge != spice::Edge::kFall ||
+        bp.structural.steps.size() != 4) {
+      continue;
+    }
+    std::cout << "reported vector: AO22 Case "
+              << bp.outcome.reported_vectors[2] + 1
+              << "  (consistent cases:";
+    for (int v : bp.outcome.consistent_vectors[2]) std::cout << " " << v + 1;
+    std::cout << ")  LUT delay: "
+              << util::format_fixed(bp.lut_delay * 1e12, 2) << " ps\n";
+  }
+
+  // --- Verdict --------------------------------------------------------------
+  if (entries.size() >= 2) {
+    const auto worst = *std::max_element(
+        entries.begin(), entries.end(),
+        [](const Entry& a, const Entry& b) { return a.golden < b.golden; });
+    const auto best = *std::min_element(
+        entries.begin(), entries.end(),
+        [](const Entry& a, const Entry& b) { return a.golden < b.golden; });
+    std::cout << "\nWorst sensitization (golden): Case " << worst.vec + 1
+              << "; delay gap vs easiest: "
+              << util::format_percent(
+                     (worst.golden - best.golden) / best.golden, 1)
+              << "  (paper: ~7%)\n";
+    std::cout << "The developed tool reports both vectors and identifies the "
+                 "worst; the baseline commits to the easy one only.\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sasta::bench
+
+int main() { return sasta::bench::run(); }

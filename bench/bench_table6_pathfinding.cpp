@@ -1,0 +1,183 @@
+// Reproduces paper Table 6: critical-path identification on the ISCAS-85
+// suite — developed tool vs commercial-tool baseline.
+//
+//   developed tool : input vectors (all true (path, vector-combo, direction)
+//                    sensitizations), multi-vector paths, CPU time;
+//   baseline       : backtrack limit, CPU time, #paths explored, #true,
+//                    #false, #backtrack-limited, false-path ratio, and the
+//                    worst-delay prediction ratio (how often its single
+//                    reported vector is the actual worst one).
+//
+// c17 is the genuine ISCAS netlist; the larger circuits are synthetic
+// stand-ins with the published PI/PO/gate statistics (see iscas_gen.h and
+// EXPERIMENTS.md).  Our baseline's complete justification engine never
+// *mislabels* a path false; the paper's "#False paths" column manifests
+// here as backtrack-limited aborts.
+#include <map>
+
+#include "baseline/baseline_tool.h"
+#include "bench_common.h"
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "util/strings.h"
+
+namespace sasta::bench {
+namespace {
+
+struct CourseInfo {
+  long combos = 0;
+  double worst_delay = -1.0;
+  std::string worst_key;
+};
+
+struct DevelopedRun {
+  sta::PathFinderStats stats;
+  std::map<std::string, CourseInfo> courses;
+};
+
+std::string combo_key(const sta::TruePath& p) {
+  std::string k;
+  for (const auto& s : p.steps) {
+    k += std::to_string(s.vector_id);
+    k += ",";
+  }
+  return k;
+}
+
+DevelopedRun run_developed(const netlist::Netlist& nl,
+                           const charlib::CharLibrary& cl,
+                           const tech::Technology& tech) {
+  DevelopedRun out;
+  sta::DelayCalculator calc(nl, cl, tech);
+  sta::PathFinderOptions opt;
+  opt.max_seconds = fast_mode() ? 5.0 : 60.0;
+  opt.max_paths = fast_mode() ? 200000 : 5000000;
+  sta::PathFinder finder(nl, cl, opt);
+  out.stats = finder.run([&](const sta::TruePath& p) {
+    const double delay = calc.compute(p).delay;
+    CourseInfo& info = out.courses[p.course_key(nl)];
+    ++info.combos;
+    if (delay > info.worst_delay) {
+      info.worst_delay = delay;
+      info.worst_key = combo_key(p);
+    }
+  });
+  return out;
+}
+
+int run() {
+  const std::string tech_name = "90nm";
+  const auto& tech = tech::technology(tech_name);
+  const auto& cl = charlib_for(tech_name);
+
+  print_title("Table 6: path identification, developed vs baseline (" +
+              tech_name + (fast_mode() ? ", FAST mode)" : ")"));
+  const std::vector<int> widths{8, 9, 11, 9, 6, 9, 9, 7, 7, 9, 8, 7, 9, 9};
+  print_row({"circuit", "dev:vecs", "dev:multiIn", "dev:cpu_s", "||",
+             "bt-limit", "base:cpu", "#paths", "#true", "#aborted",
+             "#false", "#misid", "no-vec%", "worstOK%"},
+            widths);
+
+  std::vector<std::string> circuits{"c17"};
+  for (const auto& n : netlist::iscas_profile_names()) circuits.push_back(n);
+  if (fast_mode()) circuits.resize(5);
+
+  for (const auto& name : circuits) {
+    netlist::PrimNetlist prim =
+        name == "c17"
+            ? netlist::parse_bench_string(netlist::c17_bench_text(), "c17")
+            : netlist::generate_iscas_like(netlist::iscas_profile(name));
+    const auto mapped = netlist::tech_map(prim, library());
+    const netlist::Netlist& nl = mapped.netlist;
+
+    const DevelopedRun dev = run_developed(nl, cl, tech);
+
+    baseline::BaselineOptions bopt;
+    bopt.path_limit = fast_mode() ? 200 : 1000;
+    bopt.backtrack_limit = 1000;
+    baseline::BaselineTool base(nl, cl, tech, bopt);
+    const baseline::BaselineResult bres = base.run();
+
+    // Worst-delay prediction: among baseline true paths whose course has
+    // multiple sensitization combos, how often is the reported vector the
+    // actual worst one?  Also count baseline-false courses the exhaustive
+    // tool proves true (the paper's "#False paths" misidentifications,
+    // caused by the baseline's first-fit justification).
+    long multi = 0, hits = 0, misidentified = 0;
+    for (const auto& bp : bres.paths) {
+      sta::TruePath tp;
+      tp.source = bp.structural.source;
+      tp.sink = bp.structural.sink;
+      tp.launch_edge = bp.structural.launch_edge;
+      tp.steps = bp.structural.steps;
+      if (bp.outcome.status == baseline::SensitizeStatus::kFalse) {
+        if (dev.courses.count(tp.course_key(nl))) ++misidentified;
+        continue;
+      }
+      if (bp.outcome.status != baseline::SensitizeStatus::kTrue) continue;
+      for (std::size_t i = 0; i < tp.steps.size(); ++i) {
+        tp.steps[i].vector_id = bp.outcome.reported_vectors[i];
+      }
+      const auto it = dev.courses.find(tp.course_key(nl));
+      if (it == dev.courses.end() || it->second.combos < 2) continue;
+      ++multi;
+      if (combo_key(tp) == it->second.worst_key) ++hits;
+    }
+    const std::string worst_ok =
+        multi == 0 ? "n/a"
+                   : util::format_percent(static_cast<double>(hits) /
+                                              static_cast<double>(multi),
+                                          1);
+
+    print_row(
+        {name, std::to_string(dev.stats.paths_recorded),
+         std::to_string(dev.stats.multi_vector_courses),
+         util::format_fixed(dev.stats.cpu_seconds, 2) +
+             (dev.stats.truncated ? "*" : ""),
+         "||", std::to_string(bopt.backtrack_limit),
+         util::format_fixed(bres.cpu_seconds, 2),
+         std::to_string(bres.explored), std::to_string(bres.true_paths),
+         std::to_string(bres.backtrack_limited),
+         std::to_string(bres.false_paths), std::to_string(misidentified),
+         util::format_percent(bres.no_vector_ratio(), 1), worst_ok},
+        widths);
+  }
+
+  // Paper-style backtrack-limit sweep on the multiplier-like circuit.
+  if (!fast_mode()) {
+    print_title("Backtrack-limit sweep (c6288 profile), paper Table 6 inset");
+    const auto prim =
+        netlist::generate_iscas_like(netlist::iscas_profile("c6288"));
+    const auto mapped = netlist::tech_map(prim, library());
+    print_row({"bt-limit", "cpu_s", "#true", "#aborted", "#false", "no-vec%"},
+              {9, 8, 7, 9, 8, 9});
+    for (long limit : {100L, 1000L, 5000L, 25000L}) {
+      baseline::BaselineOptions bopt;
+      bopt.path_limit = 1000;
+      bopt.backtrack_limit = limit;
+      baseline::BaselineTool base(mapped.netlist, cl, tech, bopt);
+      const auto r = base.run();
+      print_row({std::to_string(limit), util::format_fixed(r.cpu_seconds, 2),
+                 std::to_string(r.true_paths),
+                 std::to_string(r.backtrack_limited),
+                 std::to_string(r.false_paths),
+                 util::format_percent(r.no_vector_ratio(), 1)},
+                {9, 8, 7, 9, 8, 9});
+    }
+  }
+
+  std::cout << "\n'*' = exploration truncated by the time/path budget.\n"
+               "Paper shape: the developed tool reports every sensitization "
+               "vector per path in a single pass,\nwith lower CPU time than "
+               "the backtrack-limited baseline, whose single easy vector "
+               "matches the\nactual worst delay only ~40% of the time "
+               "(Table 6, last column).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sasta::bench
+
+int main() { return sasta::bench::run(); }

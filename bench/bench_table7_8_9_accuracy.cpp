@@ -1,0 +1,164 @@
+// Reproduces paper Tables 7, 8 and 9: path and gate delay estimation error
+// of both tools versus transistor-level (golden) simulation, per technology
+// (130 / 90 / 65 nm).
+//
+// As in the paper, the analysis focuses on paths with more than one
+// sensitization vector (the complex-gate effect under study).  For every
+// sampled (path, vector) the golden simulator provides reference stage and
+// path delays; the developed tool's vector-specific polynomial model and
+// the baseline's vector-oblivious LUT model are scored against it.
+//
+// Run with an argument ("130", "90", "65") for a single technology, or no
+// argument for all three.
+#include <algorithm>
+#include <map>
+
+#include "bench_common.h"
+#include "golden/pathsim.h"
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "numeric/stats.h"
+#include "sta/sta_tool.h"
+#include "util/strings.h"
+
+namespace sasta::bench {
+namespace {
+
+struct CircuitErrors {
+  num::RelErrorAccumulator dev_path, dev_gate, base_path, base_gate;
+  int sampled = 0;
+};
+
+/// Collects up to `max_paths_per_circuit` multi-vector paths, preferring
+/// longer ones (they exercise slew propagation).
+std::vector<sta::TruePath> sample_paths(const netlist::Netlist& nl,
+                                        const charlib::CharLibrary& cl,
+                                        int max_sampled) {
+  sta::PathFinderOptions opt;
+  opt.max_seconds = fast_mode() ? 3.0 : 20.0;
+  opt.max_paths = fast_mode() ? 50000 : 500000;
+  sta::PathFinder finder(nl, cl, opt);
+
+  // First pass: count combos per course while retaining candidates.
+  std::map<std::string, int> course_count;
+  std::vector<sta::TruePath> candidates;
+  finder.run([&](const sta::TruePath& p) {
+    ++course_count[p.course_key(nl)];
+    if (candidates.size() < 20000) candidates.push_back(p);
+  });
+  std::vector<sta::TruePath> multi;
+  for (auto& p : candidates) {
+    if (course_count[p.course_key(nl)] > 1) multi.push_back(std::move(p));
+  }
+  // Prefer longer paths; deterministic tie-break by course key.
+  std::stable_sort(multi.begin(), multi.end(),
+                   [&](const sta::TruePath& a, const sta::TruePath& b) {
+                     if (a.steps.size() != b.steps.size()) {
+                       return a.steps.size() > b.steps.size();
+                     }
+                     return a.full_key(nl) < b.full_key(nl);
+                   });
+  if (static_cast<int>(multi.size()) > max_sampled) multi.resize(max_sampled);
+  return multi;
+}
+
+void run_tech(const std::string& tech_name) {
+  const auto& tech = tech::technology(tech_name);
+  const auto& cl = charlib_for(tech_name);
+  const int table_no = tech_name == "130nm" ? 7 : tech_name == "90nm" ? 8 : 9;
+
+  print_title("Table " + std::to_string(table_no) + ": " + tech_name +
+              " delay error vs electrical simulation" +
+              (fast_mode() ? " (FAST mode)" : ""));
+  const std::vector<int> widths{9, 8, 10, 9, 10, 9, 6, 10, 9, 10, 9};
+  print_row({"circuit", "#paths", "dev:meanP", "dev:maxP", "dev:meanG",
+             "dev:maxG", "||", "base:meanP", "base:maxP", "base:meanG",
+             "base:maxG"},
+            widths);
+
+  std::vector<std::string> circuits{"c17"};
+  for (const auto& n : netlist::iscas_profile_names()) circuits.push_back(n);
+  if (fast_mode()) circuits.resize(4);
+  const int per_circuit = fast_mode() ? 3 : 6;
+
+  num::RelErrorAccumulator all_dev_path, all_base_path;
+  for (const auto& name : circuits) {
+    netlist::PrimNetlist prim =
+        name == "c17"
+            ? netlist::parse_bench_string(netlist::c17_bench_text(), "c17")
+            : netlist::generate_iscas_like(netlist::iscas_profile(name));
+    const auto mapped = netlist::tech_map(prim, library());
+    const netlist::Netlist& nl = mapped.netlist;
+
+    // c17 has no multi-vector paths; fall back to ordinary paths so the
+    // table still reports model accuracy (paper keeps c17 too).
+    std::vector<sta::TruePath> paths = sample_paths(nl, cl, per_circuit);
+    if (paths.empty()) {
+      sta::PathFinderOptions popt;
+      popt.max_paths = per_circuit;
+      sta::PathFinder finder(nl, cl, popt);
+      paths = finder.find_all();
+    }
+
+    sta::DelayCalculator calc(nl, cl, tech);
+    CircuitErrors err;
+    for (const auto& p : paths) {
+      golden::PathSimResult gold;
+      gold = golden::simulate_path(nl, cl, tech, p);
+      if (!gold.converged) continue;
+      const sta::TimedPath dev = calc.compute(p);
+      const sta::TimedPath base = calc.compute_lut(p);
+      err.dev_path.add(dev.delay, gold.path_delay);
+      err.base_path.add(base.delay, gold.path_delay);
+      all_dev_path.add(dev.delay, gold.path_delay);
+      all_base_path.add(base.delay, gold.path_delay);
+      for (std::size_t s = 0; s < p.steps.size(); ++s) {
+        err.dev_gate.add(dev.stage_delays[s], gold.stage_delays[s]);
+        err.base_gate.add(base.stage_delays[s], gold.stage_delays[s]);
+      }
+      ++err.sampled;
+    }
+    if (err.sampled == 0) continue;
+    const auto dp = err.dev_path.stats();
+    const auto dg = err.dev_gate.stats();
+    const auto bp = err.base_path.stats();
+    const auto bg = err.base_gate.stats();
+    print_row({name, std::to_string(err.sampled),
+               util::format_percent(dp.mean, 2),
+               util::format_percent(dp.max, 2),
+               util::format_percent(dg.mean, 2),
+               util::format_percent(dg.max, 2), "||",
+               util::format_percent(bp.mean, 2),
+               util::format_percent(bp.max, 2),
+               util::format_percent(bg.mean, 2),
+               util::format_percent(bg.max, 2)},
+              widths);
+  }
+  const auto adp = all_dev_path.stats();
+  const auto abp = all_base_path.stats();
+  std::cout << "overall path error: developed mean "
+            << util::format_percent(adp.mean, 2) << ", baseline mean "
+            << util::format_percent(abp.mean, 2) << "\n";
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> techs{"130nm", "90nm", "65nm"};
+  if (argc > 1) {
+    techs = {std::string(argv[1]) + (std::string(argv[1]).find("nm") ==
+                                             std::string::npos
+                                         ? "nm"
+                                         : "")};
+  }
+  for (const auto& t : techs) run_tech(t);
+  std::cout << "\nPaper shape: the vector-aware polynomial model stays at a "
+               "few % mean path error;\nthe sensitization-oblivious LUT "
+               "baseline is several times worse, degrading further at "
+               "65nm\n(Tables 7-9).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sasta::bench
+
+int main(int argc, char** argv) { return sasta::bench::run(argc, argv); }

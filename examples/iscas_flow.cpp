@@ -1,0 +1,96 @@
+// Full ISCAS flow: parse or generate a benchmark circuit, technology-map it
+// onto the standard-cell library, then compare the developed single-pass
+// sensitization-aware STA against the conventional two-step baseline.
+//
+// Usage:
+//   iscas_flow                  (embedded genuine c17)
+//   iscas_flow c880             (synthetic ISCAS-like profile)
+//   iscas_flow path/to/file.bench
+#include <filesystem>
+#include <iostream>
+
+#include "baseline/baseline_tool.h"
+#include "cell/library_builder.h"
+#include "charlib/serialize.h"
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace sasta;
+  const std::string arg = argc > 1 ? argv[1] : "c17";
+
+  // --- Obtain the primitive netlist ----------------------------------------
+  netlist::PrimNetlist prim;
+  if (arg == "c17") {
+    prim = netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+  } else if (std::filesystem::exists(arg)) {
+    prim = netlist::parse_bench_file(arg);
+  } else {
+    prim = netlist::generate_iscas_like(netlist::iscas_profile(arg));
+    std::cout << "(synthetic ISCAS-like circuit with the published " << arg
+              << " interface statistics)\n";
+  }
+  std::cout << "circuit " << prim.name << ": " << prim.inputs.size()
+            << " PIs, " << prim.outputs.size() << " POs, "
+            << prim.gates.size() << " primitive gates\n";
+
+  // --- Technology map -------------------------------------------------------
+  const cell::Library lib = cell::build_standard_library();
+  const netlist::TechMapResult mapped = netlist::tech_map(prim, lib);
+  std::cout << "mapped to " << mapped.netlist.num_instances()
+            << " cells, complex gates: "
+            << mapped.netlist.complex_gate_count() << "\n  histogram:";
+  for (const auto& [name, count] : mapped.cell_histogram) {
+    std::cout << " " << name << ":" << count;
+  }
+  std::cout << "\n";
+
+  // --- Characterized timing library ----------------------------------------
+  const auto& tech = tech::technology("90nm");
+  charlib::CharacterizeOptions copt;
+  copt.profile = charlib::CharacterizeOptions::Profile::kFast;
+  const charlib::CharLibrary charlib = charlib::load_or_characterize(
+      lib, tech, copt, charlib::default_cache_dir());
+
+  // --- Developed tool: single-pass true-path analysis ----------------------
+  sta::StaToolOptions opt;
+  opt.keep_worst = 5;
+  opt.finder.max_seconds = 30.0;
+  sta::StaTool tool(mapped.netlist, charlib, tech, opt);
+  const sta::StaResult res = tool.run();
+  std::cout << "\n[developed tool]  " << res.stats.paths_recorded
+            << " true (path, vector, direction) sensitizations in "
+            << util::format_fixed(res.stats.cpu_seconds, 3) << " s ("
+            << res.stats.courses << " courses, "
+            << res.stats.multi_vector_courses << " multi-vector"
+            << (res.stats.truncated ? ", TRUNCATED" : "") << ")\n";
+  for (const auto& tp : res.paths) {
+    std::cout << "  " << util::format_fixed(tp.delay * 1e12, 1) << " ps  "
+              << mapped.netlist.net(tp.path.source).name << " -> "
+              << mapped.netlist.net(tp.path.sink).name << "  ("
+              << tp.path.steps.size() << " stages, "
+              << (tp.path.launch_edge == spice::Edge::kRise ? "R" : "F")
+              << " launch)\n";
+  }
+
+  // --- Baseline: two-step flow ----------------------------------------------
+  baseline::BaselineOptions bopt;
+  bopt.path_limit = 1000;
+  bopt.backtrack_limit = 1000;
+  baseline::BaselineTool base(mapped.netlist, charlib, tech, bopt);
+  const baseline::BaselineResult bres = base.run();
+  std::cout << "\n[baseline]  explored " << bres.explored
+            << " structural paths in "
+            << util::format_fixed(bres.cpu_seconds, 3) << " s: "
+            << bres.true_paths << " true, " << bres.false_paths << " false, "
+            << bres.backtrack_limited << " aborted (no-vector ratio "
+            << util::format_percent(bres.no_vector_ratio(), 1) << ")\n";
+  std::cout << "\nThe developed tool enumerates every sensitization vector "
+               "per path in a single pass;\nthe baseline reports one "
+               "easiest-to-justify vector per path and can abort on its "
+               "backtrack limit.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "baseline/arrival.h"
+
+#include <algorithm>
+
+#include "netlist/levelize.h"
+#include "util/check.h"
+
+namespace sasta::baseline {
+
+using spice::Edge;
+
+namespace {
+int edge_index(Edge e) { return e == Edge::kFall ? 1 : 0; }
+}  // namespace
+
+ArrivalAnalysis::ArrivalAnalysis(const netlist::Netlist& nl,
+                                 const charlib::CharLibrary& charlib,
+                                 const tech::Technology& tech,
+                                 const sta::DelayCalcOptions& options)
+    : nl_(nl), charlib_(charlib), calc_(nl, charlib, tech, options) {
+  timing_.resize(nl.num_nets());
+}
+
+void ArrivalAnalysis::run() {
+  for (auto& t : timing_) t = NetTiming{};
+  for (netlist::NetId pi : nl_.primary_inputs()) {
+    for (int e = 0; e < 2; ++e) {
+      timing_[pi].arrival[e] = 0.0;
+      timing_[pi].slew[e] = calc_.options().input_slew_s;
+      timing_[pi].valid[e] = true;
+    }
+  }
+  const auto lv = netlist::levelize(nl_);
+  for (netlist::InstId ii : lv.topo_order) {
+    const netlist::Instance& inst = nl_.instance(ii);
+    const charlib::CellTiming& ct = charlib_.timing(inst.cell->name());
+    const double fo = calc_.equivalent_fanout(ii, inst.output);
+    NetTiming& out = timing_[inst.output];
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      const NetTiming& in = timing_[inst.inputs[p]];
+      for (const Edge in_edge : {Edge::kRise, Edge::kFall}) {
+        const int ie = edge_index(in_edge);
+        if (!in.valid[ie]) continue;
+        const charlib::LutModel& lut = ct.lut(p, in_edge);
+        const int oe = edge_index(lut.out_edge(in_edge));
+        const double arr = in.arrival[ie] + lut.delay(in.slew[ie], fo);
+        if (!out.valid[oe] || arr > out.arrival[oe]) {
+          out.arrival[oe] = arr;
+          out.slew[oe] = lut.output_slew(in.slew[ie], fo);
+          out.valid[oe] = true;
+        }
+      }
+    }
+  }
+  ran_ = true;
+}
+
+double ArrivalAnalysis::worst_arrival() const {
+  SASTA_CHECK(ran_) << " run() not called";
+  double worst = 0.0;
+  for (netlist::NetId po : nl_.primary_outputs()) {
+    for (int e = 0; e < 2; ++e) {
+      if (timing_[po].valid[e]) worst = std::max(worst, timing_[po].arrival[e]);
+    }
+  }
+  return worst;
+}
+
+double ArrivalAnalysis::arc_delay(netlist::InstId inst, int pin,
+                                  Edge in_edge) const {
+  SASTA_CHECK(ran_) << " run() not called";
+  const netlist::Instance& g = nl_.instance(inst);
+  const charlib::CellTiming& ct = charlib_.timing(g.cell->name());
+  const charlib::LutModel& lut = ct.lut(pin, in_edge);
+  const NetTiming& in = timing_[g.inputs[pin]];
+  const int ie = edge_index(in_edge);
+  const double slew =
+      in.valid[ie] ? in.slew[ie] : calc_.options().input_slew_s;
+  return lut.delay(slew, calc_.equivalent_fanout(inst, g.output));
+}
+
+double ArrivalAnalysis::arc_out_slew(netlist::InstId inst, int pin,
+                                     Edge in_edge) const {
+  SASTA_CHECK(ran_) << " run() not called";
+  const netlist::Instance& g = nl_.instance(inst);
+  const charlib::CellTiming& ct = charlib_.timing(g.cell->name());
+  const charlib::LutModel& lut = ct.lut(pin, in_edge);
+  const NetTiming& in = timing_[g.inputs[pin]];
+  const int ie = edge_index(in_edge);
+  const double slew =
+      in.valid[ie] ? in.slew[ie] : calc_.options().input_slew_s;
+  return lut.output_slew(slew, calc_.equivalent_fanout(inst, g.output));
+}
+
+spice::Edge ArrivalAnalysis::arc_out_edge(netlist::InstId inst, int pin,
+                                          Edge in_edge) const {
+  const netlist::Instance& g = nl_.instance(inst);
+  const charlib::CellTiming& ct = charlib_.timing(g.cell->name());
+  return ct.lut(pin, in_edge).out_edge(in_edge);
+}
+
+}  // namespace sasta::baseline

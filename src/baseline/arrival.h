@@ -1,0 +1,57 @@
+// Static arrival-time analysis with the LUT delay model — the first half of
+// the conventional two-step STA flow the paper compares against.  Produces
+// per-(net, edge) worst arrival times and slews, which also serve as the
+// fixed edge weights for structural K-longest path enumeration.
+#pragma once
+
+#include <array>
+
+#include "charlib/charlibrary.h"
+#include "netlist/netlist.h"
+#include "sta/delaycalc.h"
+
+namespace sasta::baseline {
+
+struct NetTiming {
+  /// Indexed by edge (0 = rise, 1 = fall) at this net.
+  std::array<double, 2> arrival{0.0, 0.0};
+  std::array<double, 2> slew{0.0, 0.0};
+  std::array<bool, 2> valid{false, false};
+};
+
+class ArrivalAnalysis {
+ public:
+  ArrivalAnalysis(const netlist::Netlist& nl,
+                  const charlib::CharLibrary& charlib,
+                  const tech::Technology& tech,
+                  const sta::DelayCalcOptions& options = {});
+
+  /// Runs the forward pass; must be called before the queries.
+  void run();
+
+  const NetTiming& timing(netlist::NetId n) const { return timing_.at(n); }
+
+  /// Worst arrival over POs and edges (the baseline's clock-period answer).
+  double worst_arrival() const;
+
+  /// LUT delay of one arc evaluated at this analysis' slews:
+  /// instance `inst` input `pin`, input edge `in_edge`.
+  double arc_delay(netlist::InstId inst, int pin, spice::Edge in_edge) const;
+  /// Output slew of the same arc.
+  double arc_out_slew(netlist::InstId inst, int pin,
+                      spice::Edge in_edge) const;
+  /// Output edge of the same arc (the LUT's canonical polarity).
+  spice::Edge arc_out_edge(netlist::InstId inst, int pin,
+                           spice::Edge in_edge) const;
+
+  const sta::DelayCalculator& calc() const { return calc_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  sta::DelayCalculator calc_;
+  std::vector<NetTiming> timing_;
+  bool ran_ = false;
+};
+
+}  // namespace sasta::baseline

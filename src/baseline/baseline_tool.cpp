@@ -1,0 +1,59 @@
+#include "baseline/baseline_tool.h"
+
+#include "util/stopwatch.h"
+
+namespace sasta::baseline {
+
+BaselineTool::BaselineTool(const netlist::Netlist& nl,
+                           const charlib::CharLibrary& charlib,
+                           const tech::Technology& tech,
+                           const BaselineOptions& options)
+    : nl_(nl),
+      charlib_(charlib),
+      tech_(tech),
+      opt_(options),
+      arrival_(nl, charlib, tech, options.delay) {}
+
+BaselineResult BaselineTool::run() {
+  util::Stopwatch watch;
+  BaselineResult result;
+  arrival_.run();
+  const auto structural = k_longest_paths(nl_, arrival_, opt_.path_limit);
+
+  PathSensitizer sensitizer(nl_, charlib_);
+  sta::DelayCalculator calc(nl_, charlib_, tech_, opt_.delay);
+  for (const StructuralPath& sp : structural) {
+    BaselinePath bp;
+    bp.structural = sp;
+    bp.outcome = sensitizer.sensitize(sp, opt_.backtrack_limit);
+    ++result.explored;
+    switch (bp.outcome.status) {
+      case SensitizeStatus::kTrue: {
+        ++result.true_paths;
+        // LUT delay of the sensitized path (sensitization-oblivious model).
+        sta::TruePath tp;
+        tp.source = sp.source;
+        tp.sink = sp.sink;
+        tp.launch_edge = sp.launch_edge;
+        tp.steps = sp.steps;
+        for (std::size_t i = 0; i < tp.steps.size(); ++i) {
+          tp.steps[i].vector_id = bp.outcome.reported_vectors[i];
+        }
+        tp.pi_assignment = bp.outcome.pi_assignment;
+        bp.lut_delay = calc.compute_lut(tp).delay;
+        break;
+      }
+      case SensitizeStatus::kFalse:
+        ++result.false_paths;
+        break;
+      case SensitizeStatus::kBacktrackLimit:
+        ++result.backtrack_limited;
+        break;
+    }
+    result.paths.push_back(std::move(bp));
+  }
+  result.cpu_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace sasta::baseline

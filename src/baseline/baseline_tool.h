@@ -1,0 +1,60 @@
+// The complete commercial-tool stand-in: two-step STA (structural K-longest
+// enumeration, then per-path sensitization with a backtrack limit) with the
+// sensitization-oblivious LUT delay model.  Reproduces the comparison
+// columns of paper Table 6 and the baseline rows of Tables 7-9.
+#pragma once
+
+#include "baseline/sensitize.h"
+
+namespace sasta::baseline {
+
+struct BaselineOptions {
+  long path_limit = 1000;       ///< structural paths to explore ("#Paths")
+  long backtrack_limit = 1000;  ///< per-path sensitization budget
+  sta::DelayCalcOptions delay;
+};
+
+struct BaselinePath {
+  StructuralPath structural;
+  SensitizeOutcome outcome;
+  double lut_delay = 0.0;  ///< LUT model delay (only for true paths)
+};
+
+struct BaselineResult {
+  std::vector<BaselinePath> paths;  ///< in exploration (delay) order
+  long explored = 0;
+  long true_paths = 0;
+  long false_paths = 0;
+  long backtrack_limited = 0;
+  double cpu_seconds = 0.0;
+
+  /// Fraction of explored paths with no sensitizing vector found
+  /// (false + aborted), the paper's "false path ratio".
+  double no_vector_ratio() const {
+    return explored == 0
+               ? 0.0
+               : static_cast<double>(false_paths + backtrack_limited) /
+                     static_cast<double>(explored);
+  }
+};
+
+class BaselineTool {
+ public:
+  BaselineTool(const netlist::Netlist& nl,
+               const charlib::CharLibrary& charlib,
+               const tech::Technology& tech,
+               const BaselineOptions& options = {});
+
+  BaselineResult run();
+
+  const ArrivalAnalysis& arrival() const { return arrival_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  const tech::Technology& tech_;
+  BaselineOptions opt_;
+  ArrivalAnalysis arrival_;
+};
+
+}  // namespace sasta::baseline

@@ -1,0 +1,116 @@
+#include "baseline/klongest.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "netlist/levelize.h"
+#include "util/check.h"
+
+namespace sasta::baseline {
+
+using spice::Edge;
+
+namespace {
+
+int edge_index(Edge e) { return e == Edge::kFall ? 1 : 0; }
+Edge edge_from_index(int i) { return i == 1 ? Edge::kFall : Edge::kRise; }
+
+constexpr double kNegInf = -1e30;
+
+/// Search-tree node for path reconstruction.
+struct Node {
+  netlist::NetId net;
+  int edge;      ///< 0 rise, 1 fall at this net
+  int parent;    ///< index into the arena, -1 for sources
+  int via_inst;  ///< instance traversed from parent
+  int via_pin;
+  double dist;  ///< accumulated delay from the source
+};
+
+struct QueueEntry {
+  double est;  ///< dist + max remaining delay to a PO
+  int node;
+  bool operator<(const QueueEntry& other) const { return est < other.est; }
+};
+
+}  // namespace
+
+std::vector<StructuralPath> k_longest_paths(const netlist::Netlist& nl,
+                                            const ArrivalAnalysis& arrival,
+                                            long k) {
+  SASTA_CHECK(k >= 0) << " negative k";
+
+  // Backward DP over (net, edge): the maximum additional delay to reach any
+  // primary output (0 at a PO itself - paths may terminate there).
+  std::vector<std::array<double, 2>> remaining(nl.num_nets(),
+                                               {kNegInf, kNegInf});
+  for (netlist::NetId po : nl.primary_outputs()) remaining[po] = {0.0, 0.0};
+  const auto lv = netlist::levelize(nl);
+  for (auto it = lv.topo_order.rbegin(); it != lv.topo_order.rend(); ++it) {
+    const netlist::InstId ii = *it;
+    const netlist::Instance& inst = nl.instance(ii);
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      const netlist::NetId in = inst.inputs[p];
+      for (const Edge in_edge : {Edge::kRise, Edge::kFall}) {
+        const Edge out_edge = arrival.arc_out_edge(ii, p, in_edge);
+        const double rem_out = remaining[inst.output][edge_index(out_edge)];
+        if (rem_out <= kNegInf / 2) continue;
+        const double through = arrival.arc_delay(ii, p, in_edge) + rem_out;
+        double& slot = remaining[in][edge_index(in_edge)];
+        slot = std::max(slot, through);
+      }
+    }
+  }
+
+  // Best-first expansion.
+  std::vector<Node> arena;
+  std::priority_queue<QueueEntry> queue;
+  for (netlist::NetId pi : nl.primary_inputs()) {
+    for (int e = 0; e < 2; ++e) {
+      if (remaining[pi][e] <= kNegInf / 2) continue;
+      arena.push_back({pi, e, -1, netlist::kNoId, 0, 0.0});
+      queue.push({remaining[pi][e], static_cast<int>(arena.size()) - 1});
+    }
+  }
+
+  std::vector<StructuralPath> out;
+  while (!queue.empty() && static_cast<long>(out.size()) < k) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const Node node = arena[top.node];
+
+    // Complete path?  A PO terminates a path; expansion continues below in
+    // case the PO net also has fanout.
+    if (nl.net(node.net).is_primary_output) {
+      StructuralPath p;
+      p.sink = node.net;
+      p.delay_estimate = node.dist;
+      // Reconstruct.
+      int cursor = top.node;
+      while (arena[cursor].parent >= 0) {
+        p.steps.push_back({arena[cursor].via_inst, arena[cursor].via_pin, 0});
+        cursor = arena[cursor].parent;
+      }
+      std::reverse(p.steps.begin(), p.steps.end());
+      p.source = arena[cursor].net;
+      p.launch_edge = edge_from_index(arena[cursor].edge);
+      out.push_back(std::move(p));
+    }
+
+    // Expand through every fanout arc.
+    for (const netlist::Fanout& f : nl.net(node.net).fanouts) {
+      const netlist::Instance& inst = nl.instance(f.inst);
+      const Edge in_edge = edge_from_index(node.edge);
+      const Edge out_edge = arrival.arc_out_edge(f.inst, f.pin, in_edge);
+      const double rem = remaining[inst.output][edge_index(out_edge)];
+      if (rem <= kNegInf / 2) continue;
+      const double d = arrival.arc_delay(f.inst, f.pin, in_edge);
+      arena.push_back({inst.output, edge_index(out_edge),
+                       top.node, f.inst, f.pin, node.dist + d});
+      queue.push({node.dist + d + rem, static_cast<int>(arena.size()) - 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace sasta::baseline

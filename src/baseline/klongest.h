@@ -1,0 +1,30 @@
+// Structural K-longest path enumeration — step one of the conventional
+// two-step flow: enumerate the K longest *structural* paths by static edge
+// weights (no sensitization check), longest first.  Best-first search over
+// (net, edge) states guided by exact max-remaining-delay estimates, so
+// emission order is exactly non-increasing path delay under the fixed
+// weights.
+#pragma once
+
+#include <vector>
+
+#include "baseline/arrival.h"
+#include "sta/path.h"
+
+namespace sasta::baseline {
+
+struct StructuralPath {
+  netlist::NetId source = netlist::kNoId;
+  netlist::NetId sink = netlist::kNoId;
+  spice::Edge launch_edge = spice::Edge::kRise;
+  std::vector<sta::PathStep> steps;  ///< vector_id unset (0) at this stage
+  double delay_estimate = 0.0;       ///< static LUT delay sum
+};
+
+/// Enumerates up to `k` longest structural paths.  `arrival` must have been
+/// run.  Paths are returned longest first.
+std::vector<StructuralPath> k_longest_paths(const netlist::Netlist& nl,
+                                            const ArrivalAnalysis& arrival,
+                                            long k);
+
+}  // namespace sasta::baseline

@@ -1,0 +1,161 @@
+#include "baseline/sensitize.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+
+namespace sasta::baseline {
+
+using logicsys::NineVal;
+using logicsys::TriVal;
+using sta::kScenarioBoth;
+using sta::kScenarioF;
+using sta::kScenarioNone;
+using sta::kScenarioR;
+
+bool PathSensitizer::sensitize_from(const StructuralPath& path,
+                                    std::size_t step, unsigned scenario,
+                                    long budget, long* backtracks,
+                                    bool* limited) {
+  if (step == path.steps.size()) return true;
+  const sta::PathStep& s = path.steps[step];
+  const netlist::Instance& inst = nl_.instance(s.inst);
+
+  // Minimal side conditions: prime cubes of the boolean difference w.r.t.
+  // the traversed pin, ordered by SCOAP controllability cost — the
+  // commercial-tool bias towards "the case for which the complex gate input
+  // assignations are easier to justify".
+  const cell::TruthTable diff =
+      inst.cell->function().boolean_difference(s.pin);
+  auto cubes = diff.prime_cubes(true);
+  auto cube_cost = [&](const cell::Cube& cube) {
+    int cost = 0;
+    for (int q = 0; q < inst.cell->num_inputs(); ++q) {
+      if (q == s.pin || !cube.constrains(q)) continue;
+      cost += controllability_.cost(inst.inputs[q], cube.literal(q));
+    }
+    return cost;
+  };
+  std::stable_sort(cubes.begin(), cubes.end(),
+                   [&](const cell::Cube& a, const cell::Cube& b) {
+                     return cube_cost(a) < cube_cost(b);
+                   });
+  for (const auto& cube : cubes) {
+    if (*limited) return false;
+    const sta::AssignmentState::Mark mark = state_.mark();
+    bool ok = true;
+    for (int q = 0; q < inst.cell->num_inputs() && ok; ++q) {
+      if (q == s.pin || !cube.constrains(q)) continue;
+      const long remaining =
+          budget < 0 ? -1 : std::max<long>(0, budget - *backtracks);
+      const auto r = justifier_.justify(inst.inputs[q], cube.literal(q),
+                                        scenario,
+                                        static_cast<int>(remaining));
+      *backtracks += justifier_.backtracks();
+      justifier_.reset_backtracks();
+      if (r.backtrack_limited || (budget >= 0 && *backtracks > budget)) {
+        *limited = true;
+        ok = false;
+      } else if ((r.alive & scenario) != scenario) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      // Propagation condition: the boolean difference w.r.t. the traversed
+      // pin must evaluate to 1 under the committed side values (free side
+      // pins at X).  This is the functional-sensitization check a
+      // conventional tool applies: with an empty cube (e.g. any XOR input)
+      // the gate is sensitized for every completion even though the
+      // implication engine cannot represent the resulting
+      // polarity-undetermined output transition.
+      std::array<TriVal, 8> side{};
+      for (int q = 0; q < inst.cell->num_inputs(); ++q) {
+        const NineVal& v = scenario == kScenarioR
+                               ? state_.value(inst.inputs[q]).r
+                               : state_.value(inst.inputs[q]).f;
+        side[q] = v.is_steady() ? v.init : TriVal::kX;
+      }
+      const TriVal sensitized = diff.eval3(
+          {side.data(), static_cast<std::size_t>(inst.cell->num_inputs())});
+      if (sensitized == TriVal::kOne &&
+          sensitize_from(path, step + 1, scenario, budget, backtracks,
+                         limited)) {
+        return true;
+      }
+    }
+    state_.rollback(mark);
+    if (*limited) return false;
+    ++*backtracks;
+    if (budget >= 0 && *backtracks > budget) {
+      *limited = true;
+      return false;
+    }
+  }
+  return false;
+}
+
+SensitizeOutcome PathSensitizer::sensitize(const StructuralPath& path,
+                                           long backtrack_budget) {
+  SensitizeOutcome out;
+  state_.reset();
+  justifier_.reset_backtracks();
+
+  const unsigned scenario =
+      path.launch_edge == spice::Edge::kRise ? kScenarioR : kScenarioF;
+  const auto launch =
+      engine_.assign_dual(path.source, NineVal::rise(), NineVal::fall());
+  SASTA_CHECK((launch.conflict & scenario) == 0)
+      << " launch conflict on fresh state";
+
+  long backtracks = 0;
+  bool limited = false;
+  const bool found = sensitize_from(path, 0, scenario, backtrack_budget,
+                                    &backtracks, &limited);
+  out.backtracks = backtracks;
+  if (found) {
+    out.status = SensitizeStatus::kTrue;
+    // Determine consistent / reported sensitization vectors per step from
+    // the committed (possibly partial) side assignments.
+    for (const sta::PathStep& s : path.steps) {
+      const netlist::Instance& inst = nl_.instance(s.inst);
+      const charlib::CellTiming& ct = charlib_.timing(inst.cell->name());
+      std::vector<int> consistent;
+      for (const auto& vec : ct.vectors.at(s.pin)) {
+        bool match = true;
+        for (int q = 0; q < inst.cell->num_inputs() && match; ++q) {
+          if (q == s.pin) continue;
+          const NineVal& v = scenario == kScenarioR
+                                 ? state_.value(inst.inputs[q]).r
+                                 : state_.value(inst.inputs[q]).f;
+          if (v.is_steady()) {
+            const bool val = v.init == TriVal::kOne;
+            if (val != vec.side_value(q)) match = false;
+          }
+          // Unknown or semi-undetermined side pins stay compatible with
+          // either value: the tool did not commit them.
+        }
+        if (match) consistent.push_back(vec.id);
+      }
+      SASTA_CHECK(!consistent.empty())
+          << " sensitized path step has no consistent vector";
+      out.consistent_vectors.push_back(consistent);
+      out.reported_vectors.push_back(consistent.front());
+    }
+    for (netlist::NetId pi : nl_.primary_inputs()) {
+      if (pi == path.source) continue;
+      const NineVal& v = scenario == kScenarioR ? state_.value(pi).r
+                                                : state_.value(pi).f;
+      if (v.is_steady()) {
+        out.pi_assignment.emplace_back(pi, v.init == TriVal::kOne);
+      }
+    }
+  } else if (limited) {
+    out.status = SensitizeStatus::kBacktrackLimit;
+  } else {
+    out.status = SensitizeStatus::kFalse;
+  }
+  return out;
+}
+
+}  // namespace sasta::baseline

@@ -1,0 +1,73 @@
+// Step two of the conventional flow: per-path sensitization with a
+// backtrack limit.
+//
+// Unlike the developed tool — which enumerates every full sensitization
+// vector at every complex-gate input — this engine does what the paper
+// observes commercial tools doing: for each traversed input it tries the
+// *minimal* side conditions (prime cubes of the boolean difference, fewest
+// literals first, i.e. "the case for which the complex gate input
+// assignations are easier to justify"), commits to the first one that
+// justifies, and reports a single input vector per path.  Free side pins
+// remain don't-care, so the reported vector frequently fails to pin down
+// the worst-delay sensitization.
+#pragma once
+
+#include "netlist/controllability.h"
+#include "baseline/klongest.h"
+#include "sta/justify.h"
+
+namespace sasta::baseline {
+
+enum class SensitizeStatus {
+  kTrue,            ///< a sensitizing assignment was found
+  kFalse,           ///< proven unsensitizable
+  kBacktrackLimit,  ///< gave up at the backtrack budget
+};
+
+struct SensitizeOutcome {
+  SensitizeStatus status = SensitizeStatus::kFalse;
+  long backtracks = 0;
+
+  /// Per path step: sensitization-vector ids (per the characterized
+  /// library) consistent with the committed assignment.  Singleton when the
+  /// assignment pins the side inputs down completely.
+  std::vector<std::vector<int>> consistent_vectors;
+
+  /// The single vector id the tool would report per step: the lowest
+  /// consistent id (canonical/easiest bias).
+  std::vector<int> reported_vectors;
+
+  /// Steady primary-input assignment committed (excluding the source).
+  std::vector<std::pair<netlist::NetId, bool>> pi_assignment;
+};
+
+class PathSensitizer {
+ public:
+  PathSensitizer(const netlist::Netlist& nl,
+                 const charlib::CharLibrary& charlib)
+      : nl_(nl),
+        charlib_(charlib),
+        controllability_(netlist::compute_controllability(nl)),
+        state_(nl.num_nets()),
+        engine_(nl, state_),
+        justifier_(nl, state_, engine_) {}
+
+  /// Checks one structural path with the given backtrack budget
+  /// (< 0: unlimited).
+  SensitizeOutcome sensitize(const StructuralPath& path,
+                             long backtrack_budget);
+
+ private:
+  bool sensitize_from(const StructuralPath& path, std::size_t step,
+                      unsigned scenario, long budget, long* backtracks,
+                      bool* limited);
+
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  netlist::Controllability controllability_;
+  sta::AssignmentState state_;
+  sta::ImplicationEngine engine_;
+  sta::Justifier justifier_;
+};
+
+}  // namespace sasta::baseline

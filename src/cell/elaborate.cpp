@@ -1,0 +1,276 @@
+#include "cell/elaborate.h"
+
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sasta::cell {
+
+namespace {
+
+using spice::MosType;
+using spice::NodeId;
+
+/// Union-find over node ids used for the initial-condition conduction pass.
+class NodeUnion {
+ public:
+  int find(NodeId n) {
+    auto it = parent_.find(n);
+    if (it == parent_.end()) {
+      parent_[n] = n;
+      return n;
+    }
+    if (it->second == n) return n;
+    const int root = find(it->second);
+    it->second = root;
+    return root;
+  }
+  void unite(NodeId a, NodeId b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::map<NodeId, NodeId> parent_;
+};
+
+struct NetworkDevice {
+  std::size_t device_index;  ///< into Circuit::mosfets()
+  NodeId top;
+  NodeId bottom;
+  int pin;
+  bool inverted;
+};
+
+struct Builder {
+  spice::Circuit& ckt;
+  const Cell& cell;
+  const tech::Technology& tech;
+  std::span<const NodeId> inputs;
+  std::span<const NodeId> literals;  ///< literal node per pin (post-inverter)
+  const std::string& prefix;
+  int internal_counter = 0;
+  std::map<std::string, int> name_use;
+
+  NodeId fresh_node(const std::string& hint) {
+    return ckt.add_node(prefix + "." + hint + std::to_string(internal_counter++));
+  }
+
+  std::string device_name(bool is_pdn, int pin) {
+    std::string base = (is_pdn ? "n" : "p") + cell.pin_names()[pin];
+    const int uses = name_use[base]++;
+    if (uses > 0) base += "_" + std::to_string(uses);
+    return prefix + "/" + base;
+  }
+
+  /// Recursively instantiates `tree` between `top` and `bottom`.
+  void build(const SpTree& tree, NodeId top, NodeId bottom, bool is_pdn,
+             double width, std::vector<NetworkDevice>& devices) {
+    switch (tree.kind()) {
+      case SpTree::Kind::kLeaf: {
+        spice::MosfetInstance m;
+        m.type = is_pdn ? MosType::kNmos : MosType::kPmos;
+        m.gate = tree.inverted_literal() ? literals[tree.pin()]
+                                         : inputs[tree.pin()];
+        m.drain = top;
+        m.source = bottom;
+        m.width_um = width;
+        m.length_um = tech.lmin_um;
+        m.params = is_pdn ? tech.nmos : tech.pmos;
+        m.name = device_name(is_pdn, tree.pin());
+        devices.push_back({ckt.mosfets().size(), top, bottom, tree.pin(),
+                           tree.inverted_literal()});
+        ckt.add_mosfet(std::move(m));
+        return;
+      }
+      case SpTree::Kind::kSeries: {
+        NodeId current = top;
+        for (std::size_t i = 0; i < tree.children().size(); ++i) {
+          const bool last = i + 1 == tree.children().size();
+          const NodeId next = last ? bottom : fresh_node(is_pdn ? "pdn" : "pun");
+          build(tree.children()[i], current, next, is_pdn, width, devices);
+          current = next;
+        }
+        return;
+      }
+      case SpTree::Kind::kParallel: {
+        for (const auto& c : tree.children()) {
+          build(c, top, bottom, is_pdn, width, devices);
+        }
+        return;
+      }
+    }
+  }
+};
+
+/// Adds gate and junction parasitics for every device created in
+/// [first, end) of the circuit's device list.
+void add_parasitics(spice::Circuit& ckt, std::size_t first, std::size_t end) {
+  for (std::size_t i = first; i < end; ++i) {
+    const auto& m = ckt.mosfets()[i];
+    const double cg = m.width_um * m.params.cg_per_um;
+    const double cj = m.width_um * m.params.cj_per_um;
+    ckt.add_capacitor(m.gate, ckt.ground(), cg);
+    ckt.add_capacitor(m.drain, ckt.ground(), cj);
+    ckt.add_capacitor(m.source, ckt.ground(), cj);
+  }
+}
+
+/// Assigns initial voltages to the internal nodes of one network via
+/// conduction-region analysis.
+void init_network_nodes(spice::Circuit& ckt,
+                        const std::vector<NetworkDevice>& devices,
+                        std::span<const int> init_inputs, bool is_pdn,
+                        NodeId rail, NodeId core, double rail_voltage,
+                        double core_voltage, double vth, double vdd) {
+  NodeUnion uf;
+  for (const auto& d : devices) {
+    int lit = init_inputs[d.pin];
+    if (d.inverted) lit = 1 - lit;
+    const bool on = is_pdn ? (lit == 1) : (lit == 0);
+    uf.find(d.top);
+    uf.find(d.bottom);
+    if (on) uf.unite(d.top, d.bottom);
+  }
+  const int rail_root = uf.find(rail);
+  const int core_root = uf.find(core);
+  for (const auto& d : devices) {
+    for (NodeId n : {d.top, d.bottom}) {
+      if (n == rail || n == core || ckt.is_driven(n)) continue;
+      const int root = uf.find(n);
+      double volts;
+      if (root == rail_root) {
+        volts = rail_voltage;
+      } else if (root == core_root) {
+        // Pass-conduction from the core node: NMOS degrades a high level by
+        // Vth, PMOS degrades a low level by Vth.
+        volts = is_pdn ? std::min(core_voltage, vdd - vth)
+                       : std::max(core_voltage, vth);
+      } else {
+        // Floating region: PDN nodes rest discharged, PUN nodes charged.
+        volts = is_pdn ? 0.0 : vdd;
+      }
+      ckt.set_initial_voltage(n, volts);
+    }
+  }
+}
+
+}  // namespace
+
+ElaborationResult elaborate_cell(spice::Circuit& ckt, const Cell& cell,
+                                 const tech::Technology& tech,
+                                 std::span<const NodeId> inputs,
+                                 NodeId output, NodeId vdd_node,
+                                 double vdd_volts,
+                                 std::span<const int> init_inputs,
+                                 const std::string& prefix) {
+  SASTA_CHECK(static_cast<int>(inputs.size()) == cell.num_inputs())
+      << " cell " << cell.name() << " input count";
+  SASTA_CHECK(static_cast<int>(init_inputs.size()) == cell.num_inputs())
+      << " cell " << cell.name() << " init vector size";
+
+  ElaborationResult result;
+  result.first_device = ckt.mosfets().size();
+
+  // Literal nodes: identity for plain pins, internal inverter output for
+  // complemented literals.
+  std::vector<NodeId> literals(cell.num_inputs());
+  std::vector<int> literal_init(cell.num_inputs());
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    literals[p] = inputs[p];
+    literal_init[p] = init_inputs[p];
+  }
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    if (!cell.pin_has_input_inverter(p)) continue;
+    const NodeId lit = ckt.add_node(prefix + ".lit" + cell.pin_names()[p]);
+    // Unit-size input inverter.
+    spice::MosfetInstance mn;
+    mn.type = MosType::kNmos;
+    mn.gate = inputs[p];
+    mn.drain = lit;
+    mn.source = ckt.ground();
+    mn.width_um = tech.wn_unit_um;
+    mn.length_um = tech.lmin_um;
+    mn.params = tech.nmos;
+    mn.name = prefix + "/inv" + cell.pin_names()[p] + "_n";
+    ckt.add_mosfet(std::move(mn));
+    spice::MosfetInstance mp;
+    mp.type = MosType::kPmos;
+    mp.gate = inputs[p];
+    mp.drain = lit;
+    mp.source = vdd_node;
+    mp.width_um = tech.wn_unit_um * tech.beta_p;
+    mp.length_um = tech.lmin_um;
+    mp.params = tech.pmos;
+    mp.name = prefix + "/inv" + cell.pin_names()[p] + "_p";
+    ckt.add_mosfet(std::move(mp));
+    literals[p] = lit;
+    literal_init[p] = 1 - init_inputs[p];
+    ckt.set_initial_voltage(lit, literal_init[p] ? vdd_volts : 0.0);
+  }
+
+  // Core node.
+  const bool out_inv = cell.has_output_inverter();
+  const NodeId core = out_inv ? ckt.add_node(prefix + ".core") : output;
+  result.core = core;
+
+  // Initial logic values of output and core.
+  std::uint32_t minterm = 0;
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    if (init_inputs[p]) minterm |= 1u << p;
+  }
+  const bool z = cell.function().value(minterm);
+  const bool y = out_inv ? !z : z;
+  if (!ckt.is_driven(core)) {
+    ckt.set_initial_voltage(core, y ? vdd_volts : 0.0);
+  }
+  if (!ckt.is_driven(output)) {
+    ckt.set_initial_voltage(output, z ? vdd_volts : 0.0);
+  }
+
+  // Build the networks.
+  Builder builder{ckt, cell, tech, inputs, literals, prefix, 0, {}};
+  std::vector<NetworkDevice> pdn_devices;
+  std::vector<NetworkDevice> pun_devices;
+  builder.build(cell.pdn(), core, ckt.ground(), /*is_pdn=*/true,
+                cell.pdn_device_width(tech), pdn_devices);
+  builder.build(cell.pun(), core, vdd_node, /*is_pdn=*/false,
+                cell.pun_device_width(tech), pun_devices);
+
+  // Output inverter (2x drive).
+  if (out_inv) {
+    spice::MosfetInstance mn;
+    mn.type = MosType::kNmos;
+    mn.gate = core;
+    mn.drain = output;
+    mn.source = ckt.ground();
+    mn.width_um = 2.0 * tech.wn_unit_um;
+    mn.length_um = tech.lmin_um;
+    mn.params = tech.nmos;
+    mn.name = prefix + "/outinv_n";
+    ckt.add_mosfet(std::move(mn));
+    spice::MosfetInstance mp;
+    mp.type = MosType::kPmos;
+    mp.gate = core;
+    mp.drain = output;
+    mp.source = vdd_node;
+    mp.width_um = 2.0 * tech.wn_unit_um * tech.beta_p;
+    mp.length_um = tech.lmin_um;
+    mp.params = tech.pmos;
+    mp.name = prefix + "/outinv_p";
+    ckt.add_mosfet(std::move(mp));
+  }
+
+  result.device_count = ckt.mosfets().size() - result.first_device;
+  add_parasitics(ckt, result.first_device, ckt.mosfets().size());
+
+  // Internal-node initial conditions from conduction analysis.  The raw pin
+  // values are passed; NetworkDevice.inverted complements per leaf.
+  init_network_nodes(ckt, pdn_devices, init_inputs, /*is_pdn=*/true,
+                     ckt.ground(), core, 0.0, y ? vdd_volts : 0.0,
+                     tech.nmos.vth0, vdd_volts);
+  init_network_nodes(ckt, pun_devices, init_inputs, /*is_pdn=*/false,
+                     vdd_node, core, vdd_volts, y ? vdd_volts : 0.0,
+                     tech.pmos.vth0, vdd_volts);
+  return result;
+}
+
+}  // namespace sasta::cell

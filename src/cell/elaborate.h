@@ -1,0 +1,41 @@
+// Elaborates a cell instance into the transistor-level simulator circuit:
+// input inverters for complemented literals, the series-parallel PDN/PUN,
+// the optional output inverter, gate/junction parasitic capacitances, and
+// logic-derived initial conditions for every created node.
+//
+// Initial conditions replace a DC operating-point solve (see transient.h):
+// given the initial logic value of each input, internal series-parallel
+// nodes connected to a rail or to the core node through ON channels start
+// at that level (with a Vth drop through pass conduction); floating PDN
+// nodes start discharged and floating PUN nodes start charged.  These are
+// exactly the precharge states responsible for the charge-sharing delay
+// differences of paper Section III.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "cell/cell.h"
+#include "spice/circuit.h"
+
+namespace sasta::cell {
+
+struct ElaborationResult {
+  spice::NodeId core = 0;         ///< core stage output (== output node when
+                                  ///< the cell has no output inverter)
+  std::size_t first_device = 0;   ///< index into Circuit::mosfets()
+  std::size_t device_count = 0;
+};
+
+/// `init_inputs[p]` is the initial logic value (0/1) of input pin p; it
+/// seeds the node initial voltages.  The caller is responsible for driving
+/// or initializing the input nodes themselves.
+ElaborationResult elaborate_cell(spice::Circuit& ckt, const Cell& cell,
+                                 const tech::Technology& tech,
+                                 std::span<const spice::NodeId> inputs,
+                                 spice::NodeId output, spice::NodeId vdd_node,
+                                 double vdd_volts,
+                                 std::span<const int> init_inputs,
+                                 const std::string& prefix);
+
+}  // namespace sasta::cell

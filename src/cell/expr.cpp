@@ -1,0 +1,78 @@
+#include "cell/expr.h"
+
+#include "util/check.h"
+
+namespace sasta::cell {
+
+ExprPtr Expr::var(int pin) {
+  SASTA_CHECK(pin >= 0) << " negative pin index";
+  return ExprPtr(new Expr(Kind::kVar, pin, {}));
+}
+
+ExprPtr Expr::inv(ExprPtr e) {
+  SASTA_CHECK(e != nullptr) << " null operand";
+  return ExprPtr(new Expr(Kind::kNot, -1, {std::move(e)}));
+}
+
+ExprPtr Expr::et(std::vector<ExprPtr> children) {
+  SASTA_CHECK(children.size() >= 2) << " AND needs >= 2 operands";
+  for (const auto& c : children) SASTA_CHECK(c != nullptr) << " null operand";
+  return ExprPtr(new Expr(Kind::kAnd, -1, std::move(children)));
+}
+
+ExprPtr Expr::ou(std::vector<ExprPtr> children) {
+  SASTA_CHECK(children.size() >= 2) << " OR needs >= 2 operands";
+  for (const auto& c : children) SASTA_CHECK(c != nullptr) << " null operand";
+  return ExprPtr(new Expr(Kind::kOr, -1, std::move(children)));
+}
+
+bool Expr::evaluate(std::uint32_t input_bits) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return (input_bits >> pin_) & 1u;
+    case Kind::kNot:
+      return !children_[0]->evaluate(input_bits);
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->evaluate(input_bits)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c->evaluate(input_bits)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+int Expr::max_pin_plus_one() const {
+  if (kind_ == Kind::kVar) return pin_ + 1;
+  int best = 0;
+  for (const auto& c : children_) best = std::max(best, c->max_pin_plus_one());
+  return best;
+}
+
+std::string Expr::to_string(std::span<const std::string> pin_names) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return pin_ < static_cast<int>(pin_names.size())
+                 ? pin_names[pin_]
+                 : "p" + std::to_string(pin_);
+    case Kind::kNot:
+      return "!" + children_[0]->to_string(pin_names);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? "*" : "+";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += sep;
+        out += children_[i]->to_string(pin_names);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sasta::cell

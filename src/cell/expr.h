@@ -1,0 +1,50 @@
+// Boolean expression AST over cell input pins.  Used to declare cell logic
+// functions; truth tables and series-parallel transistor networks are
+// derived from (or checked against) these expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sasta::cell {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind { kVar, kNot, kAnd, kOr };
+
+  static ExprPtr var(int pin);
+  static ExprPtr inv(ExprPtr e);
+  static ExprPtr et(std::vector<ExprPtr> children);  ///< AND
+  static ExprPtr ou(std::vector<ExprPtr> children);  ///< OR
+  static ExprPtr et(ExprPtr a, ExprPtr b) { return et(std::vector<ExprPtr>{a, b}); }
+  static ExprPtr ou(ExprPtr a, ExprPtr b) { return ou(std::vector<ExprPtr>{a, b}); }
+
+  Kind kind() const { return kind_; }
+  int pin() const { return pin_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Evaluates with input i's value = bit i of `input_bits`.
+  bool evaluate(std::uint32_t input_bits) const;
+
+  /// Highest referenced pin index + 1.
+  int max_pin_plus_one() const;
+
+  /// Human-readable form using the given pin names.
+  std::string to_string(std::span<const std::string> pin_names) const;
+
+ private:
+  Expr(Kind kind, int pin, std::vector<ExprPtr> children)
+      : kind_(kind), pin_(pin), children_(std::move(children)) {}
+
+  Kind kind_;
+  int pin_;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace sasta::cell

@@ -1,0 +1,175 @@
+#include "cell/library_builder.h"
+
+namespace sasta::cell {
+
+namespace {
+
+ExprPtr v(int p) { return Expr::var(p); }
+
+std::vector<std::string> pins(int n) {
+  static const char* names[] = {"A", "B", "C", "D", "E", "F"};
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) out.emplace_back(names[i]);
+  return out;
+}
+
+SpTree all_series(int n) {
+  std::vector<SpTree> leaves;
+  for (int i = 0; i < n; ++i) leaves.push_back(SpTree::leaf(i));
+  return SpTree::series(std::move(leaves));
+}
+
+SpTree all_parallel(int n) {
+  std::vector<SpTree> leaves;
+  for (int i = 0; i < n; ++i) leaves.push_back(SpTree::leaf(i));
+  return SpTree::parallel(std::move(leaves));
+}
+
+ExprPtr and_all(int n) {
+  std::vector<ExprPtr> kids;
+  for (int i = 0; i < n; ++i) kids.push_back(v(i));
+  return Expr::et(std::move(kids));
+}
+
+ExprPtr or_all(int n) {
+  std::vector<ExprPtr> kids;
+  for (int i = 0; i < n; ++i) kids.push_back(v(i));
+  return Expr::ou(std::move(kids));
+}
+
+}  // namespace
+
+Library build_standard_library() {
+  Library lib;
+
+  // --- Single-input cells -------------------------------------------------
+  lib.add(Cell({"INV", pins(1), Expr::inv(v(0)), SpTree::leaf(0), false}));
+  lib.add(Cell({"BUF", pins(1), v(0), SpTree::leaf(0), true}));
+
+  // --- NAND / NOR families (inverting; PDN directly implements Z') --------
+  for (int n = 2; n <= 4; ++n) {
+    lib.add(Cell({"NAND" + std::to_string(n), pins(n),
+                  Expr::inv(and_all(n)), all_series(n), false}));
+    lib.add(Cell({"NOR" + std::to_string(n), pins(n),
+                  Expr::inv(or_all(n)), all_parallel(n), false}));
+  }
+
+  // --- AND / OR families (inverting core + output inverter) ---------------
+  for (int n = 2; n <= 4; ++n) {
+    lib.add(Cell({"AND" + std::to_string(n), pins(n), and_all(n),
+                  all_series(n), true}));
+    lib.add(Cell({"OR" + std::to_string(n), pins(n), or_all(n),
+                  all_parallel(n), true}));
+  }
+
+  // --- AOI / OAI complex inverting cells -----------------------------------
+  // AOI21: Z = !((A*B) + C)
+  lib.add(Cell({"AOI21", pins(3),
+                Expr::inv(Expr::ou(Expr::et(v(0), v(1)), v(2))),
+                SpTree::parallel(SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                                 SpTree::leaf(2)),
+                false}));
+  // AOI22: Z = !((A*B) + (C*D))
+  lib.add(Cell({"AOI22", pins(4),
+                Expr::inv(Expr::ou(Expr::et(v(0), v(1)), Expr::et(v(2), v(3)))),
+                SpTree::parallel(SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                                 SpTree::series(SpTree::leaf(2), SpTree::leaf(3))),
+                false}));
+  // OAI21: Z = !((A+B) * C)
+  lib.add(Cell({"OAI21", pins(3),
+                Expr::inv(Expr::et(Expr::ou(v(0), v(1)), v(2))),
+                SpTree::series(SpTree::parallel(SpTree::leaf(0), SpTree::leaf(1)),
+                               SpTree::leaf(2)),
+                false}));
+  // OAI22: Z = !((A+B) * (C+D))
+  lib.add(Cell({"OAI22", pins(4),
+                Expr::inv(Expr::et(Expr::ou(v(0), v(1)), Expr::ou(v(2), v(3)))),
+                SpTree::series(SpTree::parallel(SpTree::leaf(0), SpTree::leaf(1)),
+                               SpTree::parallel(SpTree::leaf(2), SpTree::leaf(3))),
+                false}));
+
+  // --- Non-inverting complex cells (paper's study gates) -------------------
+  // AO21: Z = (A*B) + C
+  lib.add(Cell({"AO21", pins(3),
+                Expr::ou(Expr::et(v(0), v(1)), v(2)),
+                SpTree::parallel(SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                                 SpTree::leaf(2)),
+                true}));
+  // AO22: Z = (A*B) + (C*D)   (paper Eq. (1), Fig. 1a/2)
+  lib.add(Cell({"AO22", pins(4),
+                Expr::ou(Expr::et(v(0), v(1)), Expr::et(v(2), v(3))),
+                SpTree::parallel(SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                                 SpTree::series(SpTree::leaf(2), SpTree::leaf(3))),
+                true}));
+  // OA12: Z = (A+B) * C       (paper Eq. (2), Fig. 1b/3)
+  // The OR pair is listed (B, A) so that the dual PUN stacks pB adjacent to
+  // the core output, reproducing the paper's Table 4 ordering (Case 1 --
+  // B=0, pB ON -- couples the stack-internal parasitic to the output and is
+  // the slowest In-Rise case).
+  lib.add(Cell({"OA12", pins(3),
+                Expr::et(Expr::ou(v(0), v(1)), v(2)),
+                SpTree::series(SpTree::parallel(SpTree::leaf(1), SpTree::leaf(0)),
+                               SpTree::leaf(2)),
+                true}));
+  // OA22: Z = (A+B) * (C+D)
+  lib.add(Cell({"OA22", pins(4),
+                Expr::et(Expr::ou(v(0), v(1)), Expr::ou(v(2), v(3))),
+                SpTree::series(SpTree::parallel(SpTree::leaf(0), SpTree::leaf(1)),
+                               SpTree::parallel(SpTree::leaf(2), SpTree::leaf(3))),
+                true}));
+
+  // --- Wider complex cells --------------------------------------------------
+  // AOI211: Z = !((A*B) + C + D)
+  lib.add(Cell({"AOI211", pins(4),
+                Expr::inv(Expr::ou({Expr::et(v(0), v(1)), v(2), v(3)})),
+                SpTree::parallel({SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                                  SpTree::leaf(2), SpTree::leaf(3)}),
+                false}));
+  // OAI211: Z = !((A+B) * C * D)
+  lib.add(Cell({"OAI211", pins(4),
+                Expr::inv(Expr::et({Expr::ou(v(0), v(1)), v(2), v(3)})),
+                SpTree::series({SpTree::parallel(SpTree::leaf(0), SpTree::leaf(1)),
+                                SpTree::leaf(2), SpTree::leaf(3)}),
+                false}));
+  // MAJ3 (carry gate): Z = A*B + C*(A+B).  The PDN is the classic 5-device
+  // carry network with the A||B pair shared; each input has two
+  // sensitization vectors (dMAJ/dA = B xor C).
+  lib.add(Cell({"MAJ3", pins(3),
+                Expr::ou(Expr::et(v(0), v(1)),
+                         Expr::et(v(2), Expr::ou(v(0), v(1)))),
+                SpTree::parallel(
+                    SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                    SpTree::series(SpTree::leaf(2),
+                                   SpTree::parallel(SpTree::leaf(0),
+                                                    SpTree::leaf(1)))),
+                true}));
+
+  // --- XOR family and MUX (complemented internal literals) -----------------
+  // XOR2: Z = A*!B + !A*B.  Core implements XNOR (= Z'), inverter restores Z.
+  lib.add(Cell({"XOR2", pins(2),
+                Expr::ou(Expr::et(v(0), Expr::inv(v(1))),
+                         Expr::et(Expr::inv(v(0)), v(1))),
+                SpTree::parallel(
+                    SpTree::series(SpTree::leaf(0), SpTree::leaf(1, true)),
+                    SpTree::series(SpTree::leaf(0, true), SpTree::leaf(1))),
+                true}));
+  // XNOR2: Z = A*B + !A*!B.
+  lib.add(Cell({"XNOR2", pins(2),
+                Expr::ou(Expr::et(v(0), v(1)),
+                         Expr::et(Expr::inv(v(0)), Expr::inv(v(1)))),
+                SpTree::parallel(
+                    SpTree::series(SpTree::leaf(0), SpTree::leaf(1)),
+                    SpTree::series(SpTree::leaf(0, true), SpTree::leaf(1, true))),
+                true}));
+  // MUX2: Z = A*!S + B*S with S = pin 2.
+  lib.add(Cell({"MUX2", {"A", "B", "S"},
+                Expr::ou(Expr::et(v(0), Expr::inv(v(2))), Expr::et(v(1), v(2))),
+                SpTree::parallel(
+                    SpTree::series(SpTree::leaf(0), SpTree::leaf(2, true)),
+                    SpTree::series(SpTree::leaf(1), SpTree::leaf(2))),
+                true}));
+
+  return lib;
+}
+
+}  // namespace sasta::cell

@@ -1,0 +1,21 @@
+// Builds the built-in standard-cell library.
+//
+// The library mirrors the complex-gate mix of a typical foundry offering
+// (paper Section I/II): primitive gates with a single sensitization vector
+// per input, and AND-OR / OR-AND complex cells (including the paper's AO22
+// and OA12 study gates) where inputs have several sensitization vectors.
+#pragma once
+
+#include "cell/cell.h"
+
+namespace sasta::cell {
+
+/// Cells included:
+///   INV, BUF,
+///   NAND2..4, NOR2..4, AND2..4, OR2..4,
+///   AOI21, AOI22, OAI21, OAI22,
+///   AO21, AO22, OA12, OA22,
+///   XOR2, XNOR2, MUX2.
+Library build_standard_library();
+
+}  // namespace sasta::cell

@@ -1,0 +1,245 @@
+#include "cell/netstate_analysis.h"
+
+#include <functional>
+#include <map>
+
+#include "util/check.h"
+
+namespace sasta::cell {
+
+namespace {
+
+struct FlatDevice {
+  int top;
+  int bottom;
+  int pin;
+  bool inverted;
+  std::string name;
+  bool on_before = false;
+  bool on_after = false;
+  bool on_final_path = false;
+};
+
+struct FlatNetwork {
+  std::vector<FlatDevice> devices;
+  int core_node = 0;  ///< symbolic node id of the stage output side
+  int rail_node = 1;  ///< symbolic node id of the rail side
+  int next_node = 2;
+};
+
+void flatten(const SpTree& tree, int top, int bottom, bool is_pdn,
+             const Cell& cell, std::map<std::string, int>& name_use,
+             FlatNetwork& net) {
+  switch (tree.kind()) {
+    case SpTree::Kind::kLeaf: {
+      std::string base =
+          (is_pdn ? "n" : "p") + cell.pin_names()[tree.pin()];
+      const int uses = name_use[base]++;
+      if (uses > 0) base += "_" + std::to_string(uses);
+      net.devices.push_back(
+          {top, bottom, tree.pin(), tree.inverted_literal(), base});
+      return;
+    }
+    case SpTree::Kind::kSeries: {
+      int current = top;
+      for (std::size_t i = 0; i < tree.children().size(); ++i) {
+        const bool last = i + 1 == tree.children().size();
+        const int next = last ? bottom : net.next_node++;
+        flatten(tree.children()[i], current, next, is_pdn, cell, name_use, net);
+        current = next;
+      }
+      return;
+    }
+    case SpTree::Kind::kParallel: {
+      for (const auto& c : tree.children()) {
+        flatten(c, top, bottom, is_pdn, cell, name_use, net);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+NetworkStateReport analyze_network_state(const Cell& cell, int switching_pin,
+                                         bool pin_rises,
+                                         const std::vector<int>& side_values) {
+  SASTA_CHECK(switching_pin >= 0 && switching_pin < cell.num_inputs())
+      << " pin " << switching_pin;
+  SASTA_CHECK(static_cast<int>(side_values.size()) == cell.num_inputs())
+      << " side vector size";
+
+  std::vector<int> before(side_values);
+  std::vector<int> after(side_values);
+  before[switching_pin] = pin_rises ? 0 : 1;
+  after[switching_pin] = pin_rises ? 1 : 0;
+
+  FlatNetwork pdn_net, pun_net;
+  std::map<std::string, int> names;
+  flatten(cell.pdn(), 0, 1, true, cell, names, pdn_net);
+  flatten(cell.pun(), 0, 1, false, cell, names, pun_net);
+
+  auto device_on = [&](const FlatDevice& d, const std::vector<int>& vals,
+                       bool is_pdn) {
+    int lit = vals[d.pin];
+    if (d.inverted) lit = 1 - lit;
+    return is_pdn ? lit == 1 : lit == 0;
+  };
+
+  for (auto& d : pdn_net.devices) {
+    d.on_before = device_on(d, before, true);
+    d.on_after = device_on(d, after, true);
+  }
+  for (auto& d : pun_net.devices) {
+    d.on_before = device_on(d, before, false);
+    d.on_after = device_on(d, after, false);
+  }
+
+  // Core output direction: the core implements Z (no inverter) or Z'.
+  std::uint32_t m0 = 0, m1 = 0;
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    if (before[p]) m0 |= 1u << p;
+    if (after[p]) m1 |= 1u << p;
+  }
+  bool y0 = cell.function().value(m0);
+  bool y1 = cell.function().value(m1);
+  if (cell.has_output_inverter()) {
+    y0 = !y0;
+    y1 = !y1;
+  }
+  NetworkStateReport report;
+  report.output_rises = !y0 && y1;
+
+  // Which network conducts after the transition: PUN if the core rises.
+  FlatNetwork& conducting = report.output_rises ? pun_net : pdn_net;
+  FlatNetwork& blocked = report.output_rises ? pdn_net : pun_net;
+  const SpTree& conducting_tree =
+      report.output_rises ? cell.pun() : cell.pdn();
+
+  // Mark the devices on fully-conducting branches and count the parallel
+  // drive available on those branches.
+  {
+    // Simple approach: a device is on the final conducting path if it is ON
+    // and lies on some root-to-rail branch whose devices are all ON.
+    // Enumerate branches via recursion with an explicit stack of leaf runs.
+    struct Walker {
+      std::vector<FlatDevice>& devices;
+      std::size_t cursor = 0;
+      // Returns (conducts, indices of devices on conducting branches).
+      std::pair<bool, std::vector<std::size_t>> walk(const SpTree& t) {
+        if (t.kind() == SpTree::Kind::kLeaf) {
+          const std::size_t i = cursor++;
+          if (devices[i].on_after) return {true, {i}};
+          return {false, {}};
+        }
+        if (t.kind() == SpTree::Kind::kSeries) {
+          bool all = true;
+          std::vector<std::size_t> acc;
+          for (const auto& c : t.children()) {
+            auto [ok, idx] = walk(c);
+            all = all && ok;
+            acc.insert(acc.end(), idx.begin(), idx.end());
+          }
+          if (!all) return {false, {}};
+          return {true, acc};
+        }
+        bool any = false;
+        std::vector<std::size_t> acc;
+        for (const auto& c : t.children()) {
+          auto [ok, idx] = walk(c);
+          if (ok) {
+            any = true;
+            acc.insert(acc.end(), idx.begin(), idx.end());
+          }
+        }
+        return {any, any ? acc : std::vector<std::size_t>{}};
+      }
+    };
+    Walker w{conducting.devices};
+    auto [conducts, on_path] = w.walk(conducting_tree);
+    SASTA_CHECK(conducts)
+        << " cell " << cell.name()
+        << ": conducting network does not conduct; invalid sensitization";
+    for (std::size_t i : on_path) conducting.devices[i].on_final_path = true;
+    report.parallel_on_drivers = static_cast<int>(on_path.size());
+  }
+
+  // Charge sharing: ON devices of the blocked network whose ON-region
+  // reaches the core node (they couple internal parasitics to the output).
+  {
+    std::map<int, int> parent;
+    std::function<int(int)> find = [&](int n) -> int {
+      auto it = parent.find(n);
+      if (it == parent.end()) {
+        parent[n] = n;
+        return n;
+      }
+      if (it->second == n) return n;
+      const int r = find(it->second);
+      it->second = r;
+      return r;
+    };
+    for (const auto& d : blocked.devices) {
+      if (d.on_after) parent[find(d.top)] = find(d.bottom);
+    }
+    const int core_root = find(blocked.core_node);
+    const int rail_root = find(blocked.rail_node);
+    SASTA_CHECK(core_root != rail_root)
+        << " blocked network conducts - inconsistent analysis";
+    int count = 0;
+    for (const auto& d : blocked.devices) {
+      if (d.on_after && find(d.top) == core_root) ++count;
+    }
+    report.charge_sharing_devices = count;
+  }
+
+  auto classify = [](const FlatDevice& d) {
+    if (d.on_before && d.on_after) return DeviceState::kOn;
+    if (!d.on_before && !d.on_after) return DeviceState::kOff;
+    if (d.on_after) return DeviceState::kTurningOn;
+    return DeviceState::kTurningOff;
+  };
+  for (const auto& d : pdn_net.devices) {
+    report.devices.push_back(
+        {d.name, true, d.pin, classify(d), d.on_final_path});
+  }
+  for (const auto& d : pun_net.devices) {
+    report.devices.push_back(
+        {d.name, false, d.pin, classify(d), d.on_final_path});
+  }
+  return report;
+}
+
+const char* device_state_name(DeviceState s) {
+  switch (s) {
+    case DeviceState::kOff:
+      return "OFF";
+    case DeviceState::kOn:
+      return "ON";
+    case DeviceState::kTurningOn:
+      return "OFF->ON";
+    case DeviceState::kTurningOff:
+      return "ON->OFF";
+  }
+  return "?";
+}
+
+std::string format_network_state(const Cell& cell,
+                                 const NetworkStateReport& report) {
+  std::string out;
+  out += "cell " + cell.name() + ": core output " +
+         (report.output_rises ? "rises" : "falls") + "\n";
+  for (const auto& d : report.devices) {
+    out += "  " + d.name + " [" + (d.in_pdn ? "PDN" : "PUN") + "] " +
+           device_state_name(d.state);
+    if (d.on_final_conducting_path) out += "  <- on conducting path";
+    out += "\n";
+  }
+  out += "  conducting-path devices: " +
+         std::to_string(report.parallel_on_drivers) +
+         ", charge-sharing devices: " +
+         std::to_string(report.charge_sharing_devices) + "\n";
+  return out;
+}
+
+}  // namespace sasta::cell

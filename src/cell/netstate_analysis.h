@@ -1,0 +1,54 @@
+// Transistor-level state analysis for a sensitization scenario — the
+// machine-readable version of the paper's Fig. 2 / Fig. 3 annotations:
+// which devices are ON, OFF, or switching for a given side-input vector and
+// switching pin, and which conduction mechanisms (parallel drive, charge
+// sharing through complementary-network devices) are active.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/cell.h"
+
+namespace sasta::cell {
+
+enum class DeviceState {
+  kOff,
+  kOn,
+  kTurningOn,   ///< OFF before the input transition, ON after
+  kTurningOff,  ///< ON before, OFF after
+};
+
+struct DeviceReport {
+  std::string name;     ///< e.g. "pA", "nC_1"
+  bool in_pdn = false;  ///< PDN (NMOS) vs PUN (PMOS)
+  int pin = -1;
+  DeviceState state = DeviceState::kOff;
+  bool on_final_conducting_path = false;  ///< carries switching current after
+                                          ///< the transition completes
+};
+
+struct NetworkStateReport {
+  std::vector<DeviceReport> devices;
+  bool output_rises = false;     ///< core-stage output direction
+  int parallel_on_drivers = 0;   ///< ON devices in parallel groups feeding the
+                                 ///< final conducting path (drive strength)
+  int charge_sharing_devices = 0;  ///< ON devices of the non-conducting
+                                   ///< network that connect internal
+                                   ///< parasitics to the output
+};
+
+/// Analyzes the core stage of `cell` when `switching_pin` transitions with
+/// edge `pin_rises` while the other pins hold the values in `side_values`
+/// (indexed by pin; the switching pin's entry is ignored).
+NetworkStateReport analyze_network_state(const Cell& cell, int switching_pin,
+                                         bool pin_rises,
+                                         const std::vector<int>& side_values);
+
+/// Formats the report like the paper's figure annotations.
+std::string format_network_state(const Cell& cell,
+                                 const NetworkStateReport& report);
+
+const char* device_state_name(DeviceState s);
+
+}  // namespace sasta::cell

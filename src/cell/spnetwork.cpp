@@ -1,0 +1,125 @@
+#include "cell/spnetwork.h"
+
+#include "util/check.h"
+
+namespace sasta::cell {
+
+using logicsys::TriVal;
+
+SpTree SpTree::leaf(int pin, bool inverted_literal) {
+  SASTA_CHECK(pin >= 0) << " negative pin";
+  return SpTree(Kind::kLeaf, pin, inverted_literal, {});
+}
+
+SpTree SpTree::series(std::vector<SpTree> children) {
+  SASTA_CHECK(children.size() >= 2) << " series needs >= 2 branches";
+  return SpTree(Kind::kSeries, -1, false, std::move(children));
+}
+
+SpTree SpTree::parallel(std::vector<SpTree> children) {
+  SASTA_CHECK(children.size() >= 2) << " parallel needs >= 2 branches";
+  return SpTree(Kind::kParallel, -1, false, std::move(children));
+}
+
+SpTree SpTree::series(SpTree a, SpTree b) {
+  return series(std::vector<SpTree>{std::move(a), std::move(b)});
+}
+
+SpTree SpTree::parallel(SpTree a, SpTree b) {
+  return parallel(std::vector<SpTree>{std::move(a), std::move(b)});
+}
+
+int SpTree::stack_depth() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kSeries: {
+      int total = 0;
+      for (const auto& c : children_) total += c.stack_depth();
+      return total;
+    }
+    case Kind::kParallel: {
+      int best = 0;
+      for (const auto& c : children_) best = std::max(best, c.stack_depth());
+      return best;
+    }
+  }
+  return 0;
+}
+
+int SpTree::num_devices() const {
+  if (kind_ == Kind::kLeaf) return 1;
+  int total = 0;
+  for (const auto& c : children_) total += c.num_devices();
+  return total;
+}
+
+bool SpTree::uses_pin(int pin) const {
+  if (kind_ == Kind::kLeaf) return pin_ == pin;
+  for (const auto& c : children_) {
+    if (c.uses_pin(pin)) return true;
+  }
+  return false;
+}
+
+TriVal SpTree::conducts(std::span<const TriVal> pin_values,
+                        bool active_low_leaves) const {
+  switch (kind_) {
+    case Kind::kLeaf: {
+      SASTA_CHECK(pin_ < static_cast<int>(pin_values.size()))
+          << " pin " << pin_ << " beyond values";
+      TriVal v = pin_values[pin_];
+      if (inverted_) v = logicsys::tri_not(v);
+      if (active_low_leaves) v = logicsys::tri_not(v);
+      return v;
+    }
+    case Kind::kSeries: {
+      TriVal acc = TriVal::kOne;
+      for (const auto& c : children_) {
+        acc = logicsys::tri_and(acc, c.conducts(pin_values, active_low_leaves));
+      }
+      return acc;
+    }
+    case Kind::kParallel: {
+      TriVal acc = TriVal::kZero;
+      for (const auto& c : children_) {
+        acc = logicsys::tri_or(acc, c.conducts(pin_values, active_low_leaves));
+      }
+      return acc;
+    }
+  }
+  return TriVal::kX;
+}
+
+SpTree SpTree::dual() const {
+  if (kind_ == Kind::kLeaf) return *this;
+  std::vector<SpTree> duals;
+  duals.reserve(children_.size());
+  for (const auto& c : children_) duals.push_back(c.dual());
+  return SpTree(kind_ == Kind::kSeries ? Kind::kParallel : Kind::kSeries, -1,
+                false, std::move(duals));
+}
+
+std::string SpTree::to_string(std::span<const std::string> pin_names) const {
+  switch (kind_) {
+    case Kind::kLeaf: {
+      std::string base = pin_ < static_cast<int>(pin_names.size())
+                             ? pin_names[pin_]
+                             : "p" + std::to_string(pin_);
+      return inverted_ ? "!" + base : base;
+    }
+    case Kind::kSeries:
+    case Kind::kParallel: {
+      const char* sep = kind_ == Kind::kSeries ? "-" : "|";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += sep;
+        out += children_[i].to_string(pin_names);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sasta::cell

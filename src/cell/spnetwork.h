@@ -1,0 +1,67 @@
+// Series-parallel transistor network description.
+//
+// A static CMOS stage is a pull-down network (PDN, NMOS) between the stage
+// output and ground plus the dual pull-up network (PUN, PMOS) between the
+// output and VDD.  Both are series-parallel trees over input literals; the
+// transistor-level structure is what makes gate delay depend on the
+// sensitization vector (paper Section III), so the library keeps it
+// explicit rather than abstracting cells to delay pins.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logicsys/trivalue.h"
+
+namespace sasta::cell {
+
+class SpTree {
+ public:
+  enum class Kind { kLeaf, kSeries, kParallel };
+
+  static SpTree leaf(int pin, bool inverted_literal = false);
+  static SpTree series(std::vector<SpTree> children);
+  static SpTree parallel(std::vector<SpTree> children);
+  static SpTree series(SpTree a, SpTree b);
+  static SpTree parallel(SpTree a, SpTree b);
+
+  Kind kind() const { return kind_; }
+  int pin() const { return pin_; }
+  bool inverted_literal() const { return inverted_; }
+  const std::vector<SpTree>& children() const { return children_; }
+
+  /// Worst-case series stack depth (number of devices in series on the
+  /// longest conducting branch); used for stack upsizing.
+  int stack_depth() const;
+
+  int num_devices() const;
+
+  /// True for any leaf with this pin (either phase).
+  bool uses_pin(int pin) const;
+
+  /// Three-valued "does the network conduct" given pin values.
+  /// Leaf conduction is the literal value (pin value, complemented if the
+  /// leaf gate is driven by an internal input inverter); with
+  /// `active_low_leaves` (PMOS networks) a leaf conducts when its literal
+  /// is 0.
+  logicsys::TriVal conducts(std::span<const logicsys::TriVal> pin_values,
+                            bool active_low_leaves = false) const;
+
+  /// Swaps series and parallel composition (PDN -> PUN topology).
+  SpTree dual() const;
+
+  std::string to_string(std::span<const std::string> pin_names) const;
+
+ private:
+  SpTree(Kind kind, int pin, bool inverted, std::vector<SpTree> children)
+      : kind_(kind), pin_(pin), inverted_(inverted),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  int pin_;
+  bool inverted_;
+  std::vector<SpTree> children_;
+};
+
+}  // namespace sasta::cell

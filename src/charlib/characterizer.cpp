@@ -1,0 +1,243 @@
+#include "charlib/characterizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cell/elaborate.h"
+#include "spice/transient.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace sasta::charlib {
+
+namespace {
+
+using spice::Edge;
+using spice::NodeId;
+using spice::Pwl;
+
+struct SweepGrids {
+  std::vector<double> fo;
+  std::vector<double> slew_s;
+  std::vector<double> temps_c;
+  std::vector<double> vdds;
+};
+
+SweepGrids make_grids(const tech::Technology& tech,
+                      const CharacterizeOptions& opt) {
+  SweepGrids g;
+  const double s0 = tech.default_input_slew;
+  if (opt.profile == CharacterizeOptions::Profile::kFast) {
+    g.fo = {0.5, 1.5, 4.0, 8.0};
+    g.slew_s = {0.5 * s0, 1.0 * s0, 2.0 * s0, 4.0 * s0};
+    g.temps_c = {tech.nominal_temp_c};
+    g.vdds = {tech.vdd};
+  } else {
+    g.fo = {0.5, 1.0, 2.0, 4.0, 8.0};
+    g.slew_s = {0.4 * s0, 1.0 * s0, 2.5 * s0, 6.0 * s0};
+    g.temps_c = {25.0, 75.0, 125.0};
+    g.vdds = {0.9 * tech.vdd, tech.vdd, 1.1 * tech.vdd};
+  }
+  return g;
+}
+
+}  // namespace
+
+ArcMeasurement measure_arc_point(const cell::Cell& cell,
+                                 const tech::Technology& tech,
+                                 const SensitizationVector& vec,
+                                 Edge in_edge, const ModelPoint& point) {
+  spice::Circuit ckt;
+  const NodeId vdd_n = ckt.add_node("vdd");
+  ckt.drive_dc(vdd_n, point.vdd);
+
+  // Input nodes: side pins at their steady sensitization values, the target
+  // pin ramped with the requested transition time.
+  const double ramp = point.slew_s / 0.8;  // 10-90 % -> full swing
+  const double t_start = std::max(150e-12, 2.0 * point.slew_s);
+  std::vector<NodeId> inputs;
+  std::vector<int> init(cell.num_inputs(), 0);
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    const NodeId n = ckt.add_node("in" + std::to_string(p));
+    inputs.push_back(n);
+    if (p == vec.pin) {
+      init[p] = in_edge == Edge::kRise ? 0 : 1;
+      const double v0 = init[p] ? point.vdd : 0.0;
+      const double v1 = init[p] ? 0.0 : point.vdd;
+      ckt.drive(n, Pwl::ramp(v0, v1, t_start, ramp));
+    } else {
+      init[p] = vec.side_value(p) ? 1 : 0;
+      ckt.drive_dc(n, init[p] ? point.vdd : 0.0);
+    }
+  }
+
+  const NodeId out = ckt.add_node("out");
+  elaborate_cell(ckt, cell, tech, inputs, out, vdd_n, point.vdd, init, "dut");
+
+  // Load: Fo equivalent fanouts of the cell's mean input capacitance.
+  const double load = point.fo * cell.avg_input_cap(tech);
+  ckt.add_capacitor(out, ckt.ground(), load);
+
+  // Simulation window: slew- and load-aware initial guess, doubled on
+  // retry when a slow corner (heavy load, low VDD, hot) has not completed
+  // its output transition yet.
+  double window = std::max(900e-12, 8.0 * point.slew_s) +
+                  point.fo * 120e-12;
+  const Edge out_edge = vec.out_edge(in_edge);
+  for (int attempt = 0; attempt < 4; ++attempt, window *= 2.0) {
+    spice::TransientOptions topt;
+    topt.temperature_c = point.temp_c;
+    topt.t_stop = t_start + ramp + window;
+    topt.dt = std::min(tech.sim_dt, std::max(point.slew_s / 60.0, 0.2e-12));
+    if (topt.t_stop / topt.dt > 8000.0) topt.dt = topt.t_stop / 8000.0;
+
+    const auto res = simulate_transient(ckt, topt);
+    SASTA_CHECK(res.converged)
+        << " characterization transient did not converge for " << cell.name()
+        << " pin " << vec.pin << " vec " << vec.id;
+
+    const auto delay =
+        spice::propagation_delay(res.waveform(inputs[vec.pin]), in_edge,
+                                 res.waveform(out), out_edge, point.vdd,
+                                 t_start - 1e-12);
+    const auto slew = spice::transition_time(res.waveform(out), point.vdd,
+                                             out_edge, t_start - 1e-12);
+    if (!delay.has_value() || !slew.has_value()) continue;
+
+    ArcMeasurement m;
+    m.point = point;
+    m.delay_s = *delay;
+    m.out_slew_s = *slew;
+    return m;
+  }
+  SASTA_FAIL() << " missing output transition for " << cell.name() << " pin "
+               << vec.pin << " vec " << vec.id << " fo=" << point.fo
+               << " slew=" << point.slew_s << " after window retries";
+}
+
+namespace {
+
+/// Fits delay and output slew polynomials from a set of measurements.
+ArcModel fit_arc(const std::vector<ArcMeasurement>& ms, bool inverting,
+                 const CharacterizeOptions& opt) {
+  std::vector<std::vector<double>> pts;
+  std::vector<double> delays_ns, slews_ns;
+  pts.reserve(ms.size());
+  for (const auto& m : ms) {
+    const auto n = m.point.normalized();
+    pts.push_back({n[0], n[1], n[2], n[3]});
+    delays_ns.push_back(m.delay_s * 1e9);
+    slews_ns.push_back(m.out_slew_s * 1e9);
+  }
+  num::RecursiveFitOptions fopt;
+  fopt.target_max_rel_error = opt.fit_target;
+  fopt.max_order.assign(opt.max_order.begin(), opt.max_order.end());
+  num::PolyFit delay_fit = num::fit_recursive(pts, delays_ns, fopt);
+  num::PolyFit slew_fit = num::fit_recursive(pts, slews_ns, fopt);
+  return ArcModel(std::move(delay_fit), std::move(slew_fit), inverting);
+}
+
+/// Builds the baseline LUT from the nominal-PVT subset of measurements.
+LutModel build_lut(const std::vector<ArcMeasurement>& ms,
+                   const SweepGrids& grids, const tech::Technology& tech,
+                   bool inverting) {
+  const std::size_t ns = grids.slew_s.size();
+  const std::size_t nf = grids.fo.size();
+  num::Matrix delay(ns, nf), slew(ns, nf);
+  num::Matrix filled(ns, nf);
+  for (const auto& m : ms) {
+    if (std::fabs(m.point.temp_c - tech.nominal_temp_c) > 1e-9) continue;
+    if (std::fabs(m.point.vdd - tech.vdd) > 1e-12) continue;
+    const auto si = std::find(grids.slew_s.begin(), grids.slew_s.end(),
+                              m.point.slew_s) - grids.slew_s.begin();
+    const auto fi = std::find(grids.fo.begin(), grids.fo.end(), m.point.fo) -
+                    grids.fo.begin();
+    SASTA_CHECK(static_cast<std::size_t>(si) < ns &&
+                static_cast<std::size_t>(fi) < nf)
+        << " LUT point off grid";
+    delay(si, fi) = m.delay_s;
+    slew(si, fi) = m.out_slew_s;
+    filled(si, fi) = 1.0;
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nf; ++j) {
+      SASTA_CHECK(filled(i, j) == 1.0) << " LUT grid hole at " << i << "," << j;
+    }
+  }
+  return LutModel(grids.slew_s, grids.fo, std::move(delay), std::move(slew),
+                  inverting);
+}
+
+CellTiming characterize_cell(const cell::Cell& c, const tech::Technology& tech,
+                             const CharacterizeOptions& opt,
+                             const SweepGrids& grids) {
+  CellTiming timing;
+  timing.cell_name = c.name();
+  timing.avg_input_cap = c.avg_input_cap(tech);
+  for (int p = 0; p < c.num_inputs(); ++p) {
+    timing.pin_caps.push_back(c.input_cap(tech, p));
+  }
+  timing.vectors = enumerate_all_sensitization(c);
+  timing.poly_arcs.resize(c.num_inputs());
+  timing.lut_arcs.resize(c.num_inputs());
+
+  for (int p = 0; p < c.num_inputs(); ++p) {
+    SASTA_CHECK(!timing.vectors[p].empty())
+        << " cell " << c.name() << " pin " << p
+        << " has no sensitization vector (redundant input?)";
+    for (const auto& vec : timing.vectors[p]) {
+      std::array<ArcModel, 2> arcs;
+      for (const Edge in_edge : {Edge::kRise, Edge::kFall}) {
+        std::vector<ArcMeasurement> ms;
+        ms.reserve(grids.fo.size() * grids.slew_s.size() *
+                   grids.temps_c.size() * grids.vdds.size());
+        for (double fo : grids.fo) {
+          for (double sl : grids.slew_s) {
+            for (double t : grids.temps_c) {
+              for (double v : grids.vdds) {
+                ModelPoint pt{fo, sl, t, v};
+                ms.push_back(measure_arc_point(c, tech, vec, in_edge, pt));
+              }
+            }
+          }
+        }
+        arcs[in_edge == Edge::kFall ? 1 : 0] =
+            fit_arc(ms, vec.inverting, opt);
+        // Canonical vector (Case 1) at nominal PVT feeds the baseline LUT.
+        if (vec.id == 0) {
+          timing.lut_arcs[p][in_edge == Edge::kFall ? 1 : 0] =
+              build_lut(ms, grids, tech, vec.inverting);
+        }
+      }
+      timing.poly_arcs[p].push_back(std::move(arcs));
+    }
+  }
+  return timing;
+}
+
+}  // namespace
+
+CharLibrary characterize_library(const cell::Library& lib,
+                                 const tech::Technology& tech,
+                                 const CharacterizeOptions& options) {
+  std::vector<std::string> names;
+  for (const auto& c : lib.cells()) names.push_back(c.name());
+  return characterize_cells(lib, tech, options, names);
+}
+
+CharLibrary characterize_cells(const cell::Library& lib,
+                               const tech::Technology& tech,
+                               const CharacterizeOptions& options,
+                               const std::vector<std::string>& cell_names) {
+  CharLibrary out(tech.name, options.profile_name());
+  const SweepGrids grids = make_grids(tech, options);
+  for (const auto& name : cell_names) {
+    const cell::Cell& c = lib.cell(name);
+    SASTA_LOG(kInfo) << "characterizing " << c.name() << " (" << tech.name
+                     << ")";
+    out.add(characterize_cell(c, tech, options, grids));
+  }
+  return out;
+}
+
+}  // namespace sasta::charlib

@@ -1,0 +1,66 @@
+// The library characterization engine (paper Section IV.A):
+//
+// "The electrical simulations from which the model parameters are obtained
+//  are done automatically and systematically for a given technology
+//  library...  Each iteration uses a different combination of values for
+//  each variable considered...  repeated for each gate input and each input
+//  vector that sensitizes that input."
+//
+// characterize_library() enumerates every (cell, pin, sensitization vector,
+// input edge) arc, runs a transistor-level transient per sweep point, and
+// fits the polynomial model by recursive regression.  The nominal-PVT
+// subset of the same measurements characterizes the baseline's LUT model
+// using only the canonical vector (id 0) per pin, mimicking a conventional
+// sensitization-oblivious library flow.
+#pragma once
+
+#include "cell/cell.h"
+#include "charlib/charlibrary.h"
+
+namespace sasta::charlib {
+
+struct CharacterizeOptions {
+  /// kFast: nominal T/V only, coarse grids -- for unit tests.
+  /// kFull: the paper-style sweep over Fo, t_in, T and VDD.
+  enum class Profile { kFast, kFull };
+  Profile profile = Profile::kFull;
+
+  /// Relative accuracy target for the recursive regression.
+  double fit_target = 0.025;
+
+  /// Per-variable maximum polynomial orders (Fo, t_in, T, VDD).
+  std::array<int, 4> max_order{3, 3, 2, 2};
+
+  std::string profile_name() const {
+    return profile == Profile::kFast ? "fast" : "full";
+  }
+};
+
+/// One electrical measurement of an arc.
+struct ArcMeasurement {
+  ModelPoint point;
+  double delay_s = 0.0;
+  double out_slew_s = 0.0;
+};
+
+/// Measures one (vector, edge) arc at one sweep point with a pure
+/// capacitive load of `fo` equivalent fanouts.  Exposed for tests and the
+/// Table 3/4 bench.
+ArcMeasurement measure_arc_point(const cell::Cell& cell,
+                                 const tech::Technology& tech,
+                                 const SensitizationVector& vec,
+                                 spice::Edge in_edge, const ModelPoint& point);
+
+/// Characterizes the full library.  Runs hundreds of transients per cell;
+/// see cache.h for the disk cache used by the benches.
+CharLibrary characterize_library(const cell::Library& lib,
+                                 const tech::Technology& tech,
+                                 const CharacterizeOptions& options);
+
+/// Characterizes a subset of cells (by name); others are skipped.
+CharLibrary characterize_cells(const cell::Library& lib,
+                               const tech::Technology& tech,
+                               const CharacterizeOptions& options,
+                               const std::vector<std::string>& cell_names);
+
+}  // namespace sasta::charlib

@@ -1,0 +1,54 @@
+#include "charlib/charlibrary.h"
+
+#include "util/check.h"
+
+namespace sasta::charlib {
+
+const SensitizationVector& CellTiming::vector(int pin, int vec) const {
+  SASTA_CHECK(pin >= 0 && pin < static_cast<int>(vectors.size()))
+      << " pin " << pin << " of " << cell_name;
+  SASTA_CHECK(vec >= 0 && vec < static_cast<int>(vectors[pin].size()))
+      << " vector " << vec << " of " << cell_name << " pin " << pin;
+  return vectors[pin][vec];
+}
+
+const ArcModel& CellTiming::arc(int pin, int vec, spice::Edge in_edge) const {
+  SASTA_CHECK(pin >= 0 && pin < static_cast<int>(poly_arcs.size()))
+      << " pin " << pin << " of " << cell_name;
+  SASTA_CHECK(vec >= 0 && vec < static_cast<int>(poly_arcs[pin].size()))
+      << " vector " << vec << " of " << cell_name << " pin " << pin;
+  return poly_arcs[pin][vec][in_edge == spice::Edge::kFall ? 1 : 0];
+}
+
+const LutModel& CellTiming::lut(int pin, spice::Edge in_edge) const {
+  SASTA_CHECK(pin >= 0 && pin < static_cast<int>(lut_arcs.size()))
+      << " pin " << pin << " of " << cell_name;
+  return lut_arcs[pin][in_edge == spice::Edge::kFall ? 1 : 0];
+}
+
+int CellTiming::num_vectors(int pin) const {
+  SASTA_CHECK(pin >= 0 && pin < static_cast<int>(vectors.size()))
+      << " pin " << pin << " of " << cell_name;
+  return static_cast<int>(vectors[pin].size());
+}
+
+void CharLibrary::add(CellTiming timing) {
+  SASTA_CHECK(find(timing.cell_name) == nullptr)
+      << " duplicate timing for " << timing.cell_name;
+  cells_.push_back(std::move(timing));
+}
+
+const CellTiming& CharLibrary::timing(const std::string& cell_name) const {
+  const CellTiming* t = find(cell_name);
+  SASTA_CHECK(t != nullptr) << " no timing for cell '" << cell_name << "'";
+  return *t;
+}
+
+const CellTiming* CharLibrary::find(const std::string& cell_name) const {
+  for (const auto& c : cells_) {
+    if (c.cell_name == cell_name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace sasta::charlib

@@ -1,0 +1,56 @@
+// Characterized timing library: for every cell, the sensitization vectors
+// of each input and the per-(pin, vector, edge) polynomial arc models, plus
+// the per-(pin, edge) LUT models of the sensitization-oblivious baseline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cell/cell.h"
+#include "charlib/lutmodel.h"
+#include "charlib/polymodel.h"
+#include "charlib/sensitization.h"
+
+namespace sasta::charlib {
+
+struct CellTiming {
+  std::string cell_name;
+  double avg_input_cap = 0.0;           ///< F, the Cin of Fo = Cout/Cin
+  std::vector<double> pin_caps;         ///< F, per input pin
+  std::vector<std::vector<SensitizationVector>> vectors;  ///< per pin
+
+  /// Polynomial arcs indexed [pin][vector id][input edge].
+  /// arc(pin, vec, edge) = poly_arcs[pin][vec][edge == kFall].
+  std::vector<std::vector<std::array<ArcModel, 2>>> poly_arcs;
+
+  /// Baseline LUTs indexed [pin][input edge].
+  std::vector<std::array<LutModel, 2>> lut_arcs;
+
+  const SensitizationVector& vector(int pin, int vec) const;
+  const ArcModel& arc(int pin, int vec, spice::Edge in_edge) const;
+  const LutModel& lut(int pin, spice::Edge in_edge) const;
+  int num_vectors(int pin) const;
+};
+
+class CharLibrary {
+ public:
+  CharLibrary() = default;
+  CharLibrary(std::string tech_name, std::string profile)
+      : tech_name_(std::move(tech_name)), profile_(std::move(profile)) {}
+
+  const std::string& tech_name() const { return tech_name_; }
+  const std::string& profile() const { return profile_; }
+
+  void add(CellTiming timing);
+  const CellTiming& timing(const std::string& cell_name) const;
+  const CellTiming* find(const std::string& cell_name) const;
+  const std::vector<CellTiming>& all() const { return cells_; }
+
+ private:
+  std::string tech_name_;
+  std::string profile_;
+  std::vector<CellTiming> cells_;
+};
+
+}  // namespace sasta::charlib

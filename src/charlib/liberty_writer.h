@@ -1,0 +1,30 @@
+// Liberty (.lib) export of the characterized library.
+//
+// Writes an NLDM-style snapshot — per (cell, pin, edge) delay and
+// transition tables over (input slew, equivalent-fanout load) — so the
+// characterization produced by this repo's electrical engine can be
+// consumed by conventional tools.  The Liberty format has no notion of
+// per-sensitization-vector arcs; the canonical (Case 1) tables are
+// exported, which is precisely the information loss the paper's tool
+// avoids.  The full vector-resolved polynomial models stay in the native
+// format (serialize.h).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "charlib/charlibrary.h"
+#include "tech/technology.h"
+
+namespace sasta::charlib {
+
+/// Writes `lib` as a Liberty library named after the technology.
+/// `cell_library` supplies pin direction/function metadata.
+void write_liberty(const CharLibrary& lib, const cell::Library& cell_library,
+                   const tech::Technology& tech, std::ostream& os);
+
+std::string write_liberty_string(const CharLibrary& lib,
+                                 const cell::Library& cell_library,
+                                 const tech::Technology& tech);
+
+}  // namespace sasta::charlib

@@ -1,0 +1,28 @@
+#include "charlib/lutmodel.h"
+
+#include "util/check.h"
+
+namespace sasta::charlib {
+
+LutModel::LutModel(std::vector<double> slew_axis_s, std::vector<double> fo_axis,
+                   num::Matrix delay_s, num::Matrix out_slew_s, bool inverting)
+    : slew_axis_(std::move(slew_axis_s)),
+      fo_axis_(std::move(fo_axis)),
+      delay_(std::move(delay_s)),
+      out_slew_(std::move(out_slew_s)),
+      inverting_(inverting) {
+  SASTA_CHECK(delay_.rows() == slew_axis_.size() &&
+              delay_.cols() == fo_axis_.size())
+      << " LUT delay table dims";
+  SASTA_CHECK(out_slew_.rows() == slew_axis_.size() &&
+              out_slew_.cols() == fo_axis_.size())
+      << " LUT slew table dims";
+  for (std::size_t i = 1; i < slew_axis_.size(); ++i) {
+    SASTA_CHECK(slew_axis_[i] > slew_axis_[i - 1]) << " slew axis not increasing";
+  }
+  for (std::size_t i = 1; i < fo_axis_.size(); ++i) {
+    SASTA_CHECK(fo_axis_[i] > fo_axis_[i - 1]) << " fo axis not increasing";
+  }
+}
+
+}  // namespace sasta::charlib

@@ -1,0 +1,46 @@
+// NLDM-style look-up-table timing model used by the commercial-tool
+// baseline: 2-D tables over (input slew, equivalent fanout) with bilinear
+// interpolation, characterized at nominal temperature and supply with a
+// single canonical sensitization vector per (pin, edge) — exactly the
+// sensitization-oblivious behaviour the paper attributes to the commercial
+// tool.
+#pragma once
+
+#include "numeric/interp.h"
+#include "numeric/matrix.h"
+#include "spice/waveform.h"
+
+namespace sasta::charlib {
+
+class LutModel {
+ public:
+  LutModel() = default;
+  LutModel(std::vector<double> slew_axis_s, std::vector<double> fo_axis,
+           num::Matrix delay_s, num::Matrix out_slew_s, bool inverting);
+
+  double delay(double slew_s, double fo) const {
+    return num::interp_bilinear(slew_axis_, fo_axis_, delay_, slew_s, fo);
+  }
+  double output_slew(double slew_s, double fo) const {
+    return num::interp_bilinear(slew_axis_, fo_axis_, out_slew_, slew_s, fo);
+  }
+
+  bool inverting() const { return inverting_; }
+  spice::Edge out_edge(spice::Edge in) const {
+    return inverting_ ? spice::opposite(in) : in;
+  }
+
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& fo_axis() const { return fo_axis_; }
+  const num::Matrix& delay_table() const { return delay_; }
+  const num::Matrix& out_slew_table() const { return out_slew_; }
+
+ private:
+  std::vector<double> slew_axis_;  ///< seconds
+  std::vector<double> fo_axis_;
+  num::Matrix delay_;              ///< [slew][fo], seconds
+  num::Matrix out_slew_;
+  bool inverting_ = false;
+};
+
+}  // namespace sasta::charlib

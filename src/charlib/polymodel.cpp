@@ -1,0 +1,2 @@
+// polymodel.h is header-only; this TU anchors its compilation.
+#include "charlib/polymodel.h"

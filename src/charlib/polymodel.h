@@ -1,0 +1,67 @@
+// Per-arc polynomial timing model (paper Eq. (3)).
+//
+// One ArcModel describes propagation through one (cell, input pin,
+// sensitization vector, input edge) combination.  Both the propagation
+// delay and the output transition time are polynomials in
+// (Fo, t_in, T, VDD):
+//
+//   f = sum_{i,j,k,l} P_ijkl * Fo^i * t_in^j * T^k * VDD^l
+//
+// Internally the model works in normalized units (t_in and delay in ns,
+// temperature in degC/100, VDD in volts) so the regression stays well
+// conditioned at higher orders.
+#pragma once
+
+#include <array>
+
+#include "numeric/poly_regression.h"
+#include "spice/waveform.h"
+
+namespace sasta::charlib {
+
+/// Normalization applied to (Fo, t_in, T, VDD) before evaluating either
+/// polynomial.
+struct ModelPoint {
+  double fo = 1.0;        ///< equivalent fanout Cout / Cin(cell)
+  double slew_s = 50e-12; ///< input transition time, seconds (10-90 %)
+  double temp_c = 25.0;
+  double vdd = 1.0;
+
+  std::array<double, 4> normalized() const {
+    return {fo, slew_s * 1e9, temp_c / 100.0, vdd};
+  }
+};
+
+class ArcModel {
+ public:
+  ArcModel() = default;
+  ArcModel(num::PolyFit delay_ns, num::PolyFit slew_ns, bool inverting)
+      : delay_ns_(std::move(delay_ns)),
+        slew_ns_(std::move(slew_ns)),
+        inverting_(inverting) {}
+
+  /// Propagation delay in seconds.
+  double delay(const ModelPoint& p) const {
+    return delay_ns_.evaluate(p.normalized()) * 1e-9;
+  }
+
+  /// Output transition time (10-90 %) in seconds.
+  double output_slew(const ModelPoint& p) const {
+    return slew_ns_.evaluate(p.normalized()) * 1e-9;
+  }
+
+  bool inverting() const { return inverting_; }
+  spice::Edge out_edge(spice::Edge in) const {
+    return inverting_ ? spice::opposite(in) : in;
+  }
+
+  const num::PolyFit& delay_fit() const { return delay_ns_; }
+  const num::PolyFit& slew_fit() const { return slew_ns_; }
+
+ private:
+  num::PolyFit delay_ns_;
+  num::PolyFit slew_ns_;
+  bool inverting_ = false;
+};
+
+}  // namespace sasta::charlib

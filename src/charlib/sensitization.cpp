@@ -1,0 +1,55 @@
+#include "charlib/sensitization.h"
+
+#include "util/check.h"
+
+namespace sasta::charlib {
+
+std::vector<SensitizationVector> enumerate_sensitization(
+    const cell::TruthTable& f, int pin) {
+  SASTA_CHECK(pin >= 0 && pin < f.num_inputs()) << " pin " << pin;
+  const cell::TruthTable diff = f.boolean_difference(pin);
+  std::vector<SensitizationVector> out;
+  const std::uint32_t pin_bit = 1u << pin;
+  // Enumerate side assignments in ascending minterm order with the target
+  // pin fixed at 0 (the difference is independent of it).
+  for (std::uint32_t m = 0; m < f.num_minterms(); ++m) {
+    if (m & pin_bit) continue;
+    if (!diff.value(m)) continue;
+    SensitizationVector v;
+    v.pin = pin;
+    v.id = static_cast<int>(out.size());
+    v.side.care = (f.num_minterms() - 1) & ~pin_bit;
+    v.side.values = m;
+    // Output polarity: with the side values fixed, f(pin=1) decides whether
+    // a rising input produces a rising output.
+    v.inverting = !f.value(m | pin_bit);
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<SensitizationVector>> enumerate_all_sensitization(
+    const cell::Cell& c) {
+  std::vector<std::vector<SensitizationVector>> out;
+  out.reserve(c.num_inputs());
+  for (int p = 0; p < c.num_inputs(); ++p) {
+    out.push_back(enumerate_sensitization(c.function(), p));
+  }
+  return out;
+}
+
+std::string format_vector(const cell::Cell& c, const SensitizationVector& v) {
+  std::string s;
+  for (int p = 0; p < c.num_inputs(); ++p) {
+    if (!s.empty()) s += " ";
+    s += c.pin_names()[p] + "=";
+    if (p == v.pin) {
+      s += "T";
+    } else {
+      s += v.side_value(p) ? "1" : "0";
+    }
+  }
+  return s;
+}
+
+}  // namespace sasta::charlib

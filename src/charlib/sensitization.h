@@ -1,0 +1,45 @@
+// Sensitization-vector enumeration (paper Section II, Tables 1-2).
+//
+// A sensitization vector for input pin p of a cell is a complete assignment
+// of the remaining ("side") inputs under which the output depends on p,
+// i.e. the boolean difference df/dp evaluates to 1.  Complex gates have
+// several such vectors per input, and the gate delay differs between them —
+// the effect this whole tool is built around.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/cell.h"
+#include "spice/waveform.h"
+
+namespace sasta::charlib {
+
+struct SensitizationVector {
+  int pin = 0;           ///< the sensitized (on-path) input
+  int id = 0;            ///< 0-based case index ("Case 1" == id 0)
+  cell::Cube side;       ///< full assignment of the other pins
+  bool inverting = false;  ///< output edge is opposite to the input edge
+
+  /// Output edge for a given input edge through this vector.
+  spice::Edge out_edge(spice::Edge in_edge) const {
+    return inverting ? spice::opposite(in_edge) : in_edge;
+  }
+
+  /// Logic value of side pin `q` (must not equal `pin`).
+  bool side_value(int q) const { return side.literal(q); }
+};
+
+/// All sensitization vectors for `pin`, ordered by ascending side-assignment
+/// minterm, which reproduces the paper's Case 1/2/3 ordering for AO22/OA12.
+std::vector<SensitizationVector> enumerate_sensitization(
+    const cell::TruthTable& f, int pin);
+
+/// Vectors for every pin of a cell.
+std::vector<std::vector<SensitizationVector>> enumerate_all_sensitization(
+    const cell::Cell& c);
+
+/// Renders a vector like the paper's propagation tables, e.g. "A=T B=1 C=0 D=0".
+std::string format_vector(const cell::Cell& c, const SensitizationVector& v);
+
+}  // namespace sasta::charlib

@@ -1,0 +1,307 @@
+#include "charlib/serialize.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace sasta::charlib {
+
+namespace {
+
+constexpr const char* kFormatTag = "sasta-charlib-v2";
+
+void write_polyfit(std::ostream& os, const num::PolyFit& fit) {
+  os << fit.basis.num_vars() << " " << fit.coeff.size();
+  for (const auto& m : fit.basis.monomials()) {
+    for (int v = 0; v < fit.basis.num_vars(); ++v) {
+      os << " " << static_cast<int>(m.exp[v]);
+    }
+  }
+  for (double c : fit.coeff) os << " " << c;
+  os << " " << fit.max_rel_error << " " << fit.mean_rel_error;
+}
+
+num::PolyFit read_polyfit(std::istream& is) {
+  int num_vars = 0;
+  std::size_t num_terms = 0;
+  is >> num_vars >> num_terms;
+  SASTA_CHECK(is.good() && num_vars >= 1 && num_vars <= num::kMaxPolyVars)
+      << " bad polyfit header";
+  // Rebuild the basis by reading the explicit exponent list: fabricate a
+  // PolyBasis via tensor enumeration is not possible (the recursive fit may
+  // have produced a non-tensor set), so we re-create it through a maximal
+  // tensor basis filtered to the stored monomials.  Simpler: store exponents
+  // and reconstruct coefficients aligned to a fresh tensor basis covering
+  // exactly those monomials.
+  std::vector<num::Monomial> monomials(num_terms);
+  std::array<int, num::kMaxPolyVars> max_exp{};
+  for (auto& m : monomials) {
+    for (int v = 0; v < num_vars; ++v) {
+      int e = 0;
+      is >> e;
+      SASTA_CHECK(is.good() && e >= 0 && e < 16) << " bad exponent";
+      m.exp[v] = static_cast<std::uint8_t>(e);
+      max_exp[v] = std::max(max_exp[v], e);
+    }
+  }
+  std::vector<double> coeff(num_terms);
+  for (double& c : coeff) is >> c;
+  num::PolyFit fit;
+  is >> fit.max_rel_error >> fit.mean_rel_error;
+  SASTA_CHECK(is.good()) << " truncated polyfit";
+
+  // Reconstruct: build the covering tensor basis, then place coefficients
+  // (zero for uncovered monomials).
+  std::vector<int> orders(num_vars);
+  for (int v = 0; v < num_vars; ++v) orders[v] = max_exp[v];
+  fit.basis = num::PolyBasis::tensor(orders);
+  fit.coeff.assign(fit.basis.size(), 0.0);
+  for (std::size_t t = 0; t < monomials.size(); ++t) {
+    bool placed = false;
+    for (std::size_t b = 0; b < fit.basis.monomials().size(); ++b) {
+      if (fit.basis.monomials()[b] == monomials[t]) {
+        fit.coeff[b] = coeff[t];
+        placed = true;
+        break;
+      }
+    }
+    SASTA_CHECK(placed) << " monomial not representable";
+  }
+  return fit;
+}
+
+void write_lut(std::ostream& os, const LutModel& lut) {
+  os << lut.slew_axis().size() << " " << lut.fo_axis().size() << " "
+     << (lut.inverting() ? 1 : 0);
+  for (double s : lut.slew_axis()) os << " " << s;
+  for (double f : lut.fo_axis()) os << " " << f;
+  for (std::size_t i = 0; i < lut.slew_axis().size(); ++i) {
+    for (std::size_t j = 0; j < lut.fo_axis().size(); ++j) {
+      os << " " << lut.delay_table()(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < lut.slew_axis().size(); ++i) {
+    for (std::size_t j = 0; j < lut.fo_axis().size(); ++j) {
+      os << " " << lut.out_slew_table()(i, j);
+    }
+  }
+}
+
+LutModel read_lut(std::istream& is) {
+  std::size_t ns = 0, nf = 0;
+  int inverting = 0;
+  is >> ns >> nf >> inverting;
+  SASTA_CHECK(is.good() && ns >= 1 && nf >= 1 && ns < 100 && nf < 100)
+      << " bad LUT header";
+  std::vector<double> slew_axis(ns), fo_axis(nf);
+  for (double& s : slew_axis) is >> s;
+  for (double& f : fo_axis) is >> f;
+  num::Matrix delay(ns, nf), slew(ns, nf);
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nf; ++j) is >> delay(i, j);
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nf; ++j) is >> slew(i, j);
+  }
+  SASTA_CHECK(is.good()) << " truncated LUT";
+  return LutModel(std::move(slew_axis), std::move(fo_axis), std::move(delay),
+                  std::move(slew), inverting != 0);
+}
+
+}  // namespace
+
+void save_charlibrary(const CharLibrary& lib, std::ostream& os) {
+  os.precision(17);
+  os << kFormatTag << "\n";
+  os << "tech " << lib.tech_name() << " profile " << lib.profile() << "\n";
+  os << "cells " << lib.all().size() << "\n";
+  for (const auto& c : lib.all()) {
+    os << "cell " << c.cell_name << " " << c.pin_caps.size() << " "
+       << c.avg_input_cap;
+    for (double pc : c.pin_caps) os << " " << pc;
+    os << "\n";
+    for (std::size_t p = 0; p < c.vectors.size(); ++p) {
+      os << "pin " << p << " " << c.vectors[p].size() << "\n";
+      for (const auto& v : c.vectors[p]) {
+        os << "vec " << v.id << " " << v.side.care << " " << v.side.values
+           << " " << (v.inverting ? 1 : 0) << "\n";
+        for (int e = 0; e < 2; ++e) {
+          const ArcModel& arc = c.poly_arcs[p][v.id][e];
+          os << "arc " << e << " " << (arc.inverting() ? 1 : 0) << " ";
+          write_polyfit(os, arc.delay_fit());
+          os << " ";
+          write_polyfit(os, arc.slew_fit());
+          os << "\n";
+        }
+      }
+      for (int e = 0; e < 2; ++e) {
+        os << "lut " << e << " ";
+        write_lut(os, c.lut_arcs[p][e]);
+        os << "\n";
+      }
+    }
+  }
+  os << "end\n";
+}
+
+void save_charlibrary_file(const CharLibrary& lib, const std::string& path) {
+  std::ofstream os(path);
+  SASTA_CHECK(os.good()) << " cannot open " << path << " for writing";
+  save_charlibrary(lib, os);
+  SASTA_CHECK(os.good()) << " write failure on " << path;
+}
+
+CharLibrary load_charlibrary(std::istream& is) {
+  std::string tag;
+  is >> tag;
+  SASTA_CHECK(tag == kFormatTag)
+      << " format mismatch: got '" << tag << "' want '" << kFormatTag << "'";
+  std::string kw, tech_name, profile;
+  is >> kw >> tech_name;
+  SASTA_CHECK(kw == "tech") << " expected 'tech'";
+  is >> kw >> profile;
+  SASTA_CHECK(kw == "profile") << " expected 'profile'";
+  std::size_t num_cells = 0;
+  is >> kw >> num_cells;
+  SASTA_CHECK(kw == "cells" && num_cells < 10000) << " bad cell count";
+
+  CharLibrary lib(tech_name, profile);
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    CellTiming t;
+    std::size_t num_pins = 0;
+    is >> kw >> t.cell_name >> num_pins >> t.avg_input_cap;
+    SASTA_CHECK(kw == "cell" && num_pins >= 1 && num_pins <= 6)
+        << " bad cell record";
+    t.pin_caps.resize(num_pins);
+    for (double& pc : t.pin_caps) is >> pc;
+    t.vectors.resize(num_pins);
+    t.poly_arcs.resize(num_pins);
+    t.lut_arcs.resize(num_pins);
+    for (std::size_t p = 0; p < num_pins; ++p) {
+      std::size_t pin_index = 0, num_vecs = 0;
+      is >> kw >> pin_index >> num_vecs;
+      SASTA_CHECK(kw == "pin" && pin_index == p && num_vecs >= 1)
+          << " bad pin record in " << t.cell_name;
+      for (std::size_t vi = 0; vi < num_vecs; ++vi) {
+        SensitizationVector v;
+        int inv = 0;
+        is >> kw >> v.id >> v.side.care >> v.side.values >> inv;
+        SASTA_CHECK(kw == "vec" && v.id == static_cast<int>(vi))
+            << " bad vector record";
+        v.pin = static_cast<int>(p);
+        v.inverting = inv != 0;
+        t.vectors[p].push_back(v);
+        std::array<ArcModel, 2> arcs;
+        for (int e = 0; e < 2; ++e) {
+          int edge_index = 0, arc_inv = 0;
+          is >> kw >> edge_index >> arc_inv;
+          SASTA_CHECK(kw == "arc" && edge_index == e) << " bad arc record";
+          num::PolyFit delay_fit = read_polyfit(is);
+          num::PolyFit slew_fit = read_polyfit(is);
+          arcs[e] = ArcModel(std::move(delay_fit), std::move(slew_fit),
+                             arc_inv != 0);
+        }
+        t.poly_arcs[p].push_back(std::move(arcs));
+      }
+      for (int e = 0; e < 2; ++e) {
+        int edge_index = 0;
+        is >> kw >> edge_index;
+        SASTA_CHECK(kw == "lut" && edge_index == e) << " bad lut record";
+        t.lut_arcs[p][e] = read_lut(is);
+      }
+    }
+    lib.add(std::move(t));
+  }
+  is >> kw;
+  SASTA_CHECK(kw == "end") << " missing end marker";
+  return lib;
+}
+
+CharLibrary load_charlibrary_file(const std::string& path) {
+  std::ifstream is(path);
+  SASTA_CHECK(is.good()) << " cannot open " << path;
+  return load_charlibrary(is);
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("SASTA_CACHE_DIR")) return env;
+  return ".sasta-charcache";
+}
+
+CharLibrary load_or_characterize(const cell::Library& lib,
+                                 const tech::Technology& tech,
+                                 const CharacterizeOptions& options,
+                                 const std::string& cache_dir) {
+  // Fingerprint of everything the characterization depends on: cell names,
+  // functions and network shapes, plus the technology parameters.  Any
+  // change invalidates the cache file name.
+  std::size_t fp = 1469598103934665603ull;
+  auto mix = [&fp](std::size_t v) {
+    fp ^= v;
+    fp *= 1099511628211ull;
+  };
+  auto mix_double = [&mix](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(static_cast<std::size_t>(bits));
+  };
+  auto mix_string = [&mix](const std::string& s) {
+    for (char ch : s) mix(static_cast<std::size_t>(ch));
+  };
+  for (const auto& c : lib.cells()) {
+    mix_string(c.name());
+    mix(static_cast<std::size_t>(c.num_inputs()));
+    mix(static_cast<std::size_t>(c.function().bits()));
+    mix_string(c.pdn().to_string(c.pin_names()));
+    mix(static_cast<std::size_t>(c.has_output_inverter()));
+  }
+  for (const spice::MosParams* p : {&tech.nmos, &tech.pmos}) {
+    mix_double(p->vth0);
+    mix_double(p->kp);
+    mix_double(p->alpha);
+    mix_double(p->vdsat_gamma);
+    mix_double(p->lambda);
+    mix_double(p->tc_vth);
+    mix_double(p->tc_mob);
+    mix_double(p->cg_per_um);
+    mix_double(p->cj_per_um);
+  }
+  mix_double(tech.vdd);
+  mix_double(tech.wn_unit_um);
+  mix_double(tech.beta_p);
+  mix_double(tech.lmin_um);
+  mix_double(tech.default_input_slew);
+  mix_double(options.fit_target);
+  std::ostringstream name;
+  name << "charlib_" << tech.name << "_" << options.profile_name() << "_"
+       << std::hex << fp << ".txt";
+  const std::filesystem::path path =
+      std::filesystem::path(cache_dir) / name.str();
+
+  if (std::filesystem::exists(path)) {
+    try {
+      CharLibrary cached = load_charlibrary_file(path.string());
+      SASTA_LOG(kInfo) << "loaded cached characterization " << path.string();
+      return cached;
+    } catch (const util::Error& e) {
+      SASTA_LOG(kWarning) << "cache read failed (" << e.what()
+                          << "); re-characterizing";
+    }
+  }
+  CharLibrary fresh = characterize_library(lib, tech, options);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  try {
+    save_charlibrary_file(fresh, path.string());
+  } catch (const util::Error& e) {
+    SASTA_LOG(kWarning) << "cache write failed: " << e.what();
+  }
+  return fresh;
+}
+
+}  // namespace sasta::charlib

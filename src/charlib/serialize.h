@@ -1,0 +1,36 @@
+// Text (de)serialization of characterized libraries, and a disk cache so the
+// benchmark harness pays the electrical-characterization cost once per
+// (technology, profile).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "cell/cell.h"
+#include "charlib/characterizer.h"
+
+namespace sasta::charlib {
+
+/// Writes the library in a line-oriented text format (version-tagged).
+void save_charlibrary(const CharLibrary& lib, std::ostream& os);
+void save_charlibrary_file(const CharLibrary& lib, const std::string& path);
+
+/// Parses a library previously written by save_charlibrary.  Throws
+/// util::Error on malformed input or version mismatch.
+CharLibrary load_charlibrary(std::istream& is);
+CharLibrary load_charlibrary_file(const std::string& path);
+
+/// Loads the characterized library for `tech` from `cache_dir`, or runs the
+/// characterization and stores the result.  `cache_dir` is created when
+/// missing.  The cache key is (tech name, options profile, format version,
+/// cell-set fingerprint).
+CharLibrary load_or_characterize(const cell::Library& lib,
+                                 const tech::Technology& tech,
+                                 const CharacterizeOptions& options,
+                                 const std::string& cache_dir);
+
+/// Default cache directory: $SASTA_CACHE_DIR or ".sasta-charcache".
+std::string default_cache_dir();
+
+}  // namespace sasta::charlib

@@ -1,0 +1,166 @@
+#include "golden/pathsim.h"
+
+#include <algorithm>
+
+#include "cell/elaborate.h"
+#include "util/check.h"
+
+namespace sasta::golden {
+
+using spice::Edge;
+using spice::NodeId;
+using spice::Pwl;
+
+namespace {
+
+/// Converts a simulated waveform into a PWL source (decimated).
+Pwl waveform_to_pwl(const spice::Waveform& w, int max_points = 400) {
+  std::vector<std::pair<double, double>> pts;
+  const std::size_t stride =
+      std::max<std::size_t>(1, w.size() / static_cast<std::size_t>(max_points));
+  for (std::size_t i = 0; i < w.size(); i += stride) {
+    pts.emplace_back(w.time(i), w.value(i));
+  }
+  if (!w.empty() && (pts.empty() || pts.back().first != w.last_time())) {
+    pts.emplace_back(w.last_time(), w.last_value());
+  }
+  return Pwl(std::move(pts));
+}
+
+/// Capacitive load on `net` excluding the on-path sink pin (which is
+/// physically instantiated in the next stage).
+double off_path_load(const netlist::Netlist& nl, const tech::Technology& tech,
+                     netlist::NetId net, netlist::InstId on_path_inst,
+                     int on_path_pin, double po_load_fanouts) {
+  double cap = 0.0;
+  for (const netlist::Fanout& f : nl.net(net).fanouts) {
+    cap += tech.wire_cap_per_fanout;
+    if (f.inst == on_path_inst && f.pin == on_path_pin) continue;
+    const netlist::Instance& sink = nl.instance(f.inst);
+    cap += sink.cell->input_cap(tech, f.pin);
+  }
+  if (nl.net(net).is_primary_output) {
+    // INV input capacitance approximated from unit devices.
+    const double inv_cap = tech.wn_unit_um * tech.nmos.cg_per_um +
+                           tech.wn_unit_um * tech.beta_p * tech.pmos.cg_per_um;
+    cap += po_load_fanouts * inv_cap;
+  }
+  return cap;
+}
+
+}  // namespace
+
+PathSimResult simulate_path(const netlist::Netlist& nl,
+                            const charlib::CharLibrary& charlib,
+                            const tech::Technology& tech,
+                            const sta::TruePath& path,
+                            const PathSimOptions& options) {
+  SASTA_CHECK(!path.steps.empty()) << " empty path";
+  PathSimOptions opt = options;
+  if (opt.vdd <= 0.0) opt.vdd = tech.vdd;
+  if (opt.input_slew_s <= 0.0) opt.input_slew_s = tech.default_input_slew;
+
+  PathSimResult result;
+
+  // Source stimulus.
+  const double ramp = opt.input_slew_s / 0.8;
+  const double t_start = std::max(150e-12, 2.0 * opt.input_slew_s);
+  int logic_in = path.launch_edge == Edge::kRise ? 0 : 1;
+  const double v0 = logic_in ? opt.vdd : 0.0;
+  const double v1 = logic_in ? 0.0 : opt.vdd;
+  Pwl input_wave = Pwl::ramp(v0, v1, t_start, ramp);
+
+  double t_in_50 = 0.0;  // absolute 50 % crossing of the path source
+  {
+    // Analytic: the ramp crosses 50 % halfway.
+    t_in_50 = t_start + 0.5 * ramp;
+  }
+  double prev_cross = t_in_50;
+  double window_end = t_start + ramp + 1.0e-9;
+
+  for (std::size_t k = 0; k < path.steps.size(); ++k) {
+    const sta::PathStep& s = path.steps[k];
+    const netlist::Instance& inst = nl.instance(s.inst);
+    const charlib::CellTiming& ct = charlib.timing(inst.cell->name());
+    const charlib::SensitizationVector& vec = ct.vector(s.pin, s.vector_id);
+
+    spice::Circuit ckt;
+    const NodeId vdd_n = ckt.add_node("vdd");
+    ckt.drive_dc(vdd_n, opt.vdd);
+    std::vector<NodeId> inputs;
+    std::vector<int> init(inst.cell->num_inputs(), 0);
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      const NodeId n = ckt.add_node("in" + std::to_string(p));
+      inputs.push_back(n);
+      if (p == s.pin) {
+        init[p] = logic_in;
+        ckt.drive(n, input_wave);
+      } else {
+        init[p] = vec.side_value(p) ? 1 : 0;
+        ckt.drive_dc(n, init[p] ? opt.vdd : 0.0);
+      }
+    }
+    const NodeId out = ckt.add_node("out");
+    cell::elaborate_cell(ckt, *inst.cell, tech, inputs, out, vdd_n, opt.vdd,
+                         init, "s" + std::to_string(k));
+
+    // Loading: real off-path fanout of the output net; the next stage's
+    // on-path pin is excluded (next iteration instantiates it physically as
+    // this cap, so add it explicitly here instead).
+    double load = off_path_load(nl, tech, inst.output,
+                                k + 1 < path.steps.size()
+                                    ? path.steps[k + 1].inst
+                                    : netlist::kNoId,
+                                k + 1 < path.steps.size()
+                                    ? path.steps[k + 1].pin
+                                    : -1,
+                                opt.po_load_fanouts);
+    if (k + 1 < path.steps.size()) {
+      const netlist::Instance& next = nl.instance(path.steps[k + 1].inst);
+      load += next.cell->input_cap(tech, path.steps[k + 1].pin);
+    }
+    ckt.add_capacitor(out, ckt.ground(), load);
+
+    // Simulate this stage on the absolute time axis.
+    spice::TransientOptions topt;
+    topt.temperature_c = opt.temperature_c;
+    topt.t_stop = window_end;
+    topt.dt = tech.sim_dt;
+    if (topt.t_stop / topt.dt > 20000.0) topt.dt = topt.t_stop / 20000.0;
+    const auto res = simulate_transient(ckt, topt);
+    result.converged = result.converged && res.converged;
+
+    // Output edge from logic values.
+    std::uint32_t m0 = 0, m1 = 0;
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      const int after = p == s.pin ? 1 - init[p] : init[p];
+      if (init[p]) m0 |= 1u << p;
+      if (after) m1 |= 1u << p;
+    }
+    const bool z0 = inst.cell->function().value(m0);
+    const bool z1 = inst.cell->function().value(m1);
+    SASTA_CHECK(z0 != z1) << " path stage " << k << " output does not toggle";
+    const Edge out_edge = z1 ? Edge::kRise : Edge::kFall;
+
+    const auto cross =
+        res.waveform(out).cross_time(0.5 * opt.vdd, out_edge, t_start);
+    SASTA_CHECK(cross.has_value())
+        << " stage " << k << " output never crossed 50%";
+    result.stage_delays.push_back(*cross - prev_cross);
+    prev_cross = *cross;
+
+    if (k + 1 == path.steps.size()) {
+      const auto slew =
+          spice::transition_time(res.waveform(out), opt.vdd, out_edge, t_start);
+      result.sink_slew = slew.value_or(0.0);
+    } else {
+      input_wave = waveform_to_pwl(res.waveform(out));
+      window_end = *cross + std::max(1.0e-9, 10.0 * opt.input_slew_s);
+      logic_in = z0 ? 1 : 0;
+    }
+  }
+  result.path_delay = prev_cross - t_in_50;
+  return result;
+}
+
+}  // namespace sasta::golden

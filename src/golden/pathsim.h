@@ -1,0 +1,42 @@
+// Golden electrical reference: transistor-level transient simulation of a
+// sensitized path (the role Spectre plays in the paper's Section V).
+//
+// The path's gates are instantiated as a chain at transistor level; side
+// inputs are tied to the steady rail values of the committed sensitization
+// vector; every internal net carries the capacitive load of its real
+// fanout cells (plus wire and primary-output loading) so the stage Fo
+// matches the netlist.  The source is driven with a ramp and the 50 %
+// crossing times of every stage give the reference stage and path delays.
+#pragma once
+
+#include "charlib/charlibrary.h"
+#include "netlist/netlist.h"
+#include "spice/transient.h"
+#include "sta/path.h"
+#include "tech/technology.h"
+
+namespace sasta::golden {
+
+struct PathSimOptions {
+  double temperature_c = 25.0;
+  double vdd = 0.0;           ///< 0 = technology nominal
+  double input_slew_s = 0.0;  ///< 0 = technology default
+  double po_load_fanouts = 2.0;  ///< same convention as DelayCalcOptions
+};
+
+struct PathSimResult {
+  double path_delay = 0.0;             ///< 50 % source -> 50 % sink [s]
+  std::vector<double> stage_delays;    ///< per gate, 50 % in -> 50 % out [s]
+  double sink_slew = 0.0;              ///< output transition time [s]
+  bool converged = true;
+};
+
+/// Simulates the sensitized path.  The vector ids in `path.steps` select
+/// the side values from `charlib`'s sensitization tables.
+PathSimResult simulate_path(const netlist::Netlist& nl,
+                            const charlib::CharLibrary& charlib,
+                            const tech::Technology& tech,
+                            const sta::TruePath& path,
+                            const PathSimOptions& options = {});
+
+}  // namespace sasta::golden

@@ -1,0 +1,3 @@
+// trivalue.h is header-only; this translation unit exists so the build file
+// stays uniform and to anchor the header's compilation.
+#include "logicsys/trivalue.h"

@@ -1,0 +1,120 @@
+#include "netlist/bench_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace sasta::netlist {
+
+namespace {
+
+PrimOp parse_op(std::string_view token, int line_no) {
+  const std::string up = util::to_upper(token);
+  if (up == "AND") return PrimOp::kAnd;
+  if (up == "NAND") return PrimOp::kNand;
+  if (up == "OR") return PrimOp::kOr;
+  if (up == "NOR") return PrimOp::kNor;
+  if (up == "NOT" || up == "INV") return PrimOp::kNot;
+  if (up == "BUF" || up == "BUFF") return PrimOp::kBuf;
+  if (up == "XOR") return PrimOp::kXor;
+  if (up == "XNOR") return PrimOp::kXnor;
+  SASTA_FAIL() << " line " << line_no << ": unknown gate type '" << token
+               << "'";
+}
+
+}  // namespace
+
+PrimNetlist parse_bench(std::istream& is, const std::string& name) {
+  PrimNetlist out;
+  out.name = name;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view body = util::trim(line);
+    if (body.empty()) continue;
+
+    if (util::starts_with(body, "INPUT") || util::starts_with(body, "OUTPUT")) {
+      const bool is_input = util::starts_with(body, "INPUT");
+      const auto open = body.find('(');
+      const auto close = body.rfind(')');
+      SASTA_CHECK(open != std::string_view::npos &&
+                  close != std::string_view::npos && close > open)
+          << " line " << line_no << ": malformed port declaration";
+      const std::string port(util::trim(body.substr(open + 1, close - open - 1)));
+      SASTA_CHECK(!port.empty()) << " line " << line_no << ": empty port name";
+      const int sig = out.add_signal(port);
+      if (is_input) {
+        out.inputs.push_back(sig);
+      } else {
+        out.outputs.push_back(sig);
+      }
+      continue;
+    }
+
+    const auto eq = body.find('=');
+    SASTA_CHECK(eq != std::string_view::npos)
+        << " line " << line_no << ": expected assignment";
+    const std::string lhs(util::trim(body.substr(0, eq)));
+    const std::string_view rhs = util::trim(body.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    SASTA_CHECK(open != std::string_view::npos &&
+                close != std::string_view::npos && close > open)
+        << " line " << line_no << ": malformed gate expression";
+    PrimGate gate;
+    gate.op = parse_op(util::trim(rhs.substr(0, open)), line_no);
+    for (const std::string& arg :
+         util::split(rhs.substr(open + 1, close - open - 1), ", \t")) {
+      gate.inputs.push_back(out.add_signal(arg));
+    }
+    const bool unary = gate.op == PrimOp::kNot || gate.op == PrimOp::kBuf;
+    SASTA_CHECK(unary ? gate.inputs.size() == 1 : gate.inputs.size() >= 2)
+        << " line " << line_no << ": bad arity for " << prim_op_name(gate.op);
+    gate.output = out.add_signal(lhs);
+    out.gates.push_back(std::move(gate));
+  }
+  out.validate();
+  return out;
+}
+
+PrimNetlist parse_bench_string(const std::string& text,
+                               const std::string& name) {
+  std::istringstream is(text);
+  return parse_bench(is, name);
+}
+
+PrimNetlist parse_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  SASTA_CHECK(is.good()) << " cannot open '" << path << "'";
+  // Derive the circuit name from the file stem.
+  auto slash = path.find_last_of("/\\");
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = stem.rfind('.');
+  if (dot != std::string::npos) stem.erase(dot);
+  return parse_bench(is, stem);
+}
+
+const char* c17_bench_text() {
+  return R"(# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+}  // namespace sasta::netlist

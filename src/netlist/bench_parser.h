@@ -1,0 +1,28 @@
+// ISCAS-85 .bench netlist parser and writer.
+//
+// Grammar (combinational subset):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(in1, in2, ...)
+// with GATE in {AND, NAND, OR, NOR, NOT, BUF, BUFF, XOR, XNOR}.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+/// Parses .bench text; throws util::Error with a line number on malformed
+/// input, unknown gate types, or structural inconsistencies.
+PrimNetlist parse_bench(std::istream& is, const std::string& name = "bench");
+PrimNetlist parse_bench_string(const std::string& text,
+                               const std::string& name = "bench");
+PrimNetlist parse_bench_file(const std::string& path);
+
+/// The genuine ISCAS-85 c17 netlist (6 NAND2 gates).
+const char* c17_bench_text();
+
+}  // namespace sasta::netlist

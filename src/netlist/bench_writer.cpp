@@ -1,0 +1,27 @@
+#include "netlist/bench_writer.h"
+
+#include <sstream>
+
+namespace sasta::netlist {
+
+void write_bench(const PrimNetlist& nl, std::ostream& os) {
+  os << "# " << nl.name << "\n";
+  for (int s : nl.inputs) os << "INPUT(" << nl.signal_names[s] << ")\n";
+  for (int s : nl.outputs) os << "OUTPUT(" << nl.signal_names[s] << ")\n";
+  for (const auto& g : nl.gates) {
+    os << nl.signal_names[g.output] << " = " << prim_op_name(g.op) << "(";
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << nl.signal_names[g.inputs[i]];
+    }
+    os << ")\n";
+  }
+}
+
+std::string write_bench_string(const PrimNetlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+}  // namespace sasta::netlist

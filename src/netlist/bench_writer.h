@@ -1,0 +1,15 @@
+// .bench emission for primitive netlists (round-tripping generated circuits
+// and exporting them for external tools).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+void write_bench(const PrimNetlist& nl, std::ostream& os);
+std::string write_bench_string(const PrimNetlist& nl);
+
+}  // namespace sasta::netlist

@@ -1,0 +1,43 @@
+#include "netlist/fig4_testcircuit.h"
+
+namespace sasta::netlist {
+
+Fig4Circuit build_fig4_circuit(const cell::Library& lib) {
+  Fig4Circuit c;
+  Netlist& nl = c.nl;
+  c.n1 = nl.add_net("N1");
+  c.n2 = nl.add_net("N2");
+  c.n3 = nl.add_net("N3");
+  c.n4 = nl.add_net("N4");
+  c.n5 = nl.add_net("N5");
+  c.n6 = nl.add_net("N6");
+  c.n7 = nl.add_net("N7");
+  for (NetId pi : {c.n1, c.n2, c.n3, c.n4, c.n5, c.n6, c.n7}) {
+    nl.mark_primary_input(pi);
+  }
+
+  c.n10 = nl.add_net("n10");
+  c.n11 = nl.add_net("n11");
+  c.n12 = nl.add_net("n12");
+  const NetId nb = nl.add_net("n13");   // AO22.B support
+  const NetId nc = nl.add_net("n14");   // AO22.C
+  const NetId nd = nl.add_net("n15");   // AO22.D = !n14
+  c.n20 = nl.add_net("N20");
+
+  // Critical path: N1 -> n10 -> n11 -> n12 -> N20.
+  c.inv1 = nl.add_instance("inv1", lib.find("INV"), {c.n1}, c.n10);
+  c.nand1 = nl.add_instance("nand1", lib.find("NAND2"), {c.n10, c.n2}, c.n11);
+  // Side logic feeding the complex gate.
+  nl.add_instance("or_b", lib.find("OR2"), {c.n3, c.n4}, nb);
+  nl.add_instance("and_c", lib.find("AND2"), {c.n5, c.n6}, nc);
+  nl.add_instance("inv_d", lib.find("INV"), {nc}, nd);
+  // The studied complex gate.
+  c.ao22 = nl.add_instance("ao22", lib.find("AO22"), {c.n11, nb, nc, nd},
+                           c.n12);
+  c.nand2 = nl.add_instance("nand2", lib.find("NAND2"), {c.n12, c.n7}, c.n20);
+  nl.mark_primary_output(c.n20);
+  nl.validate();
+  return c;
+}
+
+}  // namespace sasta::netlist

@@ -1,0 +1,32 @@
+// The paper's Fig. 4 demonstration circuit (Section V.A): a small
+// combinational block whose critical path runs through input A of an AO22
+// complex gate.  The AO22's C and D side inputs are logically tied through
+// an inverter chain, so exactly two of the three Table-1 vectors for input
+// A are realizable:
+//   - the "easy" one (Case 3: C=0, D=1), found by assigning a single PI,
+//   - the "hard" one (Case 2: C=1, D=0), needing a deeper justification
+//     and exhibiting a larger electrical delay.
+// A conventional tool justifies the easy case and under-reports the path
+// delay; the developed tool reports both vectors (paper Table 5).
+#pragma once
+
+#include "cell/cell.h"
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+struct Fig4Circuit {
+  Netlist nl{"fig4"};
+  // Primary inputs N1..N7 and output N20, named as in the paper.
+  NetId n1, n2, n3, n4, n5, n6, n7, n20;
+  // Internal path nets.
+  NetId n10, n11, n12;
+  // Instance ids along the critical path.
+  InstId inv1, nand1, ao22, nand2;
+};
+
+/// Builds the circuit over cells from `lib` (must contain INV, NAND2, OR2,
+/// AND2, AO22).  The returned netlist references cells owned by `lib`.
+Fig4Circuit build_fig4_circuit(const cell::Library& lib);
+
+}  // namespace sasta::netlist

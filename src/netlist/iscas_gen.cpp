@@ -1,0 +1,269 @@
+#include "netlist/iscas_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sasta::netlist {
+
+GeneratorProfile iscas_profile(const std::string& circuit_name) {
+  // (PIs, POs, gates) follow the published ISCAS-85 statistics; depth is a
+  // fraction of the real circuits' so path enumeration stays tractable.
+  struct Row {
+    const char* name;
+    int pi, po, gates, depth;
+    std::uint64_t seed;
+  };
+  static const Row rows[] = {
+      {"c432", 36, 7, 160, 12, 432},    {"c499", 41, 32, 202, 9, 499},
+      {"c880", 60, 26, 383, 11, 880},   {"c1355", 41, 32, 546, 10, 1355},
+      {"c1908", 33, 25, 880, 13, 1908}, {"c2670", 157, 64, 1193, 11, 2670},
+      {"c3540", 50, 22, 1669, 14, 3540},{"c5315", 178, 123, 2307, 12, 5315},
+      {"c6288", 32, 32, 2416, 16, 6288},{"c7552", 207, 108, 3512, 12, 7552},
+  };
+  for (const Row& r : rows) {
+    if (circuit_name == r.name) {
+      GeneratorProfile p;
+      p.name = r.name;
+      p.num_inputs = r.pi;
+      p.num_outputs = r.po;
+      p.num_gates = r.gates;
+      p.depth = r.depth;
+      p.seed = r.seed;
+      return p;
+    }
+  }
+  SASTA_FAIL() << " unknown ISCAS profile '" << circuit_name << "'";
+}
+
+std::vector<std::string> iscas_profile_names() {
+  return {"c432", "c499", "c880", "c1355", "c1908",
+          "c2670", "c3540", "c5315", "c6288", "c7552"};
+}
+
+PrimNetlist generate_iscas_like(const GeneratorProfile& profile) {
+  SASTA_CHECK(profile.num_inputs >= 2 && profile.num_outputs >= 1 &&
+              profile.num_gates >= profile.num_outputs &&
+              profile.depth >= 2)
+      << " invalid generator profile";
+  util::Rng rng(profile.seed);
+  PrimNetlist nl;
+  nl.name = profile.name;
+
+  // Primary inputs.  Each signal carries a 64-bit random-simulation
+  // signature (bit-parallel evaluation over 64 random input vectors) used
+  // to reject gates that collapse to constants: deep NAND/NOR reconvergence
+  // otherwise produces large cones of redundant logic with no true paths.
+  std::vector<std::uint64_t> signature;
+  std::vector<int> layer_signals;  // signals of the previous layer
+  for (int i = 0; i < profile.num_inputs; ++i) {
+    const int s = nl.add_signal("I" + std::to_string(i));
+    nl.inputs.push_back(s);
+    layer_signals.push_back(s);
+    signature.push_back(rng.next_u64());
+  }
+
+  auto gate_signature = [&](const PrimGate& gate) {
+    std::uint64_t acc;
+    switch (gate.op) {
+      case PrimOp::kAnd:
+      case PrimOp::kNand:
+        acc = ~0ull;
+        for (int in : gate.inputs) acc &= signature[in];
+        if (gate.op == PrimOp::kNand) acc = ~acc;
+        break;
+      case PrimOp::kOr:
+      case PrimOp::kNor:
+        acc = 0;
+        for (int in : gate.inputs) acc |= signature[in];
+        if (gate.op == PrimOp::kNor) acc = ~acc;
+        break;
+      case PrimOp::kNot:
+        acc = ~signature[gate.inputs[0]];
+        break;
+      case PrimOp::kBuf:
+        acc = signature[gate.inputs[0]];
+        break;
+      default:  // XOR / XNOR
+        acc = 0;
+        for (int in : gate.inputs) acc ^= signature[in];
+        if (gate.op == PrimOp::kXnor) acc = ~acc;
+        break;
+    }
+    return acc;
+  };
+
+  // Column-structured datapath-like layout: signals live in
+  // grid[layer][column]; most connections stay within a column (a "slice"),
+  // some reach the neighbouring column, a few jump anywhere (global
+  // reconvergence).  Narrow per-slice cones keep the side inputs of long
+  // paths independent of the launching input, which is what gives real
+  // circuits their substantial fraction of true structural paths.
+  const int columns =
+      profile.columns > 0
+          ? profile.columns
+          : std::max(2, std::min(profile.num_inputs / 6,
+                                 profile.num_gates / (3 * profile.depth) + 1));
+  std::vector<std::vector<std::vector<int>>> grid(
+      1, std::vector<std::vector<int>>(columns));
+  for (int i = 0; i < profile.num_inputs; ++i) {
+    grid[0][i % columns].push_back(nl.inputs[i]);
+  }
+
+  // Distribute gates over layers with a flat profile.
+  std::vector<int> gates_per_layer(profile.depth, 0);
+  for (int i = 0; i < profile.num_gates; ++i) {
+    ++gates_per_layer[i % profile.depth];
+  }
+
+  std::vector<int> use_count(nl.num_signals(), 0);
+  int gate_counter = 0;
+
+  auto pick_input = [&](int current_layer, int col) {
+    int src_layer = current_layer - 1;
+    int src_col = col;
+    const double r = rng.next_double();
+    if (r < profile.reconvergence) {
+      src_layer = static_cast<int>(rng.next_below(current_layer));
+      src_col = static_cast<int>(rng.next_below(columns));
+    } else if (r < profile.reconvergence + profile.cross_column &&
+               columns > 1) {
+      src_col = (col + (rng.next_bool() ? 1 : columns - 1)) % columns;
+    }
+    // Fall back through earlier layers / neighbouring columns until a
+    // non-empty pool is found (layer 0 of every column holds PIs when
+    // columns <= num_inputs, so this terminates).
+    for (int guard = 0; guard < 64; ++guard) {
+      const auto& pool = grid[src_layer][src_col];
+      if (!pool.empty()) {
+        int best = pool[rng.next_below(pool.size())];
+        const int alt = pool[rng.next_below(pool.size())];
+        if (use_count[alt] < use_count[best]) best = alt;
+        return best;
+      }
+      if (src_layer > 0) {
+        --src_layer;
+      } else {
+        src_col = (src_col + 1) % columns;
+      }
+    }
+    return grid[0][0].front();
+  };
+
+  auto roll_gate = [&](int layer, int col) {
+    PrimGate gate;
+    const double roll = rng.next_double();
+    int arity;
+    // Gate mix tuned against the published ISCAS behaviour: a substantial
+    // XOR/XNOR share (parity trees, adder slices) keeps long paths
+    // sensitizable -- an XOR input is observable under EVERY side value --
+    // while the NAND/NOR/AND/OR share provides the AO/OA fusion sites and
+    // controlling-value false paths.
+    if (roll < 0.16) {
+      gate.op = PrimOp::kNand;
+      arity = static_cast<int>(2 + rng.next_below(2));  // 2-3
+    } else if (roll < 0.26) {
+      gate.op = PrimOp::kNor;
+      arity = 2;
+    } else if (roll < 0.42) {
+      gate.op = PrimOp::kAnd;
+      arity = 2;
+    } else if (roll < 0.58) {
+      gate.op = PrimOp::kOr;
+      arity = 2;
+    } else if (roll < 0.66) {
+      gate.op = PrimOp::kNot;
+      arity = 1;
+    } else if (roll < 0.88) {
+      gate.op = PrimOp::kXor;
+      arity = 2;
+    } else {
+      gate.op = PrimOp::kXnor;
+      arity = 2;
+    }
+    for (int a = 0; a < arity; ++a) {
+      int in = pick_input(layer, col);
+      // No duplicate pins on one gate (keeps sensitization meaningful).
+      int guard = 0;
+      while (std::find(gate.inputs.begin(), gate.inputs.end(), in) !=
+                 gate.inputs.end() &&
+             guard++ < 8) {
+        in = pick_input(layer, col);
+      }
+      if (std::find(gate.inputs.begin(), gate.inputs.end(), in) !=
+          gate.inputs.end()) {
+        continue;  // tiny pool: accept fewer pins
+      }
+      gate.inputs.push_back(in);
+    }
+    if (static_cast<int>(gate.inputs.size()) <
+        (gate.op == PrimOp::kNot ? 1 : 2)) {
+      // Could not find distinct inputs (degenerate small pool): fall back
+      // to an inverter of a single signal.
+      gate.op = PrimOp::kNot;
+      if (gate.inputs.empty()) gate.inputs.push_back(pick_input(layer, col));
+      gate.inputs.resize(1);
+    }
+    return gate;
+  };
+
+  for (int layer = 1; layer <= profile.depth; ++layer) {
+    grid.emplace_back(columns);
+    const int count = gates_per_layer[layer - 1];
+    int created = 0;
+    for (int gi = 0; gi < count; ++gi) {
+      const int col = (gi + layer) % columns;
+      // Re-roll gates whose random-simulation signature collapses to a
+      // constant: they would contribute redundant (untestable) logic.
+      PrimGate gate;
+      std::uint64_t sig = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        gate = roll_gate(layer, col);
+        sig = gate_signature(gate);
+        if (sig != 0 && sig != ~0ull) break;
+      }
+      for (int in : gate.inputs) ++use_count[in];
+      const int out = nl.add_signal("n" + std::to_string(gate_counter++));
+      use_count.push_back(0);
+      signature.push_back(sig);
+      gate.output = out;
+      nl.gates.push_back(std::move(gate));
+      grid[layer][col].push_back(out);
+      ++created;
+    }
+    SASTA_CHECK(created > 0) << " empty layer " << layer;
+  }
+
+  // Primary outputs: prefer last-layer signals, then any unused gate output.
+  std::vector<int> po_pool;
+  for (int li = static_cast<int>(grid.size()) - 1; li >= 1; --li) {
+    for (int c = 0; c < columns; ++c) {
+      for (int s : grid[li][c]) po_pool.push_back(s);
+    }
+  }
+  int taken = 0;
+  for (int s : po_pool) {
+    if (taken >= profile.num_outputs) break;
+    nl.outputs.push_back(s);
+    ++taken;
+  }
+  SASTA_CHECK(taken == profile.num_outputs) << " not enough signals for POs";
+
+  // Any dangling gate output (no fanout, not a PO) also becomes a PO so the
+  // netlist has no dead logic.
+  const std::vector<int> fanout = nl.fanout_counts();
+  std::vector<bool> is_po(nl.num_signals(), false);
+  for (int s : nl.outputs) is_po[s] = true;
+  for (const auto& g : nl.gates) {
+    if (fanout[g.output] == 0 && !is_po[g.output]) {
+      nl.outputs.push_back(g.output);
+      is_po[g.output] = true;
+    }
+  }
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace sasta::netlist

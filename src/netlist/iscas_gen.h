@@ -1,0 +1,52 @@
+// Deterministic ISCAS-85-like benchmark generator.
+//
+// Only c17 is small enough to embed verbatim (see bench_parser.h).  For the
+// larger circuits of the paper's Table 6 this generator produces synthetic
+// combinational netlists matched to the published interface statistics
+// (primary inputs/outputs, gate count) with layered structure, reconvergent
+// fanout and an AND/OR mix that gives the technology mapper realistic
+// complex-gate fusion opportunities.  Depth and fanout distributions are
+// chosen so exhaustive true-path enumeration stays tractable; the absolute
+// path counts therefore differ from the real ISCAS circuits (documented in
+// EXPERIMENTS.md) while the comparative behaviour of the two STA engines is
+// preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+struct GeneratorProfile {
+  std::string name = "synth";
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int num_gates = 100;
+  int depth = 10;            ///< target logic depth (layers)
+  std::uint64_t seed = 1;
+  /// Column-structured generation (datapath-like): primary inputs and gates
+  /// are arranged into vertical slices; most connections stay within a
+  /// slice, some cross to the neighbour, a few jump anywhere.  Narrow
+  /// per-slice cones keep long paths' side inputs independent of the
+  /// launching input — the property that makes a realistic fraction of
+  /// structural paths truly sensitizable.  0 = auto (~1 column per 8 PIs).
+  int columns = 0;
+  double cross_column = 0.18;   ///< probability of drawing from a neighbour
+  double reconvergence = 0.08;  ///< probability of a global random input
+                                ///< (any column, any earlier layer)
+};
+
+/// Profile matched to a named ISCAS-85 circuit ("c432", "c880", ...).
+/// Throws util::Error for unknown names.
+GeneratorProfile iscas_profile(const std::string& circuit_name);
+
+/// Names of all built-in profiles, in size order.
+std::vector<std::string> iscas_profile_names();
+
+/// Generates the circuit; result validates and is acyclic by construction.
+PrimNetlist generate_iscas_like(const GeneratorProfile& profile);
+
+}  // namespace sasta::netlist

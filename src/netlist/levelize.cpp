@@ -1,0 +1,72 @@
+#include "netlist/levelize.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sasta::netlist {
+
+Levelization levelize(const Netlist& nl) {
+  Levelization out;
+  out.net_level.assign(nl.num_nets(), -1);
+
+  // Kahn's algorithm over instances.
+  std::vector<int> pending(nl.num_instances(), 0);
+  std::vector<InstId> ready;
+  for (InstId i = 0; i < nl.num_instances(); ++i) {
+    int unresolved = 0;
+    for (NetId in : nl.instance(i).inputs) {
+      if (!nl.net(in).is_primary_input) ++unresolved;
+    }
+    pending[i] = unresolved;
+    if (unresolved == 0) ready.push_back(i);
+  }
+  for (NetId n : nl.primary_inputs()) out.net_level[n] = 0;
+
+  out.topo_order.reserve(nl.num_instances());
+  std::size_t cursor = 0;
+  std::vector<InstId> queue = std::move(ready);
+  while (cursor < queue.size()) {
+    const InstId i = queue[cursor++];
+    out.topo_order.push_back(i);
+    const Instance& inst = nl.instance(i);
+    int level = 0;
+    for (NetId in : inst.inputs) {
+      SASTA_CHECK(out.net_level[in] >= 0)
+          << " instance " << inst.name << " scheduled before its inputs";
+      level = std::max(level, out.net_level[in]);
+    }
+    out.net_level[inst.output] = level + 1;
+    out.max_level = std::max(out.max_level, level + 1);
+    for (const Fanout& f : nl.net(inst.output).fanouts) {
+      if (--pending[f.inst] == 0) queue.push_back(f.inst);
+    }
+  }
+  SASTA_CHECK(out.topo_order.size() ==
+              static_cast<std::size_t>(nl.num_instances()))
+      << " combinational cycle: only " << out.topo_order.size() << " of "
+      << nl.num_instances() << " instances ordered";
+  return out;
+}
+
+std::vector<bool> reaches_output(const Netlist& nl) {
+  std::vector<bool> reach(nl.num_nets(), false);
+  // Reverse BFS from POs.
+  std::vector<NetId> queue = nl.primary_outputs();
+  for (NetId n : queue) reach[n] = true;
+  std::size_t cursor = 0;
+  while (cursor < queue.size()) {
+    const NetId n = queue[cursor++];
+    const InstId drv = nl.net(n).driver;
+    if (drv == kNoId) continue;
+    for (NetId in : nl.instance(drv).inputs) {
+      if (!reach[in]) {
+        reach[in] = true;
+        queue.push_back(in);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace sasta::netlist

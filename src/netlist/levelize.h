@@ -1,0 +1,28 @@
+// Topological ordering and levelization of a mapped netlist.  Used by the
+// implication engine (event ordering), the baseline arrival-time pass, and
+// the structural statistics.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+struct Levelization {
+  /// Instances in topological order (all of an instance's input drivers
+  /// precede it).
+  std::vector<InstId> topo_order;
+  /// Logic level per net: PIs are 0, a driven net is 1 + max input level.
+  std::vector<int> net_level;
+  int max_level = 0;
+};
+
+/// Computes the levelization; throws util::Error if the netlist has a
+/// combinational cycle or undriven nets.
+Levelization levelize(const Netlist& nl);
+
+/// Per-net transitive "can reach a primary output" flag.
+std::vector<bool> reaches_output(const Netlist& nl);
+
+}  // namespace sasta::netlist

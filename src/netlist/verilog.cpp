@@ -1,0 +1,318 @@
+#include "netlist/verilog.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sasta::netlist {
+
+namespace {
+
+/// Minimal tokenizer: identifiers, punctuation, with comment stripping and
+/// line tracking for error messages.
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) : is_(is) {}
+
+  struct Token {
+    std::string text;
+    int line = 0;
+    bool eof = false;
+    bool ident = false;  ///< plain or escaped identifier
+  };
+
+  Token next() {
+    skip_space_and_comments();
+    Token t;
+    t.line = line_;
+    int c = is_.peek();
+    if (c == EOF) {
+      t.eof = true;
+      return t;
+    }
+    if (std::isalpha(c) || c == '_' || c == '\\') {
+      // Identifier (escaped identifiers end at whitespace).
+      const bool escaped = c == '\\';
+      if (escaped) is_.get();
+      while ((c = is_.peek()) != EOF) {
+        const bool ident_char =
+            std::isalnum(c) || c == '_' || c == '$' || (escaped && !std::isspace(c));
+        if (!ident_char) break;
+        t.text += static_cast<char>(is_.get());
+      }
+      SASTA_CHECK(!t.text.empty()) << " line " << line_ << ": bad identifier";
+      t.ident = true;
+      return t;
+    }
+    if (std::isdigit(c)) {
+      while ((c = is_.peek()) != EOF && (std::isalnum(c) || c == '\'')) {
+        t.text += static_cast<char>(is_.get());
+      }
+      return t;
+    }
+    t.text = static_cast<char>(is_.get());
+    return t;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_space_and_comments() {
+    while (true) {
+      int c = is_.peek();
+      if (c == EOF) return;
+      if (c == '\n') {
+        ++line_;
+        is_.get();
+        continue;
+      }
+      if (std::isspace(c)) {
+        is_.get();
+        continue;
+      }
+      if (c == '/') {
+        is_.get();
+        const int c2 = is_.peek();
+        if (c2 == '/') {
+          while ((c = is_.get()) != EOF && c != '\n') {
+          }
+          ++line_;
+          continue;
+        }
+        if (c2 == '*') {
+          is_.get();
+          int prev = 0;
+          while ((c = is_.get()) != EOF) {
+            if (c == '\n') ++line_;
+            if (prev == '*' && c == '/') break;
+            prev = c;
+          }
+          continue;
+        }
+        is_.unget();
+        return;
+      }
+      return;
+    }
+  }
+
+  std::istream& is_;
+  int line_ = 1;
+};
+
+struct Parser {
+  Lexer lex;
+  const cell::Library& lib;
+  Lexer::Token tok;
+
+  Parser(std::istream& is, const cell::Library& l) : lex(is), lib(l) {
+    advance();
+  }
+
+  void advance() { tok = lex.next(); }
+
+  void expect(const std::string& text) {
+    SASTA_CHECK(!tok.eof && tok.text == text)
+        << " line " << tok.line << ": expected '" << text << "', got '"
+        << (tok.eof ? std::string("<eof>") : tok.text) << "'";
+    advance();
+  }
+
+  bool accept(const std::string& text) {
+    if (!tok.eof && tok.text == text) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  std::string identifier(const char* what) {
+    SASTA_CHECK(!tok.eof && tok.ident)
+        << " line " << tok.line << ": expected " << what << ", got '"
+        << tok.text << "'";
+    std::string name = tok.text;
+    advance();
+    return name;
+  }
+
+  Netlist run() {
+    expect("module");
+    Netlist nl(identifier("module name"));
+    // Port list (names only; directions come from declarations).
+    expect("(");
+    if (!accept(")")) {
+      do {
+        identifier("port name");
+      } while (accept(","));
+      expect(")");
+    }
+    expect(";");
+
+    std::vector<std::string> inputs, outputs;
+    while (!tok.eof && tok.text != "endmodule") {
+      if (accept("input")) {
+        do {
+          inputs.push_back(identifier("input name"));
+        } while (accept(","));
+        expect(";");
+      } else if (accept("output")) {
+        do {
+          outputs.push_back(identifier("output name"));
+        } while (accept(","));
+        expect(";");
+      } else if (accept("wire")) {
+        do {
+          nl.add_net(identifier("wire name"));
+        } while (accept(","));
+        expect(";");
+      } else if (!tok.eof && tok.ident) {
+        parse_instance(nl);
+      } else {
+        SASTA_FAIL() << " line " << tok.line << ": unsupported construct '"
+                     << tok.text << "'";
+      }
+    }
+    expect("endmodule");
+
+    for (const auto& name : inputs) nl.mark_primary_input(nl.add_net(name));
+    for (const auto& name : outputs) nl.mark_primary_output(nl.add_net(name));
+    nl.validate();
+    return nl;
+  }
+
+  void parse_instance(Netlist& nl) {
+    const int line = tok.line;
+    const std::string cell_name = identifier("cell name");
+    const cell::Cell* cell = lib.find(cell_name);
+    SASTA_CHECK(cell != nullptr)
+        << " line " << line << ": unknown cell '" << cell_name << "'";
+    const std::string inst_name = identifier("instance name");
+    expect("(");
+
+    std::vector<NetId> inputs(cell->num_inputs(), kNoId);
+    NetId output = kNoId;
+    if (tok.text == ".") {
+      // Named connections.
+      do {
+        expect(".");
+        const std::string pin = identifier("pin name");
+        expect("(");
+        const NetId net = nl.add_net(identifier("net name"));
+        expect(")");
+        if (pin == "Z" || pin == "Y" || pin == "OUT") {
+          output = net;
+        } else {
+          inputs.at(cell->pin_index(pin)) = net;
+        }
+      } while (accept(","));
+    } else {
+      // Positional: inputs in pin order, output last.
+      std::vector<NetId> nets;
+      do {
+        nets.push_back(nl.add_net(identifier("net name")));
+      } while (accept(","));
+      SASTA_CHECK(static_cast<int>(nets.size()) == cell->num_inputs() + 1)
+          << " line " << line << ": " << cell_name << " expects "
+          << cell->num_inputs() + 1 << " connections, got " << nets.size();
+      output = nets.back();
+      nets.pop_back();
+      inputs = nets;
+    }
+    expect(")");
+    expect(";");
+    SASTA_CHECK(output != kNoId)
+        << " line " << line << ": instance " << inst_name
+        << " has no output connection";
+    for (int p = 0; p < cell->num_inputs(); ++p) {
+      SASTA_CHECK(inputs[p] != kNoId)
+          << " line " << line << ": instance " << inst_name
+          << " leaves pin " << cell->pin_names()[p] << " unconnected";
+    }
+    nl.add_instance(inst_name, cell, inputs, output);
+  }
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& is, const cell::Library& lib) {
+  Parser parser(is, lib);
+  return parser.run();
+}
+
+Netlist parse_verilog_string(const std::string& text,
+                             const cell::Library& lib) {
+  std::istringstream is(text);
+  return parse_verilog(is, lib);
+}
+
+Netlist parse_verilog_file(const std::string& path, const cell::Library& lib) {
+  std::ifstream is(path);
+  SASTA_CHECK(is.good()) << " cannot open '" << path << "'";
+  return parse_verilog(is, lib);
+}
+
+namespace {
+
+/// Emits `name`, escaping it (Verilog `\name ` syntax) when it is not a
+/// plain identifier — e.g. the numeric net names of ISCAS circuits.
+std::string quoted(const std::string& name) {
+  bool plain = !name.empty() &&
+               (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_');
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '$')) {
+      plain = false;
+    }
+  }
+  return plain ? name : "\\" + name + " ";
+}
+
+}  // namespace
+
+void write_verilog(const Netlist& nl, std::ostream& os) {
+  os << "module " << (nl.name().empty() ? "top" : nl.name()) << " (";
+  bool first = true;
+  for (NetId n : nl.primary_inputs()) {
+    if (!first) os << ", ";
+    os << quoted(nl.net(n).name);
+    first = false;
+  }
+  for (NetId n : nl.primary_outputs()) {
+    if (!first) os << ", ";
+    os << quoted(nl.net(n).name);
+    first = false;
+  }
+  os << ");\n";
+  for (NetId n : nl.primary_inputs()) {
+    os << "  input " << quoted(nl.net(n).name) << ";\n";
+  }
+  for (NetId n : nl.primary_outputs()) {
+    os << "  output " << quoted(nl.net(n).name) << ";\n";
+  }
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (!net.is_primary_input && !net.is_primary_output) {
+      os << "  wire " << quoted(net.name) << ";\n";
+    }
+  }
+  for (const Instance& inst : nl.instances()) {
+    os << "  " << inst.cell->name() << " " << quoted(inst.name) << " (";
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      os << "." << inst.cell->pin_names()[p] << "("
+         << quoted(nl.net(inst.inputs[p]).name) << "), ";
+    }
+    os << ".Z(" << quoted(nl.net(inst.output).name) << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(nl, os);
+  return os.str();
+}
+
+}  // namespace sasta::netlist

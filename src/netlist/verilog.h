@@ -1,0 +1,41 @@
+// Structural Verilog subset: reader and writer for gate-level netlists over
+// the standard-cell library.
+//
+// Supported subset (what synthesis tools emit for mapped combinational
+// blocks):
+//
+//   module top (a, b, z);
+//     input a, b;
+//     output z;
+//     wire n1;
+//     NAND2 g0 (.A(a), .B(b), .Z(n1));   // named connections
+//     INV   g1 (n1, z);                   // or positional (inputs..., Z)
+//   endmodule
+//
+// Positional connections follow cell pin order with the output last.
+// Comments (// and /* */), vector-free identifiers and escaped identifiers
+// with simple \name syntax are handled; behavioural constructs are
+// rejected with a line-numbered error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cell/cell.h"
+#include "netlist/netlist.h"
+
+namespace sasta::netlist {
+
+/// Parses a gate-level module over cells from `lib`.
+/// Throws util::Error with a line number on unsupported syntax, unknown
+/// cells, or structural problems.
+Netlist parse_verilog(std::istream& is, const cell::Library& lib);
+Netlist parse_verilog_string(const std::string& text,
+                             const cell::Library& lib);
+Netlist parse_verilog_file(const std::string& path, const cell::Library& lib);
+
+/// Emits the netlist as a structural Verilog module (named connections).
+void write_verilog(const Netlist& nl, std::ostream& os);
+std::string write_verilog_string(const Netlist& nl);
+
+}  // namespace sasta::netlist

@@ -1,0 +1,58 @@
+#include "numeric/interp.h"
+
+namespace sasta::num {
+
+std::size_t bracket_index(const std::vector<double>& axis, double x) {
+  SASTA_CHECK(axis.size() >= 2) << " interpolation axis needs >= 2 points";
+  if (x <= axis.front()) return 0;
+  if (x >= axis[axis.size() - 2]) return axis.size() - 2;
+  std::size_t lo = 0;
+  std::size_t hi = axis.size() - 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (axis[mid] <= x) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double interp_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys, double x) {
+  SASTA_CHECK(xs.size() == ys.size()) << " axis/value size mismatch";
+  if (xs.size() == 1) return ys[0];
+  const std::size_t i = bracket_index(xs, x);
+  const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+  return ys[i] + t * (ys[i + 1] - ys[i]);
+}
+
+double interp_bilinear(const std::vector<double>& row_axis,
+                       const std::vector<double>& col_axis,
+                       const Matrix& table, double row_x, double col_x) {
+  SASTA_CHECK(table.rows() == row_axis.size() &&
+              table.cols() == col_axis.size())
+      << " table dims vs axes";
+  if (row_axis.size() == 1 && col_axis.size() == 1) return table(0, 0);
+  if (row_axis.size() == 1) {
+    std::vector<double> row(col_axis.size());
+    for (std::size_t c = 0; c < col_axis.size(); ++c) row[c] = table(0, c);
+    return interp_linear(col_axis, row, col_x);
+  }
+  if (col_axis.size() == 1) {
+    std::vector<double> col(row_axis.size());
+    for (std::size_t r = 0; r < row_axis.size(); ++r) col[r] = table(r, 0);
+    return interp_linear(row_axis, col, row_x);
+  }
+  const std::size_t r = bracket_index(row_axis, row_x);
+  const std::size_t c = bracket_index(col_axis, col_x);
+  const double tr = (row_x - row_axis[r]) / (row_axis[r + 1] - row_axis[r]);
+  const double tc = (col_x - col_axis[c]) / (col_axis[c + 1] - col_axis[c]);
+  const double top = table(r, c) + tc * (table(r, c + 1) - table(r, c));
+  const double bot =
+      table(r + 1, c) + tc * (table(r + 1, c + 1) - table(r + 1, c));
+  return top + tr * (bot - top);
+}
+
+}  // namespace sasta::num

@@ -1,0 +1,27 @@
+// 1-D and 2-D table interpolation used by the NLDM-style LUT delay model of
+// the commercial-tool baseline.  Axes must be strictly increasing; queries
+// outside the table extrapolate linearly from the boundary cell, matching
+// common STA tool behaviour.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace sasta::num {
+
+/// Piecewise-linear interpolation of y(x); extrapolates at the ends.
+double interp_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys, double x);
+
+/// Bilinear interpolation of table(r, c) over row axis `row_axis` and column
+/// axis `col_axis`; extrapolates outside the grid.
+double interp_bilinear(const std::vector<double>& row_axis,
+                       const std::vector<double>& col_axis,
+                       const Matrix& table, double row_x, double col_x);
+
+/// Finds the lower bracketing index i such that axis[i] <= x < axis[i+1],
+/// clamped to [0, axis.size()-2]; axis must have >= 2 entries.
+std::size_t bracket_index(const std::vector<double>& axis, double x);
+
+}  // namespace sasta::num

@@ -1,0 +1,151 @@
+#include "numeric/linear_solver.h"
+
+#include <cmath>
+
+namespace sasta::num {
+
+namespace {
+
+constexpr double kSingularTol = 1e-13;
+
+}  // namespace
+
+Vector solve_lu(Matrix a, Vector b) {
+  LuWorkspace ws;
+  SASTA_CHECK(ws.factor_and_solve(a, b)) << " singular matrix in solve_lu";
+  return b;
+}
+
+bool LuWorkspace::factor_and_solve(const Matrix& a, Vector& b) {
+  const std::size_t n = a.rows();
+  SASTA_CHECK(a.cols() == n) << " LU requires a square matrix";
+  SASTA_CHECK(b.size() == n) << " rhs size mismatch";
+  lu_ = a;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kSingularTol) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(pivot, c), lu_(col, c));
+      std::swap(b[pivot], b[col]);
+      std::swap(perm_[pivot], perm_[col]);
+    }
+    const double inv_pivot = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      lu_(r, col) = factor;
+      double* lr = lu_.row_data(r);
+      const double* lc = lu_.row_data(col);
+      for (std::size_t c = col + 1; c < n; ++c) lr[c] -= factor * lc[c];
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const double* row = lu_.row_data(ri);
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * b[c];
+    b[ri] = acc / row[ri];
+  }
+  return true;
+}
+
+Vector solve_cholesky(const Matrix& a, const Vector& b) {
+  const std::size_t n = a.rows();
+  SASTA_CHECK(a.cols() == n) << " Cholesky requires square";
+  SASTA_CHECK(b.size() == n) << " rhs size";
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        SASTA_CHECK(acc > 0.0) << " matrix not SPD at row " << i;
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Back solve L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  SASTA_CHECK(m >= n) << " least squares needs rows >= cols (" << m << " < "
+                      << n << ")";
+  SASTA_CHECK(b.size() == m) << " rhs size";
+  Matrix r = a;
+  Vector qtb = b;
+
+  // Householder QR: annihilate below-diagonal entries column by column,
+  // applying the same reflections to the right-hand side.
+  for (std::size_t col = 0; col < n; ++col) {
+    double norm = 0.0;
+    for (std::size_t i = col; i < m; ++i) norm += r(i, col) * r(i, col);
+    norm = std::sqrt(norm);
+    SASTA_CHECK(norm > kSingularTol)
+        << " rank-deficient design matrix at column " << col;
+    if (r(col, col) > 0.0) norm = -norm;
+    // v = x - norm * e1 (stored in-place), beta = 2 / (v^T v).
+    Vector v(m - col);
+    for (std::size_t i = col; i < m; ++i) v[i - col] = r(i, col);
+    v[0] -= norm;
+    double vtv = 0.0;
+    for (double x : v) vtv += x * x;
+    if (vtv < kSingularTol * kSingularTol) continue;
+    const double beta = 2.0 / vtv;
+
+    for (std::size_t c = col; c < n; ++c) {
+      double proj = 0.0;
+      for (std::size_t i = col; i < m; ++i) proj += v[i - col] * r(i, c);
+      proj *= beta;
+      for (std::size_t i = col; i < m; ++i) r(i, c) -= proj * v[i - col];
+    }
+    double proj = 0.0;
+    for (std::size_t i = col; i < m; ++i) proj += v[i - col] * qtb[i];
+    proj *= beta;
+    for (std::size_t i = col; i < m; ++i) qtb[i] -= proj * v[i - col];
+  }
+
+  // Back substitution on the triangular factor.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) acc -= r(ii, c) * x[c];
+    SASTA_CHECK(std::fabs(r(ii, ii)) > kSingularTol)
+        << " rank-deficient triangular factor at " << ii;
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace sasta::num

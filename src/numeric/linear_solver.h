@@ -1,0 +1,38 @@
+// Direct solvers used across the library:
+//  - LU with partial pivoting: the Newton-Raphson inner solve of the
+//    transient simulator (small dense systems, <= ~100 unknowns);
+//  - Cholesky: normal-equation solves;
+//  - Householder QR least squares: polynomial model regression (better
+//    conditioned than normal equations for high polynomial orders).
+#pragma once
+
+#include "numeric/matrix.h"
+
+namespace sasta::num {
+
+/// Solves A x = b by LU with partial pivoting.  A must be square and
+/// nonsingular (throws util::Error otherwise).
+Vector solve_lu(Matrix a, Vector b);
+
+/// In-place LU factorization helper for repeated solves with the same
+/// sparsity/size (the transient engine refactors every Newton iteration but
+/// reuses the workspace).
+class LuWorkspace {
+ public:
+  /// Factorizes `a` (overwrites internal copy) and solves for `b`.
+  /// Returns false if the matrix is numerically singular.
+  bool factor_and_solve(const Matrix& a, Vector& b);
+
+ private:
+  Matrix lu_;
+  std::vector<int> perm_;
+};
+
+/// Solves the SPD system A x = b by Cholesky; throws if not SPD.
+Vector solve_cholesky(const Matrix& a, const Vector& b);
+
+/// Minimizes ||A x - b||_2 via Householder QR.  Requires rows >= cols and
+/// full column rank (throws otherwise).
+Vector solve_least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace sasta::num

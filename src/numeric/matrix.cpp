@@ -1,0 +1,93 @@
+#include "numeric/matrix.h"
+
+#include <cmath>
+
+namespace sasta::num {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    SASTA_CHECK(row.size() == cols_) << " ragged initializer";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  SASTA_CHECK(cols_ == rhs.rows_)
+      << " dims " << rows_ << "x" << cols_ << " * " << rhs.rows_ << "x"
+      << rhs.cols_;
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* rhs_row = rhs.row_data(k);
+      double* out_row = out.row_data(i);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += a * rhs_row[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  SASTA_CHECK(cols_ == v.size()) << " matvec dims";
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  SASTA_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_) << " add dims";
+  Matrix out = *this;
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  SASTA_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_) << " sub dims";
+  Matrix out = *this;
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm2(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double dot(const Vector& a, const Vector& b) {
+  SASTA_CHECK(a.size() == b.size()) << " dot dims";
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace sasta::num

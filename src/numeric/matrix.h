@@ -1,0 +1,64 @@
+// Dense row-major matrix and vector types sized for characterization-model
+// regression problems (tens to a few hundred rows, tens of columns).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sasta::num {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    SASTA_CHECK(r < rows_ && c < cols_) << " index (" << r << "," << c << ")";
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    SASTA_CHECK(r < rows_ && c < cols_) << " index (" << r << "," << c << ")";
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major layout), for inner loops.
+  double* row_data(std::size_t r) { return &data_[r * cols_]; }
+  const double* row_data(std::size_t r) const { return &data_[r * cols_]; }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const Vector& v);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace sasta::num

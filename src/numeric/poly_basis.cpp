@@ -1,0 +1,88 @@
+#include "numeric/poly_basis.h"
+
+namespace sasta::num {
+
+PolyBasis PolyBasis::tensor(std::span<const int> max_order,
+                            int max_total_degree) {
+  PolyBasis basis;
+  basis.num_vars_ = static_cast<int>(max_order.size());
+  SASTA_CHECK(basis.num_vars_ >= 1 && basis.num_vars_ <= kMaxPolyVars)
+      << " unsupported variable count " << basis.num_vars_;
+
+  // Odometer enumeration of all exponent tuples within the per-variable caps.
+  Monomial current;
+  while (true) {
+    int total = 0;
+    for (int v = 0; v < basis.num_vars_; ++v) total += current.exp[v];
+    if (max_total_degree < 0 || total <= max_total_degree) {
+      basis.monomials_.push_back(current);
+    }
+    int v = 0;
+    for (; v < basis.num_vars_; ++v) {
+      if (current.exp[v] < max_order[v]) {
+        ++current.exp[v];
+        break;
+      }
+      current.exp[v] = 0;
+    }
+    if (v == basis.num_vars_) break;
+  }
+  return basis;
+}
+
+void PolyBasis::evaluate_row(std::span<const double> x,
+                             std::vector<double>& out) const {
+  SASTA_CHECK(static_cast<int>(x.size()) == num_vars_)
+      << " point dimension " << x.size() << " vs basis " << num_vars_;
+  // Precompute powers per variable up to the max exponent present.
+  std::array<std::array<double, 16>, kMaxPolyVars> powers;
+  std::array<int, kMaxPolyVars> max_exp{};
+  for (const Monomial& m : monomials_) {
+    for (int v = 0; v < num_vars_; ++v) {
+      if (m.exp[v] > max_exp[v]) max_exp[v] = m.exp[v];
+    }
+  }
+  for (int v = 0; v < num_vars_; ++v) {
+    SASTA_CHECK(max_exp[v] < 16) << " exponent too large";
+    powers[v][0] = 1.0;
+    for (int e = 1; e <= max_exp[v]; ++e) powers[v][e] = powers[v][e - 1] * x[v];
+  }
+  out.resize(monomials_.size());
+  for (std::size_t t = 0; t < monomials_.size(); ++t) {
+    double term = 1.0;
+    for (int v = 0; v < num_vars_; ++v) term *= powers[v][monomials_[t].exp[v]];
+    out[t] = term;
+  }
+}
+
+double PolyBasis::evaluate(std::span<const double> coeff,
+                           std::span<const double> x) const {
+  SASTA_CHECK(coeff.size() == monomials_.size())
+      << " coeff count " << coeff.size() << " vs basis " << monomials_.size();
+  SASTA_CHECK(static_cast<int>(x.size()) == num_vars_)
+      << " point dimension " << x.size() << " vs basis " << num_vars_;
+  // Allocation-free hot path: this runs once per gate per path in the STA
+  // delay calculator.  Powers are built on the stack.
+  std::array<std::array<double, 16>, kMaxPolyVars> powers;
+  std::array<int, kMaxPolyVars> max_exp{};
+  for (const Monomial& m : monomials_) {
+    for (int v = 0; v < num_vars_; ++v) {
+      if (m.exp[v] > max_exp[v]) max_exp[v] = m.exp[v];
+    }
+  }
+  for (int v = 0; v < num_vars_; ++v) {
+    powers[v][0] = 1.0;
+    for (int e = 1; e <= max_exp[v]; ++e) powers[v][e] = powers[v][e - 1] * x[v];
+  }
+  double acc = 0.0;
+  for (std::size_t t = 0; t < monomials_.size(); ++t) {
+    double term = coeff[t];
+    for (int v = 0; v < num_vars_; ++v) {
+      term *= powers[v][monomials_[t].exp[v]];
+    }
+    acc += term;
+  }
+  return acc;
+}
+
+}  // namespace sasta::num

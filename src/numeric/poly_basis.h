@@ -1,0 +1,56 @@
+// Multivariate monomial basis for the SPDM-style analytical delay model
+// (paper Eq. (3)):
+//
+//   f(x1..xd) = sum_terms P_t * prod_v x_v^{e_{t,v}}
+//
+// A PolyBasis is the ordered list of exponent tuples; evaluation and design-
+// matrix construction live here so the regression and the runtime model share
+// one definition of the basis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sasta::num {
+
+/// Maximum number of model variables (the paper uses 4: Fo, t_in, T, VDD).
+inline constexpr int kMaxPolyVars = 6;
+
+/// One monomial: per-variable exponents.
+struct Monomial {
+  std::array<std::uint8_t, kMaxPolyVars> exp{};
+
+  bool operator==(const Monomial&) const = default;
+};
+
+class PolyBasis {
+ public:
+  PolyBasis() = default;
+
+  /// Full tensor-product basis with per-variable maximum orders
+  /// `max_order[v]`, optionally capped at `max_total_degree` (ignored when
+  /// negative).  This realizes the (m, n, o, p) indices of Eq. (3).
+  static PolyBasis tensor(std::span<const int> max_order,
+                          int max_total_degree = -1);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t size() const { return monomials_.size(); }
+  const std::vector<Monomial>& monomials() const { return monomials_; }
+
+  /// Evaluates every monomial at point `x` into `out` (resized).
+  void evaluate_row(std::span<const double> x, std::vector<double>& out) const;
+
+  /// Evaluates sum_t coeff[t] * monomial_t(x).
+  double evaluate(std::span<const double> coeff,
+                  std::span<const double> x) const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Monomial> monomials_;
+};
+
+}  // namespace sasta::num

@@ -1,0 +1,130 @@
+#include "numeric/poly_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/linear_solver.h"
+
+namespace sasta::num {
+
+namespace {
+
+/// Fills the error statistics of `fit` against the training data.  The
+/// denominator is floored at a small fraction of the largest sample so that
+/// near-zero samples do not dominate the relative error.
+void compute_errors(PolyFit& fit, const std::vector<std::vector<double>>& points,
+                    std::span<const double> values) {
+  double scale = 0.0;
+  for (double v : values) scale = std::max(scale, std::fabs(v));
+  const double floor = std::max(1e-3 * scale, 1e-300);
+  double max_rel = 0.0;
+  double sum_rel = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double predicted = fit.evaluate(points[i]);
+    const double denom = std::max(std::fabs(values[i]), floor);
+    const double rel = std::fabs(predicted - values[i]) / denom;
+    max_rel = std::max(max_rel, rel);
+    sum_rel += rel;
+  }
+  fit.max_rel_error = max_rel;
+  fit.mean_rel_error = points.empty() ? 0.0 : sum_rel / points.size();
+}
+
+}  // namespace
+
+PolyFit fit_polynomial(const PolyBasis& basis,
+                       const std::vector<std::vector<double>>& points,
+                       std::span<const double> values) {
+  SASTA_CHECK(points.size() == values.size()) << " sample count mismatch";
+  SASTA_CHECK(points.size() >= basis.size())
+      << " under-determined fit: " << points.size() << " samples for "
+      << basis.size() << " terms";
+  Matrix design(points.size(), basis.size());
+  std::vector<double> row;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    basis.evaluate_row(points[i], row);
+    double* dst = design.row_data(i);
+    for (std::size_t t = 0; t < row.size(); ++t) dst[t] = row[t];
+  }
+  PolyFit fit;
+  fit.basis = basis;
+  fit.coeff = solve_least_squares(design, Vector(values.begin(), values.end()));
+  compute_errors(fit, points, values);
+  return fit;
+}
+
+PolyFit fit_recursive(const std::vector<std::vector<double>>& points,
+                      std::span<const double> values,
+                      const RecursiveFitOptions& options) {
+  SASTA_CHECK(!points.empty()) << " no samples";
+  const int num_vars = static_cast<int>(points.front().size());
+  SASTA_CHECK(static_cast<int>(options.max_order.size()) == num_vars)
+      << " max_order size mismatch";
+
+  // Count distinct values per variable: a variable swept at k levels cannot
+  // support a polynomial order above k-1.
+  std::vector<int> level_cap(num_vars, 0);
+  for (int v = 0; v < num_vars; ++v) {
+    std::vector<double> seen;
+    for (const auto& p : points) {
+      bool found = false;
+      for (double s : seen) {
+        if (std::fabs(s - p[v]) <= 1e-12 * std::max(1.0, std::fabs(s))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) seen.push_back(p[v]);
+    }
+    level_cap[v] = static_cast<int>(seen.size()) - 1;
+  }
+
+  std::vector<int> order(num_vars);
+  for (int v = 0; v < num_vars; ++v) {
+    order[v] = std::min({1, options.max_order[v], level_cap[v]});
+    order[v] = std::max(order[v], 0);
+  }
+
+  auto try_fit = [&](const std::vector<int>& ord, PolyFit& out) -> bool {
+    PolyBasis basis = PolyBasis::tensor(ord, options.max_total_degree);
+    if (basis.size() > points.size()) return false;
+    try {
+      out = fit_polynomial(basis, points, values);
+    } catch (const util::Error&) {
+      // Rank-deficient design (e.g. a cross term the sample plan cannot
+      // identify): treat this order combination as unavailable.
+      return false;
+    }
+    return true;
+  };
+
+  PolyFit best;
+  SASTA_CHECK(try_fit(order, best)) << " not enough samples for a first-order fit";
+
+  // Greedy order escalation: raise the order of whichever variable yields the
+  // biggest reduction in max relative error, stop at target accuracy.
+  while (best.max_rel_error > options.target_max_rel_error) {
+    PolyFit best_candidate;
+    int best_var = -1;
+    for (int v = 0; v < num_vars; ++v) {
+      if (order[v] >= options.max_order[v] || order[v] >= level_cap[v]) continue;
+      std::vector<int> trial = order;
+      ++trial[v];
+      PolyFit candidate;
+      if (!try_fit(trial, candidate)) continue;
+      if (best_var < 0 || candidate.max_rel_error < best_candidate.max_rel_error) {
+        best_candidate = candidate;
+        best_var = v;
+      }
+    }
+    if (best_var < 0) break;  // no variable can be raised further
+    // Accept only improving moves; otherwise stop to avoid overfitting noise.
+    if (best_candidate.max_rel_error >= best.max_rel_error) break;
+    ++order[best_var];
+    best = best_candidate;
+  }
+  return best;
+}
+
+}  // namespace sasta::num

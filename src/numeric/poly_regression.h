@@ -1,0 +1,50 @@
+// Recursive polynomial regression (paper Section IV.A):
+//
+// "Once the simulations are done, a recursive polynomial regression
+//  procedure is applied to extract the model parameters.  The maximum order
+//  for each variable (indexes m, n, o, p) are adjusted during the extraction
+//  process to provide the desired accuracy."
+//
+// fit_recursive() starts from first order in every variable and greedily
+// raises the order of the variable whose increase most reduces the maximum
+// relative error, until the target accuracy or the order/sample limits are
+// reached.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numeric/poly_basis.h"
+
+namespace sasta::num {
+
+struct PolyFit {
+  PolyBasis basis;
+  std::vector<double> coeff;
+  double max_rel_error = 0.0;   ///< over the training samples
+  double mean_rel_error = 0.0;  ///< over the training samples
+
+  /// Evaluates the fitted polynomial at `x`.
+  double evaluate(std::span<const double> x) const {
+    return basis.evaluate(coeff, x);
+  }
+};
+
+struct RecursiveFitOptions {
+  double target_max_rel_error = 0.02;  ///< stop once reached
+  std::vector<int> max_order;          ///< per-variable hard cap
+  int max_total_degree = -1;           ///< optional cap on sum of exponents
+};
+
+/// Plain least-squares fit on a fixed basis.
+PolyFit fit_polynomial(const PolyBasis& basis,
+                       const std::vector<std::vector<double>>& points,
+                       std::span<const double> values);
+
+/// Order-adaptive fit per the paper's recursive extraction procedure.
+/// `points[i]` is the i-th sample location (all the same dimension).
+PolyFit fit_recursive(const std::vector<std::vector<double>>& points,
+                      std::span<const double> values,
+                      const RecursiveFitOptions& options);
+
+}  // namespace sasta::num

@@ -1,0 +1,46 @@
+#include "numeric/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sasta::num {
+
+void RelErrorAccumulator::add(double estimate, double reference) {
+  SASTA_CHECK(reference != 0.0) << " zero reference in relative error";
+  const double rel = std::fabs(estimate - reference) / std::fabs(reference);
+  sum_ += rel;
+  max_ = std::max(max_, rel);
+  ++count_;
+}
+
+ErrorStats RelErrorAccumulator::stats() const {
+  ErrorStats s;
+  s.count = count_;
+  s.max = max_;
+  s.mean = count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double max_abs(std::span<const double> xs) {
+  double best = 0.0;
+  for (double x : xs) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+}  // namespace sasta::num

@@ -1,0 +1,32 @@
+// Error statistics used by the accuracy tables (Tables 7-9).
+#pragma once
+
+#include <span>
+
+namespace sasta::num {
+
+struct ErrorStats {
+  double mean = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Online accumulator of absolute relative errors |est - ref| / |ref|.
+class RelErrorAccumulator {
+ public:
+  /// Adds one (estimate, reference) pair; `reference` must be non-zero.
+  void add(double estimate, double reference);
+
+  ErrorStats stats() const;
+
+ private:
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double max_abs(std::span<const double> xs);
+
+}  // namespace sasta::num

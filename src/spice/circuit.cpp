@@ -1,0 +1,79 @@
+#include "spice/circuit.h"
+
+namespace sasta::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  name_to_node_["0"] = 0;
+  driven_.emplace(0, Pwl::dc(0.0));
+}
+
+NodeId Circuit::add_node(const std::string& name) {
+  auto it = name_to_node_.find(name);
+  if (it != name_to_node_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  name_to_node_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  auto it = name_to_node_.find(name);
+  SASTA_CHECK(it != name_to_node_.end()) << " unknown node '" << name << "'";
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return name_to_node_.count(name) > 0;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  SASTA_CHECK(id >= 0 && id < num_nodes()) << " node id " << id;
+  return node_names_[id];
+}
+
+void Circuit::add_mosfet(MosfetInstance m) {
+  SASTA_CHECK(m.gate < num_nodes() && m.drain < num_nodes() &&
+              m.source < num_nodes())
+      << " mosfet terminal out of range";
+  SASTA_CHECK(m.width_um > 0.0 && m.length_um > 0.0) << " device geometry";
+  mosfets_.push_back(std::move(m));
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+  SASTA_CHECK(a < num_nodes() && b < num_nodes()) << " cap terminal";
+  SASTA_CHECK(farads >= 0.0) << " negative capacitance";
+  if (farads > 0.0 && a != b) caps_.push_back({a, b, farads});
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  SASTA_CHECK(a < num_nodes() && b < num_nodes()) << " resistor terminal";
+  SASTA_CHECK(ohms > 0.0) << " non-positive resistance";
+  if (a != b) resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::drive(NodeId n, Pwl wave) {
+  SASTA_CHECK(n >= 0 && n < num_nodes()) << " driven node " << n;
+  driven_[n] = std::move(wave);
+}
+
+void Circuit::drive_dc(NodeId n, double volts) { drive(n, Pwl::dc(volts)); }
+
+bool Circuit::is_driven(NodeId n) const { return driven_.count(n) > 0; }
+
+double Circuit::driven_voltage(NodeId n, double t) const {
+  auto it = driven_.find(n);
+  SASTA_CHECK(it != driven_.end()) << " node " << n << " is not driven";
+  return it->second.at(t);
+}
+
+void Circuit::set_initial_voltage(NodeId n, double volts) {
+  initial_[n] = volts;
+}
+
+double Circuit::initial_voltage(NodeId n) const {
+  auto it = initial_.find(n);
+  return it == initial_.end() ? 0.0 : it->second;
+}
+
+}  // namespace sasta::spice

@@ -1,0 +1,87 @@
+// Circuit container for the transient simulator: named nodes, MOSFETs,
+// linear elements, and driven (ideal-voltage) nodes.
+//
+// Node 0 is always ground.  Driven nodes carry a known voltage waveform
+// (DC rail or piecewise-linear source); all other nodes are solved for.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/mosfet.h"
+#include "spice/sources.h"
+#include "util/check.h"
+
+namespace sasta::spice {
+
+using NodeId = int;
+
+struct MosfetInstance {
+  MosType type = MosType::kNmos;
+  NodeId gate = 0;
+  NodeId drain = 0;
+  NodeId source = 0;
+  double width_um = 1.0;
+  double length_um = 0.1;
+  MosParams params;
+  std::string name;  ///< for diagnostics and the Fig.2/3 analysis bench
+};
+
+struct CapacitorInstance {
+  NodeId a = 0;
+  NodeId b = 0;
+  double farads = 0.0;
+};
+
+struct ResistorInstance {
+  NodeId a = 0;
+  NodeId b = 0;
+  double ohms = 0.0;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Adds (or returns the existing) node with this name.
+  NodeId add_node(const std::string& name);
+
+  /// Looks up an existing node; throws if absent.
+  NodeId node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  NodeId ground() const { return 0; }
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+
+  void add_mosfet(MosfetInstance m);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  void add_resistor(NodeId a, NodeId b, double ohms);
+
+  /// Declares `n` as an ideal voltage node following `wave`.
+  void drive(NodeId n, Pwl wave);
+  /// Declares `n` as a DC rail.
+  void drive_dc(NodeId n, double volts);
+  bool is_driven(NodeId n) const;
+  /// Voltage of a driven node at time t; throws if not driven.
+  double driven_voltage(NodeId n, double t) const;
+
+  /// Initial-condition hint for an undriven node (defaults to 0 V).
+  void set_initial_voltage(NodeId n, double volts);
+  double initial_voltage(NodeId n) const;
+
+  const std::vector<MosfetInstance>& mosfets() const { return mosfets_; }
+  const std::vector<CapacitorInstance>& capacitors() const { return caps_; }
+  const std::vector<ResistorInstance>& resistors() const { return resistors_; }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> name_to_node_;
+  std::vector<MosfetInstance> mosfets_;
+  std::vector<CapacitorInstance> caps_;
+  std::vector<ResistorInstance> resistors_;
+  std::unordered_map<NodeId, Pwl> driven_;
+  std::unordered_map<NodeId, double> initial_;
+};
+
+}  // namespace sasta::spice

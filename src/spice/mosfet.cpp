@@ -1,0 +1,118 @@
+#include "spice/mosfet.h"
+
+#include <cmath>
+
+namespace sasta::spice {
+
+namespace {
+
+// Smoothing half-width for the overdrive max(x, 0) [V].  Small enough not to
+// perturb on-current, large enough for smooth NR convergence near threshold.
+constexpr double kSmoothEps = 0.015;
+
+struct Smooth {
+  double value;
+  double deriv;
+};
+
+/// C1 approximation of max(x, 0): 0.5*(x + sqrt(x^2 + eps^2)).
+Smooth smooth_relu(double x) {
+  const double r = std::sqrt(x * x + kSmoothEps * kSmoothEps);
+  return {0.5 * (x + r), 0.5 * (1.0 + x / r)};
+}
+
+/// NMOS current for vds >= 0 with derivatives w.r.t. (vgs, vds).
+/// Alpha-power law:
+///   Idsat = kp * (W/L) * Vov^alpha * (1 + lambda*vds)
+///   linear region (vds < vdsat): Idsat * (vds/vdsat) * (2 - vds/vdsat)
+/// The linear/saturation blend is C1 at vds == vdsat by construction.
+void nmos_forward(const MosParamsAtTemp& p, double w_over_l, double vgs,
+                  double vds, double* ids, double* d_vgs, double* d_vds) {
+  const Smooth ov = smooth_relu(vgs - p.vth);
+  const double vov = ov.value;
+  if (vov <= 0.0) {
+    *ids = 0.0;
+    *d_vgs = 0.0;
+    *d_vds = 0.0;
+    return;
+  }
+  const double pow_vov = std::pow(vov, p.alpha);
+  const double isat0 = p.kp * w_over_l * pow_vov;      // before lambda
+  const double d_isat0_dvgs = p.alpha * isat0 / vov * ov.deriv;
+  const double clm = 1.0 + p.lambda * vds;
+  const double vdsat = p.vdsat_gamma * vov;
+  const double d_vdsat_dvgs = p.vdsat_gamma * ov.deriv;
+
+  if (vds >= vdsat) {
+    // Saturation.
+    *ids = isat0 * clm;
+    *d_vgs = d_isat0_dvgs * clm;
+    *d_vds = isat0 * p.lambda;
+  } else {
+    // Linear region: shape(u) = u*(2-u), u = vds/vdsat in [0,1).
+    const double u = vds / vdsat;
+    const double shape = u * (2.0 - u);
+    const double d_shape_du = 2.0 - 2.0 * u;
+    const double du_dvds = 1.0 / vdsat;
+    const double du_dvgs = -vds / (vdsat * vdsat) * d_vdsat_dvgs;
+    *ids = isat0 * shape * clm;
+    *d_vds = isat0 * (d_shape_du * du_dvds * clm + shape * p.lambda);
+    *d_vgs = (d_isat0_dvgs * shape + isat0 * d_shape_du * du_dvgs) * clm;
+  }
+}
+
+/// NMOS with drain/source symmetry: picks the terminal ordering so the
+/// internal vds is non-negative, then maps derivatives back to (vg, vd, vs).
+MosEval eval_nmos(const MosParamsAtTemp& p, double w_over_l, double vg,
+                  double vd, double vs) {
+  MosEval out;
+  double ids, d_vgs, d_vds;
+  if (vd >= vs) {
+    nmos_forward(p, w_over_l, vg - vs, vd - vs, &ids, &d_vgs, &d_vds);
+    out.ids = ids;
+    out.d_vg = d_vgs;
+    out.d_vd = d_vds;
+    out.d_vs = -d_vgs - d_vds;
+  } else {
+    // Conduction from source terminal to drain terminal: the physical source
+    // is the lower-potential terminal (vd here).
+    nmos_forward(p, w_over_l, vg - vd, vs - vd, &ids, &d_vgs, &d_vds);
+    out.ids = -ids;
+    out.d_vg = -d_vgs;
+    out.d_vs = -d_vds;
+    out.d_vd = d_vgs + d_vds;
+  }
+  return out;
+}
+
+}  // namespace
+
+MosParamsAtTemp adjust_for_temperature(const MosParams& p, double temp_c) {
+  MosParamsAtTemp a;
+  a.vth = p.vth0 - p.tc_vth * (temp_c - 25.0);
+  const double t_kelvin = temp_c + 273.15;
+  a.kp = p.kp * std::pow(298.15 / t_kelvin, p.tc_mob);
+  a.alpha = p.alpha;
+  a.vdsat_gamma = p.vdsat_gamma;
+  a.lambda = p.lambda;
+  return a;
+}
+
+MosEval eval_mosfet(MosType type, const MosParamsAtTemp& p, double w_over_l,
+                    double vg, double vd, double vs) {
+  if (type == MosType::kNmos) {
+    return eval_nmos(p, w_over_l, vg, vd, vs);
+  }
+  // PMOS is an NMOS with all node voltages negated:
+  //   Ids_p(vg, vd, vs) = -Ids_n(-vg, -vd, -vs)
+  // and derivative chain d/dv = (-1) * (-1) = +1 per terminal.
+  MosEval n = eval_nmos(p, w_over_l, -vg, -vd, -vs);
+  MosEval out;
+  out.ids = -n.ids;
+  out.d_vg = n.d_vg;
+  out.d_vd = n.d_vd;
+  out.d_vs = n.d_vs;
+  return out;
+}
+
+}  // namespace sasta::spice

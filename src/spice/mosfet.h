@@ -1,0 +1,62 @@
+// Smoothed alpha-power-law MOSFET model (Sakurai-Newton style).
+//
+// This is the device model of the transistor-level transient simulator that
+// substitutes the paper's Spectre runs.  It reproduces the two mechanisms
+// behind sensitization-vector-dependent delay:
+//   * drive-strength change when parallel devices turn on/off (Id scales
+//     with the conducting network conductance), and
+//   * charge sharing through ON devices of the complementary network
+//     (the channel conducts in both directions; junction capacitances on
+//     internal nodes are explicit circuit elements).
+//
+// The model is C1-continuous everywhere (smoothed overdrive, smooth
+// linear/saturation blend) so Newton-Raphson converges reliably.
+#pragma once
+
+namespace sasta::spice {
+
+enum class MosType { kNmos, kPmos };
+
+/// Device-model parameters.  Voltages in volts, currents in amperes,
+/// capacitances in farads.  All magnitudes are positive for both polarities;
+/// the evaluator handles PMOS sign conventions.
+struct MosParams {
+  double vth0 = 0.3;        ///< threshold voltage magnitude at 25 degC [V]
+  double kp = 1e-5;         ///< drive factor: Idsat = kp*(W/L)*Vov^alpha [A/V^alpha]
+  double alpha = 1.3;       ///< velocity-saturation index (2 = long channel)
+  double vdsat_gamma = 0.8; ///< Vdsat = vdsat_gamma * Vov
+  double lambda = 0.05;     ///< channel-length modulation [1/V]
+  double tc_vth = 0.0008;   ///< Vth decrease per degC above 25 [V/degC]
+  double tc_mob = 1.4;      ///< mobility exponent: kp(T) = kp*(298K/T)^tc_mob
+  double cg_per_um = 1.5e-15; ///< gate capacitance per um of width [F/um]
+  double cj_per_um = 0.8e-15; ///< drain/source junction cap per um width [F/um]
+};
+
+/// Drain current and derivatives of a single device.
+/// `ids` is the current flowing from drain to source terminal.
+struct MosEval {
+  double ids = 0.0;
+  double d_vg = 0.0;  ///< d ids / d Vgate
+  double d_vd = 0.0;  ///< d ids / d Vdrain
+  double d_vs = 0.0;  ///< d ids / d Vsource
+};
+
+/// Temperature-adjusted parameters (precomputed once per simulation).
+struct MosParamsAtTemp {
+  double vth = 0.3;
+  double kp = 1e-5;
+  double alpha = 1.3;
+  double vdsat_gamma = 0.8;
+  double lambda = 0.05;
+};
+
+/// Applies the temperature dependence of Vth and mobility.
+MosParamsAtTemp adjust_for_temperature(const MosParams& p, double temp_c);
+
+/// Evaluates the device at the given absolute terminal voltages.
+/// Symmetric in drain/source (the conducting terminal pair is swapped
+/// internally when vds < 0), which is required for charge-sharing paths.
+MosEval eval_mosfet(MosType type, const MosParamsAtTemp& p, double w_over_l,
+                    double vg, double vd, double vs);
+
+}  // namespace sasta::spice

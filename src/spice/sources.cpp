@@ -1,0 +1,43 @@
+#include "spice/sources.h"
+
+#include "util/check.h"
+
+namespace sasta::spice {
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  SASTA_CHECK(!points_.empty()) << " empty PWL";
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    SASTA_CHECK(points_[i].first >= points_[i - 1].first)
+        << " PWL times must be non-decreasing";
+  }
+}
+
+Pwl Pwl::ramp(double v0, double v1, double t_start, double ramp_time) {
+  SASTA_CHECK(ramp_time > 0.0) << " ramp time must be positive";
+  return Pwl(std::vector<std::pair<double, double>>{
+      {0.0, v0}, {t_start, v0}, {t_start + ramp_time, v1}});
+}
+
+double Pwl::at(double t) const {
+  SASTA_CHECK(!points_.empty()) << " uninitialized PWL";
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Binary search for the bracketing segment (waveform-derived PWLs can
+  // carry hundreds of points and are sampled every timestep).
+  std::size_t lo = 0, hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (points_[mid].first <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [t0, v0] = points_[lo];
+  const auto& [t1, v1] = points_[hi];
+  if (t1 == t0) return v1;
+  return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+}
+
+}  // namespace sasta::spice

@@ -1,0 +1,33 @@
+// Piecewise-linear voltage waveform description for driven nodes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace sasta::spice {
+
+/// Piecewise-linear v(t).  Points must be sorted by time; the waveform is
+/// held constant before the first and after the last point.
+class Pwl {
+ public:
+  Pwl() = default;
+  explicit Pwl(double dc) { points_.emplace_back(0.0, dc); }
+  explicit Pwl(std::vector<std::pair<double, double>> points);
+
+  static Pwl dc(double volts) { return Pwl(volts); }
+
+  /// Flat at `v0` until `t_start`, linear ramp to `v1` over `ramp_time`,
+  /// then flat at `v1`.  Models the input transition of a characterization
+  /// run; `ramp_time` is the full 0-100 % ramp duration.
+  static Pwl ramp(double v0, double v1, double t_start, double ramp_time);
+
+  double at(double t) const;
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace sasta::spice

@@ -1,0 +1,226 @@
+#include "spice/transient.h"
+
+#include <cmath>
+
+#include "numeric/linear_solver.h"
+#include "util/log.h"
+
+namespace sasta::spice {
+
+namespace {
+
+/// Compact index map: circuit node -> unknown index, or -1 if driven.
+struct UnknownMap {
+  std::vector<int> node_to_unknown;
+  std::vector<NodeId> unknown_to_node;
+};
+
+UnknownMap build_unknown_map(const Circuit& c) {
+  UnknownMap m;
+  m.node_to_unknown.assign(c.num_nodes(), -1);
+  for (NodeId n = 0; n < c.num_nodes(); ++n) {
+    if (!c.is_driven(n)) {
+      m.node_to_unknown[n] = static_cast<int>(m.unknown_to_node.size());
+      m.unknown_to_node.push_back(n);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+TransientResult simulate_transient(const Circuit& circuit,
+                                   const TransientOptions& opt) {
+  SASTA_CHECK(opt.t_stop > 0.0 && opt.dt > 0.0) << " invalid time setup";
+  const UnknownMap map = build_unknown_map(circuit);
+  const int num_nodes = circuit.num_nodes();
+  const std::size_t nu = map.unknown_to_node.size();
+
+  // Temperature-adjusted device parameters, precomputed per instance.
+  std::vector<MosParamsAtTemp> mos_at_temp;
+  mos_at_temp.reserve(circuit.mosfets().size());
+  for (const auto& m : circuit.mosfets()) {
+    mos_at_temp.push_back(adjust_for_temperature(m.params, opt.temperature_c));
+  }
+
+  // Full node voltage vectors for the current NR iterate and previous step.
+  std::vector<double> v(num_nodes, 0.0);
+  std::vector<double> v_prev(num_nodes, 0.0);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    v[n] = circuit.is_driven(n) ? circuit.driven_voltage(n, 0.0)
+                                : circuit.initial_voltage(n);
+  }
+
+  TransientResult result;
+  result.node_waveforms.resize(num_nodes);
+  const int est_samples = static_cast<int>(opt.t_stop / opt.dt) /
+                              std::max(1, opt.store_every) + 2;
+  for (auto& w : result.node_waveforms) w.reserve(est_samples);
+  for (NodeId n = 0; n < num_nodes; ++n) result.node_waveforms[n].append(0.0, v[n]);
+
+  num::Matrix jac(nu, nu);
+  num::Vector residual(nu);
+  num::LuWorkspace lu;
+
+  // Trapezoidal companion state: capacitor current at the previous accepted
+  // timestep (zero initial current: consistent with the settled-start
+  // convention of the characterization flow).
+  std::vector<double> cap_i_prev(circuit.capacitors().size(), 0.0);
+  const bool trapezoidal = opt.integrator == Integrator::kTrapezoidal;
+
+  const int num_steps = static_cast<int>(std::ceil(opt.t_stop / opt.dt));
+  for (int step = 1; step <= num_steps; ++step) {
+    const double t = std::min(step * opt.dt, opt.t_stop);
+    const double h = opt.dt;
+    v_prev = v;
+    // Update Dirichlet nodes and keep unknowns at their previous values as
+    // the NR starting point.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (circuit.is_driven(n)) v[n] = circuit.driven_voltage(n, t);
+    }
+
+    bool step_converged = false;
+    for (int iter = 0; iter < opt.nr_max_iters; ++iter) {
+      ++result.total_nr_iterations;
+      // Assemble F(v) and J(v) over unknowns.  F[n] = sum of currents
+      // leaving node n; we solve J * dv = -F.
+      for (std::size_t i = 0; i < nu; ++i) {
+        residual[i] = 0.0;
+        double* row = jac.row_data(i);
+        for (std::size_t j = 0; j < nu; ++j) row[j] = 0.0;
+      }
+
+      auto stamp_conductance = [&](NodeId a, NodeId b, double g) {
+        // Current a->b: g*(va - vb).
+        const double i_ab = g * (v[a] - v[b]);
+        const int ua = map.node_to_unknown[a];
+        const int ub = map.node_to_unknown[b];
+        if (ua >= 0) {
+          residual[ua] += i_ab;
+          jac(ua, ua) += g;
+          if (ub >= 0) jac(ua, ub) -= g;
+        }
+        if (ub >= 0) {
+          residual[ub] -= i_ab;
+          jac(ub, ub) += g;
+          if (ua >= 0) jac(ub, ua) -= g;
+        }
+      };
+
+      // gmin to ground on every unknown node.
+      for (std::size_t i = 0; i < nu; ++i) {
+        const NodeId n = map.unknown_to_node[i];
+        residual[i] += opt.gmin * v[n];
+        jac(i, i) += opt.gmin;
+      }
+
+      // Resistors.
+      for (const auto& r : circuit.resistors()) {
+        stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+      }
+
+      // Capacitor companion models:
+      //   backward Euler: i = (C/h)  * (vab - vab_prev)
+      //   trapezoidal:    i = (2C/h) * (vab - vab_prev) - i_prev
+      // The first step is always backward Euler: the logic-derived initial
+      // conditions carry no consistent capacitor current, and trapezoidal
+      // rings persistently off an inconsistent start.
+      const bool tr_step = trapezoidal && step > 1;
+      for (std::size_t ci = 0; ci < circuit.capacitors().size(); ++ci) {
+        const auto& cap = circuit.capacitors()[ci];
+        const double g = (tr_step ? 2.0 : 1.0) * cap.farads / h;
+        const double i_hist = -g * (v_prev[cap.a] - v_prev[cap.b]) -
+                              (tr_step ? cap_i_prev[ci] : 0.0);
+        const double i_ab = g * (v[cap.a] - v[cap.b]) + i_hist;
+        const int ua = map.node_to_unknown[cap.a];
+        const int ub = map.node_to_unknown[cap.b];
+        if (ua >= 0) {
+          residual[ua] += i_ab;
+          jac(ua, ua) += g;
+          if (ub >= 0) jac(ua, ub) -= g;
+        }
+        if (ub >= 0) {
+          residual[ub] -= i_ab;
+          jac(ub, ub) += g;
+          if (ua >= 0) jac(ub, ua) -= g;
+        }
+      }
+
+      // MOSFETs.
+      for (std::size_t mi = 0; mi < circuit.mosfets().size(); ++mi) {
+        const auto& m = circuit.mosfets()[mi];
+        const double w_over_l = m.width_um / m.length_um;
+        const MosEval e = eval_mosfet(m.type, mos_at_temp[mi], w_over_l,
+                                      v[m.gate], v[m.drain], v[m.source]);
+        const int ud = map.node_to_unknown[m.drain];
+        const int us = map.node_to_unknown[m.source];
+        const int ug = map.node_to_unknown[m.gate];
+        // ids flows drain -> source: leaves drain, enters source.
+        if (ud >= 0) {
+          residual[ud] += e.ids;
+          jac(ud, ud) += e.d_vd;
+          if (us >= 0) jac(ud, us) += e.d_vs;
+          if (ug >= 0) jac(ud, ug) += e.d_vg;
+        }
+        if (us >= 0) {
+          residual[us] -= e.ids;
+          jac(us, us) -= e.d_vs;
+          if (ud >= 0) jac(us, ud) -= e.d_vd;
+          if (ug >= 0) jac(us, ug) -= e.d_vg;
+        }
+      }
+
+      // Convergence on residual.
+      double max_res = 0.0;
+      for (double f : residual) max_res = std::max(max_res, std::fabs(f));
+      if (max_res < opt.nr_tol) {
+        step_converged = true;
+        break;
+      }
+
+      num::Vector delta = residual;
+      for (double& d : delta) d = -d;
+      if (!lu.factor_and_solve(jac, delta)) {
+        SASTA_LOG(kWarning) << "singular Jacobian at t=" << t;
+        break;
+      }
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nu; ++i) {
+        double d = delta[i];
+        if (d > opt.max_delta_v) d = opt.max_delta_v;
+        if (d < -opt.max_delta_v) d = -opt.max_delta_v;
+        v[map.unknown_to_node[i]] += d;
+        max_dv = std::max(max_dv, std::fabs(d));
+      }
+      if (max_dv < opt.nr_vtol) {
+        step_converged = true;
+        break;
+      }
+    }
+    if (!step_converged) result.converged = false;
+    ++result.steps;
+
+    if (trapezoidal) {
+      for (std::size_t ci = 0; ci < circuit.capacitors().size(); ++ci) {
+        const auto& cap = circuit.capacitors()[ci];
+        const double dvab =
+            (v[cap.a] - v[cap.b]) - (v_prev[cap.a] - v_prev[cap.b]);
+        if (step == 1) {
+          // Backward-Euler bootstrap current.
+          cap_i_prev[ci] = cap.farads / h * dvab;
+        } else {
+          cap_i_prev[ci] = 2.0 * cap.farads / h * dvab - cap_i_prev[ci];
+        }
+      }
+    }
+
+    if (step % std::max(1, opt.store_every) == 0 || step == num_steps) {
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        result.node_waveforms[n].append(t, v[n]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sasta::spice

@@ -1,0 +1,55 @@
+// Transient analysis: backward-Euler integration with a damped
+// Newton-Raphson nonlinear solve at every timestep.
+//
+// Driven nodes (rails and PWL inputs) are Dirichlet conditions; all other
+// nodes are unknowns.  Every unknown node receives a gmin conductance to
+// ground so that momentarily floating nodes keep the Jacobian nonsingular.
+//
+// Backward Euler is unconditionally stable and strongly damped, which lets
+// the characterization engine start from logic-derived initial conditions
+// and settle to the true DC state during a short pre-transition hold time
+// instead of requiring a separate (and fragile) DC operating-point solve.
+#pragma once
+
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/waveform.h"
+
+namespace sasta::spice {
+
+enum class Integrator {
+  kBackwardEuler,  ///< first order, strongly damped (default: robust with
+                   ///< logic-derived initial conditions)
+  kTrapezoidal,    ///< second order, more accurate at a given timestep
+};
+
+struct TransientOptions {
+  double t_stop = 1e-9;       ///< simulation end time [s]
+  double dt = 1e-12;          ///< fixed timestep [s]
+  Integrator integrator = Integrator::kBackwardEuler;
+  double temperature_c = 25.0;
+  double nr_tol = 1e-9;       ///< residual current tolerance [A]
+  double nr_vtol = 1e-6;      ///< voltage update tolerance [V]
+  int nr_max_iters = 60;
+  double gmin = 1e-9;         ///< leak to ground per unknown node [S]
+  double max_delta_v = 0.4;   ///< NR damping clamp per iteration [V]
+  int store_every = 1;        ///< waveform decimation factor
+};
+
+struct TransientResult {
+  /// One waveform per circuit node (driven nodes included for convenience).
+  std::vector<Waveform> node_waveforms;
+  int total_nr_iterations = 0;
+  int steps = 0;
+  bool converged = true;  ///< false if any step hit nr_max_iters
+
+  const Waveform& waveform(NodeId n) const { return node_waveforms.at(n); }
+};
+
+/// Runs the transient analysis.  Throws util::Error on structural problems
+/// (no unknowns is allowed and returns driven waveforms only).
+TransientResult simulate_transient(const Circuit& circuit,
+                                   const TransientOptions& options);
+
+}  // namespace sasta::spice

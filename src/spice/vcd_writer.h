@@ -1,0 +1,28 @@
+// VCD (Value Change Dump) export of transient results, for inspecting
+// simulated waveforms in standard viewers (GTKWave etc.).  Analog node
+// voltages are emitted as VCD `real` variables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/transient.h"
+
+namespace sasta::spice {
+
+struct VcdOptions {
+  double timescale_s = 1e-12;  ///< 1 VCD tick (default 1 ps)
+  /// Nodes to dump; empty = every circuit node.
+  std::vector<NodeId> nodes;
+};
+
+void write_vcd(const Circuit& circuit, const TransientResult& result,
+               std::ostream& os, const VcdOptions& options = {});
+
+std::string write_vcd_string(const Circuit& circuit,
+                             const TransientResult& result,
+                             const VcdOptions& options = {});
+
+}  // namespace sasta::spice

@@ -1,0 +1,75 @@
+#include "spice/waveform.h"
+
+#include "util/check.h"
+
+namespace sasta::spice {
+
+double Waveform::at(double t) const {
+  SASTA_CHECK(!empty()) << " empty waveform";
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  // Binary search for the bracketing sample.
+  std::size_t lo = 0, hi = times_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (times_[mid] <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t0 = times_[lo], t1 = times_[hi];
+  if (t1 == t0) return values_[hi];
+  const double f = (t - t0) / (t1 - t0);
+  return values_[lo] + f * (values_[hi] - values_[lo]);
+}
+
+std::optional<double> Waveform::cross_time(double level, Edge direction,
+                                           double t_min) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < t_min) continue;
+    const double v0 = values_[i - 1];
+    const double v1 = values_[i];
+    const bool crossed = direction == Edge::kRise ? (v0 < level && v1 >= level)
+                                                  : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double f = (level - v0) / (v1 - v0);
+    const double t = times_[i - 1] + f * (times_[i] - times_[i - 1]);
+    if (t >= t_min) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> transition_time(const Waveform& w, double vdd, Edge edge,
+                                      double t_min) {
+  const double lo = 0.1 * vdd;
+  const double hi = 0.9 * vdd;
+  if (edge == Edge::kRise) {
+    auto t_lo = w.cross_time(lo, Edge::kRise, t_min);
+    if (!t_lo) return std::nullopt;
+    auto t_hi = w.cross_time(hi, Edge::kRise, *t_lo);
+    if (!t_hi) return std::nullopt;
+    return *t_hi - *t_lo;
+  }
+  auto t_hi = w.cross_time(hi, Edge::kFall, t_min);
+  if (!t_hi) return std::nullopt;
+  auto t_lo = w.cross_time(lo, Edge::kFall, *t_hi);
+  if (!t_lo) return std::nullopt;
+  return *t_lo - *t_hi;
+}
+
+std::optional<double> propagation_delay(const Waveform& in, Edge in_edge,
+                                        const Waveform& out, Edge out_edge,
+                                        double vdd, double t_min) {
+  const double mid = 0.5 * vdd;
+  auto t_in = in.cross_time(mid, in_edge, t_min);
+  if (!t_in) return std::nullopt;
+  // The output crossing is searched from the window start, not from the
+  // input crossing: a lightly loaded gate driven by a slow ramp switches
+  // before the input reaches 50 %, i.e. the propagation delay is negative.
+  auto t_out = out.cross_time(mid, out_edge, t_min);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+}  // namespace sasta::spice

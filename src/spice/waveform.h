@@ -1,0 +1,59 @@
+// Sampled waveform storage and the delay / transition-time measurements the
+// characterization engine applies to simulation results.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace sasta::spice {
+
+enum class Edge { kRise, kFall };
+
+inline Edge opposite(Edge e) { return e == Edge::kRise ? Edge::kFall : Edge::kRise; }
+inline const char* edge_name(Edge e) { return e == Edge::kRise ? "rise" : "fall"; }
+
+/// Uniformly/non-uniformly sampled v(t).
+class Waveform {
+ public:
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+  void append(double t, double v) {
+    times_.push_back(t);
+    values_.push_back(v);
+  }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time(std::size_t i) const { return times_[i]; }
+  double value(std::size_t i) const { return values_[i]; }
+  double first_time() const { return times_.front(); }
+  double last_time() const { return times_.back(); }
+  double last_value() const { return values_.back(); }
+
+  /// Linear-interpolated value at time t (clamped to the sampled range).
+  double at(double t) const;
+
+  /// First time >= t_min at which the waveform crosses `level` in the given
+  /// direction, by linear interpolation; nullopt if it never does.
+  std::optional<double> cross_time(double level, Edge direction,
+                                   double t_min = 0.0) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// 10 %-90 % (rise) or 90 %-10 % (fall) transition time of the first `edge`
+/// transition after t_min, referenced to a 0..vdd swing.
+std::optional<double> transition_time(const Waveform& w, double vdd, Edge edge,
+                                      double t_min = 0.0);
+
+/// 50 %-to-50 % propagation delay from `in` (edge `in_edge`, first crossing
+/// after t_min) to `out` (edge `out_edge`, first crossing after the input
+/// crossing).  nullopt if either crossing is missing.
+std::optional<double> propagation_delay(const Waveform& in, Edge in_edge,
+                                        const Waveform& out, Edge out_edge,
+                                        double vdd, double t_min = 0.0);
+
+}  // namespace sasta::spice

@@ -1,0 +1,91 @@
+// Dual-value assignment state for the single-pass true-path engine
+// (paper Section IV.B).
+//
+// Every net carries one nine-valued transition value per *scenario*:
+// scenario R assumes the path's primary input rises, scenario F assumes it
+// falls.  Steady side-input assignments are shared between scenarios (they
+// are polarity-independent), so both transition directions are traced in a
+// single pass over the circuit — the paper's "dual value logic system".
+// Semi-undetermined values (X0, X1, ...) arise naturally from implication
+// and enable early conflict detection before all implied nodes are set.
+//
+// All mutations go through a trail so the RESIST-style DFS can checkpoint
+// and roll back in O(changes).
+#pragma once
+
+#include <vector>
+
+#include "logicsys/ninevalue.h"
+#include "netlist/netlist.h"
+
+namespace sasta::sta {
+
+/// Bitmask over the two transition scenarios.
+enum ScenarioMask : unsigned {
+  kScenarioNone = 0,
+  kScenarioR = 1,  ///< path input rising
+  kScenarioF = 2,  ///< path input falling
+  kScenarioBoth = 3,
+};
+
+struct DualVal {
+  logicsys::NineVal r = logicsys::NineVal::unknown();
+  logicsys::NineVal f = logicsys::NineVal::unknown();
+
+  const logicsys::NineVal& get(unsigned scenario_bit) const {
+    return scenario_bit == kScenarioR ? r : f;
+  }
+};
+
+class AssignmentState {
+ public:
+  explicit AssignmentState(int num_nets);
+
+  const DualVal& value(netlist::NetId n) const { return values_[n]; }
+
+  /// Outcome of a refinement attempt, per scenario.
+  struct RefineResult {
+    unsigned changed = kScenarioNone;   ///< scenarios whose value narrowed
+    unsigned conflict = kScenarioNone;  ///< scenarios where the new value
+                                        ///< contradicts the stored one
+  };
+
+  /// Meets (vr, vf) into net n.  A conflicting scenario keeps its old value.
+  RefineResult refine(netlist::NetId n, const logicsys::NineVal& vr,
+                      const logicsys::NineVal& vf);
+
+  /// Shared steady assignment (both scenarios).
+  RefineResult refine_steady(netlist::NetId n, bool value) {
+    const auto v = logicsys::NineVal::stable(value);
+    return refine(n, v, v);
+  }
+
+  /// Justified flag: the net's current steady value is known to be
+  /// realizable from primary inputs.  Trail-managed like values.
+  bool justified(netlist::NetId n) const { return justified_[n]; }
+  void mark_justified(netlist::NetId n);
+
+  /// Checkpoint / rollback.
+  using Mark = std::size_t;
+  Mark mark() const { return trail_.size(); }
+  void rollback(Mark m);
+
+  /// Clears everything (new path-source iteration).
+  void reset();
+
+  int num_nets() const { return static_cast<int>(values_.size()); }
+
+ private:
+  struct TrailEntry {
+    netlist::NetId net;
+    DualVal old_value;
+    bool old_justified;
+  };
+  void remember(netlist::NetId n);
+
+  std::vector<DualVal> values_;
+  std::vector<bool> justified_;
+  std::vector<TrailEntry> trail_;
+};
+
+}  // namespace sasta::sta

@@ -1,0 +1,59 @@
+#include "sta/corners.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sasta::sta {
+
+std::vector<Corner> default_corners(const tech::Technology& tech) {
+  return {
+      {"fast", 0.0, 1.1 * tech.vdd},
+      {"typ", tech.nominal_temp_c, tech.vdd},
+      {"slow", 125.0, 0.9 * tech.vdd},
+  };
+}
+
+const CornerResult& MultiCornerResult::worst() const {
+  SASTA_CHECK(!corners.empty()) << " no corners analyzed";
+  return *std::max_element(corners.begin(), corners.end(),
+                           [](const CornerResult& a, const CornerResult& b) {
+                             return a.critical_delay < b.critical_delay;
+                           });
+}
+
+MultiCornerResult analyze_corners(const netlist::Netlist& nl,
+                                  const charlib::CharLibrary& charlib,
+                                  const tech::Technology& tech,
+                                  const std::vector<Corner>& corners,
+                                  const StaToolOptions& base_options,
+                                  long keep_worst) {
+  SASTA_CHECK(!corners.empty()) << " corner list empty";
+  // One path-finding pass at the base (typical) delay settings.
+  StaToolOptions opt = base_options;
+  opt.keep_worst = keep_worst;
+  StaTool tool(nl, charlib, tech, opt);
+  const StaResult base = tool.run();
+
+  MultiCornerResult out;
+  out.stats = base.stats;
+  for (const Corner& corner : corners) {
+    DelayCalcOptions dopt = base_options.delay;
+    dopt.temperature_c = corner.temp_c;
+    dopt.vdd = corner.vdd;
+    DelayCalculator calc(nl, charlib, tech, dopt);
+    CornerResult cr;
+    cr.corner = corner;
+    for (const TimedPath& tp : base.paths) {
+      TimedPath retimed = calc.compute(tp.path);
+      if (retimed.delay > cr.critical_delay) {
+        cr.critical_delay = retimed.delay;
+        cr.critical = std::move(retimed);
+      }
+    }
+    out.corners.push_back(std::move(cr));
+  }
+  return out;
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,51 @@
+// Multi-corner analysis: the paper's polynomial model carries temperature
+// and supply voltage as first-class variables (Eq. (3)), so re-evaluating
+// timing at a PVT corner costs only polynomial evaluations — no
+// re-characterization and no re-simulation.  This module runs the
+// sensitization-aware analysis once (path topology and vectors do not
+// depend on PVT) and re-times the discovered paths at every corner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta_tool.h"
+
+namespace sasta::sta {
+
+struct Corner {
+  std::string name;     ///< e.g. "slow" / "typ" / "fast"
+  double temp_c = 25.0;
+  double vdd = 0.0;     ///< 0 = technology nominal
+};
+
+/// Standard three-corner set for a technology: fast (cold, +10 % VDD),
+/// typical (nominal), slow (hot, -10 % VDD).
+std::vector<Corner> default_corners(const tech::Technology& tech);
+
+struct CornerResult {
+  Corner corner;
+  double critical_delay = 0.0;
+  TimedPath critical;  ///< worst path re-timed at this corner
+};
+
+struct MultiCornerResult {
+  std::vector<CornerResult> corners;  ///< in input order
+  PathFinderStats stats;              ///< from the single path-finding pass
+
+  /// Corner with the largest critical delay.
+  const CornerResult& worst() const;
+};
+
+/// Runs path finding once and re-times the retained paths per corner.
+/// `keep_worst` bounds the per-corner candidate set (the critical path can
+/// differ between corners, so more than 1 candidate must be retained;
+/// 32 is plenty in practice).
+MultiCornerResult analyze_corners(const netlist::Netlist& nl,
+                                  const charlib::CharLibrary& charlib,
+                                  const tech::Technology& tech,
+                                  const std::vector<Corner>& corners,
+                                  const StaToolOptions& base_options = {},
+                                  long keep_worst = 32);
+
+}  // namespace sasta::sta

@@ -1,0 +1,90 @@
+#include "sta/delaycalc.h"
+
+#include "util/check.h"
+
+namespace sasta::sta {
+
+using spice::Edge;
+
+DelayCalculator::DelayCalculator(const netlist::Netlist& nl,
+                                 const charlib::CharLibrary& charlib,
+                                 const tech::Technology& tech,
+                                 const DelayCalcOptions& options)
+    : nl_(nl), charlib_(charlib), tech_(tech), opt_(options) {
+  if (opt_.vdd <= 0.0) opt_.vdd = tech_.vdd;
+  if (opt_.input_slew_s <= 0.0) opt_.input_slew_s = tech_.default_input_slew;
+  const charlib::CellTiming* inv = charlib_.find("INV");
+  SASTA_CHECK(inv != nullptr) << " characterized library lacks INV";
+  po_load_cap_ = opt_.po_load_fanouts * inv->avg_input_cap;
+}
+
+double DelayCalculator::net_load(netlist::NetId net) const {
+  const netlist::Net& n = nl_.net(net);
+  double cap = 0.0;
+  for (const netlist::Fanout& f : n.fanouts) {
+    const netlist::Instance& sink = nl_.instance(f.inst);
+    const charlib::CellTiming& t = charlib_.timing(sink.cell->name());
+    cap += t.pin_caps.at(f.pin);
+    cap += tech_.wire_cap_per_fanout;
+  }
+  if (n.is_primary_output) cap += po_load_cap_;
+  return cap;
+}
+
+double DelayCalculator::equivalent_fanout(netlist::InstId driver,
+                                          netlist::NetId net) const {
+  const netlist::Instance& inst = nl_.instance(driver);
+  const charlib::CellTiming& t = charlib_.timing(inst.cell->name());
+  SASTA_CHECK(t.avg_input_cap > 0.0) << " zero input cap for "
+                                     << inst.cell->name();
+  return net_load(net) / t.avg_input_cap;
+}
+
+TimedPath DelayCalculator::compute(const TruePath& path) const {
+  TimedPath out;
+  out.path = path;
+  double slew = opt_.input_slew_s;
+  Edge edge = path.launch_edge;
+  double total = 0.0;
+  for (const PathStep& s : path.steps) {
+    const netlist::Instance& inst = nl_.instance(s.inst);
+    const charlib::CellTiming& t = charlib_.timing(inst.cell->name());
+    const charlib::ArcModel& arc = t.arc(s.pin, s.vector_id, edge);
+    const double fo = equivalent_fanout(s.inst, inst.output);
+    const charlib::ModelPoint pt{fo, slew, opt_.temperature_c, opt_.vdd};
+    const double d = arc.delay(pt);
+    out.stage_in_edges.push_back(edge);
+    out.stage_delays.push_back(d);
+    total += d;
+    slew = arc.output_slew(pt);
+    edge = arc.out_edge(edge);
+  }
+  out.delay = total;
+  out.arrival_slew = slew;
+  return out;
+}
+
+TimedPath DelayCalculator::compute_lut(const TruePath& path) const {
+  TimedPath out;
+  out.path = path;
+  double slew = opt_.input_slew_s;
+  Edge edge = path.launch_edge;
+  double total = 0.0;
+  for (const PathStep& s : path.steps) {
+    const netlist::Instance& inst = nl_.instance(s.inst);
+    const charlib::CellTiming& t = charlib_.timing(inst.cell->name());
+    const charlib::LutModel& lut = t.lut(s.pin, edge);
+    const double fo = equivalent_fanout(s.inst, inst.output);
+    const double d = lut.delay(slew, fo);
+    out.stage_in_edges.push_back(edge);
+    out.stage_delays.push_back(d);
+    total += d;
+    slew = lut.output_slew(slew, fo);
+    edge = lut.out_edge(edge);
+  }
+  out.delay = total;
+  out.arrival_slew = slew;
+  return out;
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,58 @@
+// Path delay computation with the polynomial arc models.
+//
+// The delay and output transition time of every traversed gate come from
+// the arc characterized for the *specific sensitization vector* the path
+// finder committed to — the core accuracy claim of the paper.  Slew is
+// propagated stage to stage; the equivalent fanout Fo of each stage is
+// computed from the actual netlist loading (sum of sink pin capacitances
+// plus wire parasitics, normalized by the driving cell's mean input
+// capacitance, paper Section IV.A).
+#pragma once
+
+#include "charlib/charlibrary.h"
+#include "netlist/netlist.h"
+#include "sta/path.h"
+#include "tech/technology.h"
+
+namespace sasta::sta {
+
+struct DelayCalcOptions {
+  double temperature_c = 25.0;
+  double vdd = 0.0;               ///< 0 = technology nominal
+  double input_slew_s = 0.0;      ///< 0 = technology default
+  double po_load_fanouts = 2.0;   ///< extra load on primary outputs,
+                                  ///< in INV input capacitances
+};
+
+class DelayCalculator {
+ public:
+  DelayCalculator(const netlist::Netlist& nl,
+                  const charlib::CharLibrary& charlib,
+                  const tech::Technology& tech,
+                  const DelayCalcOptions& options = {});
+
+  /// Total capacitive load on `net` [F].
+  double net_load(netlist::NetId net) const;
+
+  /// Equivalent fanout seen by the instance driving `net`.
+  double equivalent_fanout(netlist::InstId driver, netlist::NetId net) const;
+
+  /// Computes timing for a sensitized path using the vector-specific
+  /// polynomial arcs.
+  TimedPath compute(const TruePath& path) const;
+
+  /// Computes timing for the same path using the sensitization-oblivious
+  /// LUT models (the commercial-tool baseline delay engine).
+  TimedPath compute_lut(const TruePath& path) const;
+
+  const DelayCalcOptions& options() const { return opt_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  const tech::Technology& tech_;
+  DelayCalcOptions opt_;
+  double po_load_cap_ = 0.0;
+};
+
+}  // namespace sasta::sta

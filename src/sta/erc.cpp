@@ -1,0 +1,79 @@
+#include "sta/erc.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace sasta::sta {
+
+ErcReport check_electrical_rules(const netlist::Netlist& nl,
+                                 const charlib::CharLibrary& charlib,
+                                 const tech::Technology& tech,
+                                 const ErcLimits& limits) {
+  ErcLimits lim = limits;
+  if (lim.max_slew_s <= 0.0) lim.max_slew_s = 10.0 * tech.default_input_slew;
+  if (lim.max_cap_f <= 0.0) {
+    lim.max_cap_f = 16.0 * charlib.timing("INV").avg_input_cap;
+  }
+  DelayCalculator calc(nl, charlib, tech);
+
+  ErcReport report;
+  for (const netlist::Instance& inst : nl.instances()) {
+    const netlist::InstId id =
+        static_cast<netlist::InstId>(&inst - nl.instances().data());
+    ++report.checked_nets;
+    const double load = calc.net_load(inst.output);
+    if (load > lim.max_cap_f) {
+      report.violations.push_back({ErcViolation::Kind::kMaxCap, inst.output,
+                                   load, lim.max_cap_f});
+    }
+    // Worst output slew over arcs at the default input slew.
+    const charlib::CellTiming& ct = charlib.timing(inst.cell->name());
+    const double fo = calc.equivalent_fanout(id, inst.output);
+    double worst_slew = 0.0;
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      for (int v = 0; v < ct.num_vectors(p); ++v) {
+        for (const spice::Edge e : {spice::Edge::kRise, spice::Edge::kFall}) {
+          const charlib::ModelPoint pt{fo, tech.default_input_slew,
+                                       tech.nominal_temp_c, tech.vdd};
+          worst_slew = std::max(worst_slew,
+                                ct.arc(p, v, e).output_slew(pt));
+        }
+      }
+    }
+    if (worst_slew > lim.max_slew_s) {
+      report.violations.push_back({ErcViolation::Kind::kMaxSlew, inst.output,
+                                   worst_slew, lim.max_slew_s});
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const ErcViolation& a, const ErcViolation& b) {
+              return a.value / a.limit > b.value / b.limit;
+            });
+  return report;
+}
+
+std::string format_erc_report(const netlist::Netlist& nl,
+                              const ErcReport& report) {
+  std::ostringstream os;
+  os << "ERC: " << report.violations.size() << " violation(s) over "
+     << report.checked_nets << " driven net(s)\n";
+  for (const auto& v : report.violations) {
+    os << "  " << (v.kind == ErcViolation::Kind::kMaxSlew ? "max-slew"
+                                                          : "max-cap ")
+       << "  " << nl.net(v.net).name << "  ";
+    if (v.kind == ErcViolation::Kind::kMaxSlew) {
+      os << util::format_fixed(v.value * 1e12, 1) << " ps (limit "
+         << util::format_fixed(v.limit * 1e12, 1) << " ps)";
+    } else {
+      os << util::format_fixed(v.value * 1e15, 1) << " fF (limit "
+         << util::format_fixed(v.limit * 1e15, 1) << " fF)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,44 @@
+// Electrical rule checks: maximum output transition (slew) and maximum
+// load capacitance per driver, evaluated with the characterized models.
+// The standard companion report of an STA signoff run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "charlib/charlibrary.h"
+#include "netlist/netlist.h"
+#include "sta/delaycalc.h"
+
+namespace sasta::sta {
+
+struct ErcLimits {
+  double max_slew_s = 0.0;   ///< 0 = 10x the technology default input slew
+  double max_cap_f = 0.0;    ///< 0 = 16x the INV mean input capacitance
+};
+
+struct ErcViolation {
+  enum class Kind { kMaxSlew, kMaxCap };
+  Kind kind = Kind::kMaxSlew;
+  netlist::NetId net = netlist::kNoId;
+  double value = 0.0;  ///< measured slew [s] or load [F]
+  double limit = 0.0;
+};
+
+struct ErcReport {
+  std::vector<ErcViolation> violations;  ///< sorted by decreasing overshoot
+  int checked_nets = 0;
+};
+
+/// Checks every driven net: load capacitance against max_cap and the
+/// worst-case output slew (max over input pins, edges, sensitization
+/// vectors, at the default input slew) against max_slew.
+ErcReport check_electrical_rules(const netlist::Netlist& nl,
+                                 const charlib::CharLibrary& charlib,
+                                 const tech::Technology& tech,
+                                 const ErcLimits& limits = {});
+
+std::string format_erc_report(const netlist::Netlist& nl,
+                              const ErcReport& report);
+
+}  // namespace sasta::sta

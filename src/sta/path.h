@@ -1,0 +1,53 @@
+// True-path records produced by the path finder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "spice/waveform.h"
+
+namespace sasta::sta {
+
+/// One traversed gate: which instance, through which input pin, using which
+/// sensitization vector (index into the characterized library's vector list
+/// for that pin).
+struct PathStep {
+  netlist::InstId inst = netlist::kNoId;
+  int pin = 0;
+  int vector_id = 0;
+
+  bool operator==(const PathStep&) const = default;
+};
+
+/// A sensitized true path for one transition direction.  Paths with the
+/// same gate sequence but different sensitization vectors are distinct
+/// (paper Section IV.B).
+struct TruePath {
+  netlist::NetId source = netlist::kNoId;  ///< launching primary input
+  netlist::NetId sink = netlist::kNoId;    ///< primary output reached
+  spice::Edge launch_edge = spice::Edge::kRise;
+  std::vector<PathStep> steps;
+
+  /// Primary-input assignment realizing the sensitization: (net, value).
+  /// The launching PI itself is excluded (it carries the transition);
+  /// unlisted PIs are don't-cares.
+  std::vector<std::pair<netlist::NetId, bool>> pi_assignment;
+
+  /// Identifier of the gate-sequence ("course") disregarding the vector
+  /// choice; used to group multi-vector paths.
+  std::string course_key(const netlist::Netlist& nl) const;
+  /// Identifier including the vector choice and direction.
+  std::string full_key(const netlist::Netlist& nl) const;
+};
+
+/// A path with its computed timing.
+struct TimedPath {
+  TruePath path;
+  double delay = 0.0;          ///< seconds, PI transition to PO
+  double arrival_slew = 0.0;   ///< output transition time at the PO
+  std::vector<double> stage_delays;  ///< per-step, seconds
+  std::vector<spice::Edge> stage_in_edges;  ///< input edge at each step
+};
+
+}  // namespace sasta::sta

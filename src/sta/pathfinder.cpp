@@ -1,0 +1,339 @@
+#include "sta/pathfinder.h"
+
+#include <algorithm>
+
+#include "netlist/levelize.h"
+#include "util/check.h"
+
+namespace sasta::sta {
+
+using logicsys::NineVal;
+
+PathFinder::PathFinder(const netlist::Netlist& nl,
+                       const charlib::CharLibrary& charlib,
+                       const PathFinderOptions& options)
+    : nl_(nl),
+      charlib_(charlib),
+      opt_(options),
+      state_(nl.num_nets()),
+      engine_(nl, state_),
+      guide_(netlist::compute_controllability(nl)),
+      justifier_(nl, state_, engine_,
+                 options.use_scoap_guide ? &guide_ : nullptr) {
+  reach_ = netlist::reaches_output(nl);
+
+  // Primary-input support bitsets per net, for the justifier's
+  // support-disjoint goal partitioning.
+  const int num_pis = static_cast<int>(nl.primary_inputs().size());
+  const std::size_t words = (num_pis + 63) / 64;
+  supports_.assign(nl.num_nets(), std::vector<std::uint64_t>(words, 0));
+  pi_bit_.assign(nl.num_nets(), -1);
+  for (int i = 0; i < num_pis; ++i) {
+    const netlist::NetId pi = nl.primary_inputs()[i];
+    pi_bit_[pi] = i;
+    supports_[pi][i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  const auto lv = netlist::levelize(nl);
+  for (netlist::InstId ii : lv.topo_order) {
+    const netlist::Instance& inst = nl.instance(ii);
+    auto& out = supports_[inst.output];
+    for (netlist::NetId in : inst.inputs) {
+      for (std::size_t w = 0; w < words; ++w) out[w] |= supports_[in][w];
+    }
+  }
+}
+
+void PathFinder::enable_n_worst_pruning(const DelayCalculator& calc) {
+  prune_calc_ = &calc;
+  SASTA_CHECK(opt_.n_worst > 0)
+      << " enable_n_worst_pruning requires options.n_worst > 0";
+
+  // Upper bound on the remaining delay from each net to any primary output:
+  // reverse-topological max over fanout arcs evaluated at a pessimistic
+  // input slew (the bound is heuristic; bound_safety widens it).
+  const double slew_ub = 8.0 * calc.options().input_slew_s;
+  remaining_ub_.assign(nl_.num_nets(), -1.0);
+  for (netlist::NetId po : nl_.primary_outputs()) remaining_ub_[po] = 0.0;
+  const auto lv = netlist::levelize(nl_);
+  for (auto it = lv.topo_order.rbegin(); it != lv.topo_order.rend(); ++it) {
+    const netlist::Instance& inst = nl_.instance(*it);
+    if (remaining_ub_[inst.output] < 0.0 && !reach_[inst.output]) continue;
+    const charlib::CellTiming& ct = charlib_.timing(inst.cell->name());
+    const double fo = calc.equivalent_fanout(*it, inst.output);
+    // Max arc delay into this instance over pins, vectors and edges.
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      double arc_ub = 0.0;
+      for (int v = 0; v < ct.num_vectors(p); ++v) {
+        for (const spice::Edge e : {spice::Edge::kRise, spice::Edge::kFall}) {
+          const charlib::ModelPoint pt{fo, slew_ub,
+                                       calc.options().temperature_c,
+                                       calc.options().vdd};
+          arc_ub = std::max(arc_ub, ct.arc(p, v, e).delay(pt));
+        }
+      }
+      const double through =
+          std::max(remaining_ub_[inst.output], 0.0) + arc_ub;
+      double& slot = remaining_ub_[inst.inputs[p]];
+      slot = std::max(slot, through);
+    }
+  }
+  for (double& ub : remaining_ub_) {
+    if (ub > 0.0) ub *= opt_.bound_safety;
+  }
+}
+
+double PathFinder::heap_floor() const {
+  if (static_cast<long>(worst_heap_.size()) < opt_.n_worst) return -1e30;
+  return worst_heap_.front();
+}
+
+bool PathFinder::limits_hit() {
+  if (stop_) return true;
+  if (opt_.max_paths >= 0 && stats_.paths_recorded >= opt_.max_paths) {
+    stats_.truncated = true;
+    stop_ = true;
+  }
+  return stop_;
+}
+
+void PathFinder::record(netlist::NetId sink_net, unsigned alive) {
+  for (const unsigned bit : {kScenarioR, kScenarioF}) {
+    if (!(alive & bit)) continue;
+    if (limits_hit()) return;
+    // Commit a justification witness for this direction to read off the
+    // realizing primary-input assignment, then roll it back.
+    const AssignmentState::Mark mark = state_.mark();
+    const Justifier::Result w = justifier_.justify_all(
+        goal_stack_, bit, opt_.justify_backtrack_budget);
+    if (w.backtrack_limited) ++stats_.justify_limited;
+    if (!(w.alive & bit)) {
+      // Either the budget fired or an accumulated infeasibility only
+      // becomes visible on the joint solve (per-gate checks cover the new
+      // goals, not the full conjunction).
+      state_.rollback(mark);
+      continue;
+    }
+    TruePath p;
+    p.source = current_source_;
+    p.sink = sink_net;
+    p.launch_edge = bit == kScenarioR ? spice::Edge::kRise : spice::Edge::kFall;
+    p.steps = steps_;
+    for (netlist::NetId pi : nl_.primary_inputs()) {
+      if (pi == current_source_) continue;
+      const NineVal& v = bit == kScenarioR ? state_.value(pi).r
+                                           : state_.value(pi).f;
+      if (v.is_steady()) {
+        p.pi_assignment.emplace_back(pi, v.init == logicsys::TriVal::kOne);
+      }
+    }
+    state_.rollback(mark);
+    ++stats_.paths_recorded;
+    const int count = ++course_counts_[p.course_key(nl_)];
+    if (count == 1) ++stats_.courses;
+    if (count == 2) ++stats_.multi_vector_courses;
+
+    // N-worst bookkeeping: maintain the min-heap of the N largest recorded
+    // delays (the pruning floor).
+    if (prune_calc_ != nullptr && opt_.n_worst > 0) {
+      const double delay =
+          arrival_stack_.back()[bit == kScenarioR ? 0 : 1].delay;
+      worst_heap_.push_back(delay);
+      std::push_heap(worst_heap_.begin(), worst_heap_.end(),
+                     std::greater<>());
+      if (static_cast<long>(worst_heap_.size()) > opt_.n_worst) {
+        std::pop_heap(worst_heap_.begin(), worst_heap_.end(),
+                      std::greater<>());
+        worst_heap_.pop_back();
+      }
+    }
+    if (sink_ && *sink_) (*sink_)(p);
+  }
+}
+
+void PathFinder::extend(netlist::NetId net, unsigned alive) {
+  if (limits_hit()) return;
+  if (deadline_ > 0 && stats_.vector_trials % 64 == 0 &&
+      run_watch_.elapsed_seconds() > deadline_) {
+    stats_.truncated = true;
+    stop_ = true;
+    return;
+  }
+
+  if (nl_.net(net).is_primary_output) record(net, alive);
+
+  for (const netlist::Fanout& f : nl_.net(net).fanouts) {
+    if (stop_) return;
+    const netlist::Instance& inst = nl_.instance(f.inst);
+    if (!reach_[inst.output]) continue;
+    const charlib::CellTiming& timing = charlib_.timing(inst.cell->name());
+    const auto& vectors = timing.vectors.at(f.pin);
+    for (const charlib::SensitizationVector& vec : vectors) {
+      if (stop_) return;
+      ++stats_.vector_trials;
+      const AssignmentState::Mark mark = state_.mark();
+      const std::size_t saved_goals = goal_stack_.size();
+
+      // Assign the vector's steady side values and propagate; the
+      // justification itself is NOT committed here (its decisions would
+      // over-constrain downstream gates) — the values become goals whose
+      // joint satisfiability is established once per complete path when it
+      // is recorded.
+      unsigned sub = alive;
+      bool ok = true;
+      std::size_t first_new_goal = goal_stack_.size();
+      for (int q = 0; q < inst.cell->num_inputs() && ok; ++q) {
+        if (q == f.pin) continue;
+        const auto r =
+            engine_.assign_steady(inst.inputs[q], vec.side_value(q));
+        sub &= ~r.conflict;
+        if (sub == kScenarioNone) ok = false;
+        goal_stack_.push_back({inst.inputs[q], vec.side_value(q)});
+      }
+
+      if (ok) {
+        // The implication pass must produce a transition at the gate output
+        // for a scenario to stay alive.
+        const DualVal& out = state_.value(inst.output);
+        unsigned transiting = kScenarioNone;
+        if ((sub & kScenarioR) && out.r.is_transition()) {
+          transiting |= kScenarioR;
+        }
+        if ((sub & kScenarioF) && out.f.is_transition()) {
+          transiting |= kScenarioF;
+        }
+
+        // Cheap incremental pruning: the NEW side goals of this gate must be
+        // justifiable per direction under the accumulated implications
+        // (choices rolled back; the full conjunction is re-checked at
+        // record time).  When both directions survive implication, one
+        // shared dual solve usually certifies both at once — this is where
+        // the dual-value system's single-pass saving comes from; only a
+        // narrowed result falls back to per-direction solves.
+        unsigned feasible = kScenarioNone;
+        const std::span<const Goal> new_goals(
+            goal_stack_.data() + first_new_goal,
+            goal_stack_.size() - first_new_goal);
+        unsigned pending = transiting;
+        if (pending == kScenarioBoth) {
+          const AssignmentState::Mark m2 = state_.mark();
+          const Justifier::Result r = justifier_.justify_all(
+              new_goals, kScenarioBoth, opt_.justify_backtrack_budget);
+          state_.rollback(m2);
+          if (r.backtrack_limited) ++stats_.justify_limited;
+          if (r.alive == kScenarioBoth) {
+            feasible = kScenarioBoth;
+            pending = kScenarioNone;
+          }
+          // else: one direction may still be satisfiable under different
+          // choices - resolve each bit independently below.
+        }
+        for (const unsigned bit : {kScenarioR, kScenarioF}) {
+          if (!(pending & bit)) continue;
+          const AssignmentState::Mark m2 = state_.mark();
+          const Justifier::Result r = justifier_.justify_all(
+              new_goals, bit, opt_.justify_backtrack_budget);
+          state_.rollback(m2);
+          if (r.backtrack_limited) ++stats_.justify_limited;
+          if (r.alive & bit) feasible |= bit;
+        }
+
+        // N-worst branch-and-bound: advance arrivals through this arc and
+        // drop directions whose optimistic completion cannot displace the
+        // current N-th worst path.
+        std::array<Arrival, 2> next_arrivals{};
+        if (prune_calc_ != nullptr && opt_.n_worst > 0 &&
+            feasible != kScenarioNone) {
+          const double fo =
+              prune_calc_->equivalent_fanout(f.inst, inst.output);
+          const double floor = heap_floor();
+          for (const unsigned bit : {kScenarioR, kScenarioF}) {
+            if (!(feasible & bit)) continue;
+            const int bi = bit == kScenarioR ? 0 : 1;
+            const Arrival& cur = arrival_stack_.back()[bi];
+            const charlib::ArcModel& arc =
+                timing.arc(f.pin, vec.id, cur.edge);
+            const charlib::ModelPoint pt{fo, cur.slew,
+                                         prune_calc_->options().temperature_c,
+                                         prune_calc_->options().vdd};
+            Arrival next;
+            next.delay = cur.delay + arc.delay(pt);
+            next.slew = arc.output_slew(pt);
+            next.edge = arc.out_edge(cur.edge);
+            next_arrivals[bi] = next;
+            if (next.delay + std::max(remaining_ub_[inst.output], 0.0) <=
+                floor) {
+              feasible &= ~bit;  // cannot reach the N-worst set
+            }
+          }
+        }
+
+        if (feasible != kScenarioNone) {
+          steps_.push_back({f.inst, f.pin, vec.id});
+          if (prune_calc_ != nullptr && opt_.n_worst > 0) {
+            arrival_stack_.push_back(next_arrivals);
+          }
+          extend(inst.output, feasible);
+          if (prune_calc_ != nullptr && opt_.n_worst > 0) {
+            arrival_stack_.pop_back();
+          }
+          steps_.pop_back();
+        }
+      }
+      state_.rollback(mark);
+      goal_stack_.resize(saved_goals);
+    }
+  }
+}
+
+PathFinderStats PathFinder::run(
+    const std::function<void(const TruePath&)>& sink) {
+  util::Stopwatch watch;
+  run_watch_.reset();
+  stats_ = PathFinderStats{};
+  course_counts_.clear();
+  sink_ = &sink;
+  stop_ = false;
+  worst_heap_.clear();
+  deadline_ = -1;
+  if (opt_.max_seconds > 0) deadline_ = opt_.max_seconds;
+
+  for (netlist::NetId pi : nl_.primary_inputs()) {
+    if (stop_) break;
+    if (opt_.max_seconds > 0 && run_watch_.elapsed_seconds() > opt_.max_seconds) {
+      stats_.truncated = true;
+      break;
+    }
+    if (!reach_[pi]) continue;
+    state_.reset();
+    goal_stack_.clear();
+    justifier_.reset_backtracks();
+    justifier_.set_supports(&supports_, pi_bit_[pi]);
+    current_source_ = pi;
+    if (prune_calc_ != nullptr && opt_.n_worst > 0) {
+      arrival_stack_.clear();
+      std::array<Arrival, 2> launch{};
+      launch[0] = {0.0, prune_calc_->options().input_slew_s,
+                   spice::Edge::kRise};
+      launch[1] = {0.0, prune_calc_->options().input_slew_s,
+                   spice::Edge::kFall};
+      arrival_stack_.push_back(launch);
+    }
+    const auto r =
+        engine_.assign_dual(pi, NineVal::rise(), NineVal::fall());
+    SASTA_CHECK(r.conflict == kScenarioNone)
+        << " transition launch conflicted on a fresh state";
+    extend(pi, opt_.directions & kScenarioBoth);
+    stats_.backtracks += justifier_.backtracks();
+  }
+  stats_.cpu_seconds = watch.elapsed_seconds();
+  sink_ = nullptr;
+  return stats_;
+}
+
+std::vector<TruePath> PathFinder::find_all() {
+  std::vector<TruePath> out;
+  run([&out](const TruePath& p) { out.push_back(p); });
+  return out;
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,130 @@
+// Single-pass true-path enumeration (paper Section IV.B).
+//
+// The algorithm starts at each primary input with the dual transition value
+// (both rising and falling traced simultaneously), advances gate by gate,
+// and at every traversed complex-gate input enumerates ALL sensitization
+// vectors, justifying the implied side values back to the primary inputs
+// with backtracking.  Paths sharing the gate sequence but differing in any
+// gate's sensitization vector are reported as distinct paths, preserving
+// the vector-dependent delay information.  Logic incompatibilities are
+// detected early by forward implication with semi-undetermined values.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+
+#include "charlib/charlibrary.h"
+#include "sta/delaycalc.h"
+#include "sta/justify.h"
+#include "sta/path.h"
+#include "util/stopwatch.h"
+
+namespace sasta::sta {
+
+struct PathFinderOptions {
+  long max_paths = -1;      ///< stop after this many recorded paths (<0: all)
+  double max_seconds = -1;  ///< wall-clock guard (<0: unlimited)
+  /// Backtrack budget per justification solve.  The search is complete
+  /// while the budget holds; exhausting a budget drops that candidate
+  /// (counted in stats.justify_limited).  < 0: unlimited / exact — use on
+  /// small circuits only, deep reconvergent cones can blow up the complete
+  /// search.  The default keeps large ISCAS-class runs tractable while
+  /// recovering the vast majority of vectors (see EXPERIMENTS.md).
+  int justify_backtrack_budget = 2000;
+
+  /// Transition directions to trace (kScenarioBoth = the paper's dual-value
+  /// single pass; a single bit restricts to one launch polarity — used by
+  /// the dual-value ablation bench).
+  unsigned directions = kScenarioBoth;
+
+  /// N-worst mode (the abstract's "it can be programmed to find efficiently
+  /// the N true paths"): when > 0 the DFS carries arrival times and prunes
+  /// any extension whose arrival plus an upper bound on the remaining delay
+  /// cannot displace the current N-th worst recorded path.  Requires
+  /// enable_n_worst_pruning() with a delay calculator.
+  long n_worst = -1;
+
+  /// Safety factor on the remaining-delay upper bound (the bound is built
+  /// from pessimistic-slew arc maxima, which is heuristic; > 1 widens it).
+  double bound_safety = 1.2;
+
+  /// Disable the SCOAP-guided cube ordering (ablation knob; the search
+  /// stays complete either way).
+  bool use_scoap_guide = true;
+};
+
+struct PathFinderStats {
+  long paths_recorded = 0;        ///< (course, vector combo, direction) count
+                                  ///< == Table 6 "input vectors"
+  long courses = 0;               ///< distinct (gate sequence, direction)
+  long multi_vector_courses = 0;  ///< courses with > 1 vector combination
+                                  ///< == Table 6 "MultiInput paths"
+  long backtracks = 0;
+  long vector_trials = 0;         ///< sensitization vectors attempted
+  long justify_limited = 0;       ///< solves dropped at the backtrack budget
+  double cpu_seconds = 0.0;
+  bool truncated = false;         ///< a limit fired before exhaustion
+};
+
+class PathFinder {
+ public:
+  PathFinder(const netlist::Netlist& nl, const charlib::CharLibrary& charlib,
+             const PathFinderOptions& options = {});
+
+  /// Enumerates all true paths, invoking `sink` for each.  Returns stats.
+  PathFinderStats run(const std::function<void(const TruePath&)>& sink);
+
+  /// Convenience: collect every path.
+  std::vector<TruePath> find_all();
+
+  /// Arms the options.n_worst branch-and-bound pruning with the delay
+  /// calculator whose models define the path delays being ranked.  Must be
+  /// called before run() when options.n_worst > 0; `calc` is borrowed.
+  void enable_n_worst_pruning(const DelayCalculator& calc);
+
+ private:
+  struct Arrival {
+    double delay = 0.0;
+    double slew = 0.0;
+    spice::Edge edge = spice::Edge::kRise;
+  };
+
+  void extend(netlist::NetId net, unsigned alive);
+  void record(netlist::NetId sink_net, unsigned alive);
+  bool limits_hit();
+  double heap_floor() const;  ///< N-th worst delay so far (-inf if not full)
+
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  PathFinderOptions opt_;
+
+  AssignmentState state_;
+  ImplicationEngine engine_;
+  netlist::Controllability guide_;
+  Justifier justifier_;
+  std::vector<std::vector<std::uint64_t>> supports_;
+  std::vector<int> pi_bit_;
+  std::vector<bool> reach_;
+  std::vector<PathStep> steps_;
+  /// Steady side-value requirements accumulated along the current DFS
+  /// prefix; re-solved jointly (per direction) at every extension.
+  std::vector<Goal> goal_stack_;
+  netlist::NetId current_source_ = netlist::kNoId;
+
+  const std::function<void(const TruePath&)>* sink_ = nullptr;
+  PathFinderStats stats_;
+  std::unordered_map<std::string, int> course_counts_;
+  double deadline_ = -1;
+  bool stop_ = false;
+  util::Stopwatch run_watch_;
+
+  // N-worst pruning state.
+  const DelayCalculator* prune_calc_ = nullptr;
+  std::vector<double> remaining_ub_;       ///< per net, seconds
+  /// Per-DFS-depth (R, F) arrival tuples, parallel to steps_.
+  std::vector<std::array<Arrival, 2>> arrival_stack_;
+  std::vector<double> worst_heap_;         ///< min-heap of recorded delays
+};
+
+}  // namespace sasta::sta

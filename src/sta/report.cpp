@@ -1,0 +1,92 @@
+#include "sta/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sasta::sta {
+
+TimingReport build_timing_report(const netlist::Netlist& /*nl*/,
+                                 const StaResult& result, double required_s) {
+  std::map<netlist::NetId, EndpointSummary> by_endpoint;
+  for (const TimedPath& tp : result.paths) {
+    EndpointSummary& s = by_endpoint[tp.path.sink];
+    s.endpoint = tp.path.sink;
+    ++s.paths;
+    if (tp.delay > s.worst_delay) {
+      s.worst_delay = tp.delay;
+      s.worst_path = &tp;
+    }
+  }
+  TimingReport report;
+  for (auto& [net, summary] : by_endpoint) {
+    summary.slack = required_s > 0 ? required_s - summary.worst_delay
+                                   : -summary.worst_delay;
+    report.endpoints.push_back(summary);
+  }
+  std::sort(report.endpoints.begin(), report.endpoints.end(),
+            [](const EndpointSummary& a, const EndpointSummary& b) {
+              return a.slack < b.slack;
+            });
+  if (!report.endpoints.empty()) report.wns = report.endpoints.front().slack;
+  for (const auto& e : report.endpoints) {
+    if (e.slack < 0) {
+      report.tns += e.slack;
+      ++report.violating_endpoints;
+    }
+  }
+  return report;
+}
+
+std::string format_path(const netlist::Netlist& nl,
+                        const charlib::CharLibrary& charlib,
+                        const TimedPath& path) {
+  std::ostringstream os;
+  os << "Startpoint: " << nl.net(path.path.source).name << " ("
+     << (path.path.launch_edge == spice::Edge::kRise ? "rising" : "falling")
+     << ")\n";
+  os << "Endpoint:   " << nl.net(path.path.sink).name << "\n";
+  os << "  point                                vector        incr(ps)  "
+        "path(ps)\n";
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < path.path.steps.size(); ++i) {
+    const PathStep& s = path.path.steps[i];
+    const netlist::Instance& inst = nl.instance(s.inst);
+    const charlib::CellTiming& ct = charlib.timing(inst.cell->name());
+    const auto& vec = ct.vector(s.pin, s.vector_id);
+    arrival += path.stage_delays[i];
+    std::string point = inst.name + "/" + inst.cell->pin_names()[s.pin] +
+                        " (" + inst.cell->name() + ")";
+    if (point.size() < 36) point.resize(36, ' ');
+    std::string vstr = charlib::format_vector(*inst.cell, vec);
+    if (vstr.size() > 12) vstr.resize(12);
+    if (vstr.size() < 12) vstr.resize(12, ' ');
+    os << "  " << point << " " << vstr << "  "
+       << util::format_fixed(path.stage_delays[i] * 1e12, 1);
+    os << "      " << util::format_fixed(arrival * 1e12, 1) << "\n";
+  }
+  os << "  arrival: " << util::format_fixed(path.delay * 1e12, 1)
+     << " ps, output transition "
+     << util::format_fixed(path.arrival_slew * 1e12, 1) << " ps\n";
+  return os.str();
+}
+
+std::string format_timing_report(const netlist::Netlist& nl,
+                                 const TimingReport& report) {
+  std::ostringstream os;
+  os << "endpoint                 paths    worst(ps)   slack(ps)\n";
+  for (const auto& e : report.endpoints) {
+    std::string name = nl.net(e.endpoint).name;
+    if (name.size() < 24) name.resize(24, ' ');
+    os << name << " " << e.paths << "\t " << util::format_fixed(e.worst_delay * 1e12, 1)
+       << "\t     " << util::format_fixed(e.slack * 1e12, 1) << "\n";
+  }
+  os << "WNS " << util::format_fixed(report.wns * 1e12, 1) << " ps, TNS "
+     << util::format_fixed(report.tns * 1e12, 1) << " ps, "
+     << report.violating_endpoints << " violating endpoint(s)\n";
+  return os.str();
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,43 @@
+// Timing reports: endpoint summaries, slack against a required time, and
+// classic report_timing-style text rendering of sensitized paths.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sta/sta_tool.h"
+
+namespace sasta::sta {
+
+struct EndpointSummary {
+  netlist::NetId endpoint = netlist::kNoId;
+  double worst_delay = 0.0;           ///< seconds
+  const TimedPath* worst_path = nullptr;
+  long paths = 0;                      ///< sensitizations ending here
+  double slack = 0.0;                  ///< required - worst (when required set)
+};
+
+struct TimingReport {
+  std::vector<EndpointSummary> endpoints;  ///< sorted by ascending slack
+  double wns = 0.0;                        ///< worst negative slack (or worst slack)
+  double tns = 0.0;                        ///< total negative slack
+  long violating_endpoints = 0;
+};
+
+/// Builds an endpoint report from an analysis result.  `required_s` <= 0
+/// means no constraint: slack fields hold -worst_delay.
+TimingReport build_timing_report(const netlist::Netlist& nl,
+                                 const StaResult& result, double required_s);
+
+/// report_timing-style rendering of one path with per-stage annotations:
+/// cell, pin, sensitization vector, stage delay, cumulative arrival.
+std::string format_path(const netlist::Netlist& nl,
+                        const charlib::CharLibrary& charlib,
+                        const TimedPath& path);
+
+/// Renders the endpoint table.
+std::string format_timing_report(const netlist::Netlist& nl,
+                                 const TimingReport& report);
+
+}  // namespace sasta::sta

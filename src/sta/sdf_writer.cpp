@@ -1,0 +1,87 @@
+#include "sta/sdf_writer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace sasta::sta {
+
+namespace {
+
+std::string triple(double min_s, double typ_s, double max_s) {
+  std::ostringstream os;
+  os << "(" << util::format_fixed(min_s * 1e9, 4) << ":"
+     << util::format_fixed(typ_s * 1e9, 4) << ":"
+     << util::format_fixed(max_s * 1e9, 4) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void write_sdf(const netlist::Netlist& nl, const charlib::CharLibrary& charlib,
+               const tech::Technology& tech, std::ostream& os,
+               const SdfOptions& options) {
+  SdfOptions opt = options;
+  if (opt.vdd <= 0.0) opt.vdd = tech.vdd;
+  if (opt.input_slew_s <= 0.0) opt.input_slew_s = tech.default_input_slew;
+  DelayCalculator calc(nl, charlib, tech);
+
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"3.0\")\n";
+  os << "  (DESIGN \"" << (nl.name().empty() ? "top" : nl.name()) << "\")\n";
+  os << "  (VENDOR \"saSTA\")\n";
+  os << "  (VOLTAGE " << opt.vdd << ")\n";
+  os << "  (TEMPERATURE " << opt.temperature_c << ")\n";
+  os << "  (TIMESCALE 1ns)\n";
+
+  for (const netlist::Instance& inst : nl.instances()) {
+    const charlib::CellTiming& ct = charlib.timing(inst.cell->name());
+    const double fo = calc.equivalent_fanout(
+        static_cast<netlist::InstId>(&inst - nl.instances().data()),
+        inst.output);
+    os << "  (CELL (CELLTYPE \"" << inst.cell->name() << "\")\n";
+    os << "    (INSTANCE " << inst.name << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    for (int p = 0; p < inst.cell->num_inputs(); ++p) {
+      // One IOPATH per input with (rise-triple) (fall-triple); each triple
+      // aggregates (min : canonical : max) over the sensitization vectors.
+      std::string triples;
+      for (const spice::Edge out_edge : {spice::Edge::kRise,
+                                         spice::Edge::kFall}) {
+        double min_d = 1e9, max_d = -1e9, typ_d = 0.0;
+        for (int v = 0; v < ct.num_vectors(p); ++v) {
+          // Input edge that produces this output edge through vector v.
+          const auto& vec = ct.vector(p, v);
+          const spice::Edge in_edge =
+              vec.inverting ? spice::opposite(out_edge) : out_edge;
+          const charlib::ModelPoint pt{fo, opt.input_slew_s,
+                                       opt.temperature_c, opt.vdd};
+          const double d = ct.arc(p, v, in_edge).delay(pt);
+          min_d = std::min(min_d, d);
+          max_d = std::max(max_d, d);
+          if (v == 0) typ_d = d;
+        }
+        triples += triple(min_d, typ_d, max_d);
+        triples += " ";
+      }
+      os << "      (IOPATH " << inst.cell->pin_names()[p] << " Z " << triples
+         << ")\n";
+    }
+    os << "    ))\n";
+    os << "  )\n";
+  }
+  os << ")\n";
+}
+
+std::string write_sdf_string(const netlist::Netlist& nl,
+                             const charlib::CharLibrary& charlib,
+                             const tech::Technology& tech,
+                             const SdfOptions& options) {
+  std::ostringstream os;
+  write_sdf(nl, charlib, tech, os, options);
+  return os.str();
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,39 @@
+// SDF (Standard Delay Format) export.
+//
+// Writes per-instance IOPATH delays with (min:typ:max) triples.  The triple
+// is where the sensitization-vector analysis shows up in a standard
+// artifact: for every (instance, input pin, output edge) the min and max
+// are the extremes over all sensitization vectors of that pin, while typ is
+// the canonical (Case 1) value — the single number a conventional flow
+// would annotate.  A downstream consumer sees exactly how much timing range
+// vector-oblivious annotation hides.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "charlib/charlibrary.h"
+#include "netlist/netlist.h"
+#include "sta/delaycalc.h"
+
+namespace sasta::sta {
+
+struct SdfOptions {
+  double temperature_c = 25.0;
+  double vdd = 0.0;             ///< 0 = technology nominal
+  double input_slew_s = 0.0;    ///< 0 = technology default (slew used for
+                                ///< every arc: SDF is context-free)
+};
+
+/// Writes the netlist's delay annotation.  Delays in nanoseconds, as SDF
+/// convention expects.
+void write_sdf(const netlist::Netlist& nl, const charlib::CharLibrary& charlib,
+               const tech::Technology& tech, std::ostream& os,
+               const SdfOptions& options = {});
+
+std::string write_sdf_string(const netlist::Netlist& nl,
+                             const charlib::CharLibrary& charlib,
+                             const tech::Technology& tech,
+                             const SdfOptions& options = {});
+
+}  // namespace sasta::sta

@@ -1,0 +1,83 @@
+#include "sta/sta_tool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sasta::sta {
+
+const TimedPath& StaResult::critical() const {
+  SASTA_CHECK(!paths.empty()) << " no true paths were found";
+  return paths.front();
+}
+
+const TimedPath& StaResult::shortest() const {
+  SASTA_CHECK(!fastest.empty())
+      << " no fast paths retained (set StaToolOptions::keep_fastest)";
+  return fastest.front();
+}
+
+StaTool::StaTool(const netlist::Netlist& nl,
+                 const charlib::CharLibrary& charlib,
+                 const tech::Technology& tech, const StaToolOptions& options)
+    : nl_(nl),
+      charlib_(charlib),
+      opt_(options),
+      calc_(nl, charlib, tech, options.delay) {}
+
+StaResult StaTool::run() {
+  StaResult result;
+  PathFinder finder(nl_, charlib_, opt_.finder);
+  if (opt_.finder.n_worst > 0) finder.enable_n_worst_pruning(calc_);
+
+  // Min-heap on delay when keeping only the N worst.
+  auto heap_cmp = [](const TimedPath& a, const TimedPath& b) {
+    return a.delay > b.delay;
+  };
+  // Max-heap comparator for the keep-fastest set (front = largest delay,
+  // evicted when a faster path arrives).
+  auto fast_cmp = [](const TimedPath& a, const TimedPath& b) {
+    return a.delay < b.delay;
+  };
+  result.stats = finder.run([&](const TruePath& p) {
+    TimedPath timed = calc_.compute(p);
+    if (opt_.keep_fastest > 0) {
+      auto& fast = result.fastest;
+      if (static_cast<long>(fast.size()) < opt_.keep_fastest) {
+        fast.push_back(timed);
+        std::push_heap(fast.begin(), fast.end(), fast_cmp);
+      } else if (timed.delay < fast.front().delay) {
+        std::pop_heap(fast.begin(), fast.end(), fast_cmp);
+        fast.back() = timed;
+        std::push_heap(fast.begin(), fast.end(), fast_cmp);
+      }
+    }
+    if (opt_.keep_worst < 0) {
+      result.paths.push_back(std::move(timed));
+      return;
+    }
+    if (static_cast<long>(result.paths.size()) <= opt_.keep_worst) {
+      result.paths.push_back(std::move(timed));
+      std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
+      if (static_cast<long>(result.paths.size()) > opt_.keep_worst) {
+        std::pop_heap(result.paths.begin(), result.paths.end(), heap_cmp);
+        result.paths.pop_back();
+      }
+    } else if (timed.delay > result.paths.front().delay) {
+      std::pop_heap(result.paths.begin(), result.paths.end(), heap_cmp);
+      result.paths.back() = std::move(timed);
+      std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
+    }
+  });
+  std::sort(result.paths.begin(), result.paths.end(),
+            [](const TimedPath& a, const TimedPath& b) {
+              return a.delay > b.delay;
+            });
+  std::sort(result.fastest.begin(), result.fastest.end(),
+            [](const TimedPath& a, const TimedPath& b) {
+              return a.delay < b.delay;
+            });
+  return result;
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,50 @@
+// Facade combining the path finder and the polynomial delay engine — "the
+// STA tool" of the paper: a single pass produces the list of true paths
+// with their sensitization vectors and vector-accurate delays, from which
+// the N worst true paths are read off directly (no two-step
+// enumerate-then-sensitize loop).
+#pragma once
+
+#include "sta/delaycalc.h"
+#include "sta/pathfinder.h"
+
+namespace sasta::sta {
+
+struct StaToolOptions {
+  PathFinderOptions finder;
+  DelayCalcOptions delay;
+  /// Keep only the N slowest timed paths (<0: keep everything).
+  long keep_worst = -1;
+  /// Additionally keep the N fastest true paths (hold/min-delay analysis;
+  /// 0: none).  Fast paths are reported separately in StaResult::fastest.
+  long keep_fastest = 0;
+};
+
+struct StaResult {
+  std::vector<TimedPath> paths;    ///< sorted by decreasing delay
+  std::vector<TimedPath> fastest;  ///< sorted by increasing delay (hold)
+  PathFinderStats stats;
+
+  const TimedPath& critical() const;
+  /// Shortest retained true path (min-delay / hold check side).
+  const TimedPath& shortest() const;
+};
+
+class StaTool {
+ public:
+  StaTool(const netlist::Netlist& nl, const charlib::CharLibrary& charlib,
+          const tech::Technology& tech, const StaToolOptions& options = {});
+
+  /// Runs the single-pass analysis.
+  StaResult run();
+
+  const DelayCalculator& delay_calculator() const { return calc_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const charlib::CharLibrary& charlib_;
+  StaToolOptions opt_;
+  DelayCalculator calc_;
+};
+
+}  // namespace sasta::sta

@@ -1,0 +1,79 @@
+#include "sta/variation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sasta::sta {
+
+namespace {
+
+/// Positive delay-scale factor ~ max(N(1, sigma), floor).
+double scale_factor(util::Rng& rng, double sigma) {
+  return std::max(0.2, 1.0 + sigma * rng.next_gaussian());
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_critical(const netlist::Netlist& nl,
+                                      const StaResult& result,
+                                      const VariationModel& model,
+                                      int num_samples) {
+  SASTA_CHECK(num_samples > 0) << " sample count";
+  SASTA_CHECK(!result.paths.empty()) << " no paths to vary";
+
+  MonteCarloResult out;
+  out.nominal = result.critical().delay;
+  const std::size_t nominal_idx = 0;  // paths sorted by decreasing delay
+
+  util::Rng rng(model.seed);
+  long switches = 0;
+  out.samples.reserve(num_samples);
+  std::vector<double> local(nl.num_instances());
+  for (int s = 0; s < num_samples; ++s) {
+    const double global = scale_factor(rng, model.sigma_global);
+    for (auto& l : local) l = scale_factor(rng, model.sigma_local);
+
+    double worst = 0.0;
+    std::size_t worst_idx = 0;
+    for (std::size_t pi = 0; pi < result.paths.size(); ++pi) {
+      const TimedPath& tp = result.paths[pi];
+      double d = 0.0;
+      for (std::size_t k = 0; k < tp.path.steps.size(); ++k) {
+        d += tp.stage_delays[k] * local[tp.path.steps[k].inst];
+      }
+      d *= global;
+      if (d > worst) {
+        worst = d;
+        worst_idx = pi;
+      }
+    }
+    out.samples.push_back(worst);
+    if (worst_idx != nominal_idx) ++switches;
+  }
+
+  std::vector<double> sorted = out.samples;
+  std::sort(sorted.begin(), sorted.end());
+  auto quantile = [&](double q) {
+    const double pos = q * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double f = pos - lo;
+    return sorted[lo] * (1 - f) + sorted[hi] * f;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  double sum = 0.0;
+  for (double d : out.samples) sum += d;
+  out.mean = sum / num_samples;
+  double var = 0.0;
+  for (double d : out.samples) var += (d - out.mean) * (d - out.mean);
+  out.stddev = num_samples > 1 ? std::sqrt(var / (num_samples - 1)) : 0.0;
+  out.criticality_switches = static_cast<double>(switches) / num_samples;
+  return out;
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,49 @@
+// Monte-Carlo delay variation — the paper's future-work hook ("future
+// versions of the tool are currently developed to ... consider parameter
+// variations on the delay model").
+//
+// First-order variation model: every gate's delay is scaled by a global
+// (die-to-die) factor shared within a sample and a local (within-die,
+// per-instance) factor, both log-kept-positive Gaussians.  Because the
+// sensitization-aware analysis already retains per-(path, vector) stage
+// delays, each Monte-Carlo sample only re-scales and re-maxes — no re-search
+// and no re-simulation, the same property that makes the polynomial model's
+// PVT variables cheap.
+#pragma once
+
+#include <vector>
+
+#include "sta/sta_tool.h"
+
+namespace sasta::sta {
+
+struct VariationModel {
+  double sigma_global = 0.04;  ///< die-to-die delay sigma (fraction)
+  double sigma_local = 0.06;   ///< per-instance within-die sigma (fraction)
+  std::uint64_t seed = 1;
+};
+
+struct MonteCarloResult {
+  std::vector<double> samples;  ///< critical delay per sample [s]
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double nominal = 0.0;          ///< un-varied critical delay
+  /// How often the nominal critical path was NOT the critical one under
+  /// variation (the motivation for reporting N worst paths, paper Section I:
+  /// "identifying those gates having higher sensibility to process
+  /// variations").
+  double criticality_switches = 0.0;
+};
+
+/// Samples the critical delay distribution over the retained paths of
+/// `result` (use a generous keep_worst: paths omitted from the retained set
+/// cannot become critical in any sample).
+MonteCarloResult monte_carlo_critical(const netlist::Netlist& nl,
+                                      const StaResult& result,
+                                      const VariationModel& model,
+                                      int num_samples);
+
+}  // namespace sasta::sta

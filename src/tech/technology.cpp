@@ -1,0 +1,102 @@
+#include "tech/technology.h"
+
+#include "util/check.h"
+
+namespace sasta::tech {
+
+namespace {
+
+Technology make_130nm() {
+  Technology t;
+  t.name = "130nm";
+  t.vdd = 1.2;
+  t.lmin_um = 0.13;
+  t.wn_unit_um = 0.4;
+  t.beta_p = 1.9;
+  t.nmos.vth0 = 0.34;
+  t.nmos.kp = 0.50e-4;
+  t.nmos.alpha = 1.35;
+  t.nmos.vdsat_gamma = 0.85;
+  t.nmos.lambda = 0.06;
+  t.nmos.tc_vth = 0.0009;
+  t.nmos.tc_mob = 1.5;
+  t.nmos.cg_per_um = 1.55e-15;
+  t.nmos.cj_per_um = 1.0e-15;
+  t.pmos = t.nmos;
+  t.pmos.vth0 = 0.36;
+  t.pmos.kp = 0.21e-4;  // mobility ratio absorbed here; widths add beta_p
+  t.wire_cap_per_fanout = 0.35e-15;
+  t.default_input_slew = 80e-12;
+  t.sim_dt = 0.8e-12;
+  return t;
+}
+
+Technology make_90nm() {
+  Technology t;
+  t.name = "90nm";
+  t.vdd = 1.0;
+  t.lmin_um = 0.09;
+  t.wn_unit_um = 0.3;
+  t.beta_p = 1.8;
+  t.nmos.vth0 = 0.26;
+  t.nmos.kp = 0.85e-4;
+  t.nmos.alpha = 1.28;
+  t.nmos.vdsat_gamma = 0.9;
+  t.nmos.lambda = 0.08;
+  t.nmos.tc_vth = 0.0009;
+  t.nmos.tc_mob = 1.45;
+  t.nmos.cg_per_um = 1.35e-15;
+  t.nmos.cj_per_um = 0.85e-15;
+  t.pmos = t.nmos;
+  t.pmos.vth0 = 0.28;
+  t.pmos.kp = 0.38e-4;
+  t.wire_cap_per_fanout = 0.28e-15;
+  t.default_input_slew = 50e-12;
+  t.sim_dt = 0.5e-12;
+  return t;
+}
+
+// Low-power 65 nm flavour: higher Vth/VDD ratio than the 90 nm GP node, so
+// absolute delays are *larger* than at 90 nm (matching the paper's data).
+Technology make_65nm() {
+  Technology t;
+  t.name = "65nm";
+  t.vdd = 1.1;
+  t.lmin_um = 0.065;
+  t.wn_unit_um = 0.2;
+  t.beta_p = 1.8;
+  t.nmos.vth0 = 0.45;
+  t.nmos.kp = 0.42e-4;
+  t.nmos.alpha = 1.22;
+  t.nmos.vdsat_gamma = 0.95;
+  t.nmos.lambda = 0.10;
+  t.nmos.tc_vth = 0.001;
+  t.nmos.tc_mob = 1.4;
+  t.nmos.cg_per_um = 1.25e-15;
+  t.nmos.cj_per_um = 0.8e-15;
+  t.pmos = t.nmos;
+  t.pmos.vth0 = 0.47;
+  t.pmos.kp = 0.18e-4;
+  t.wire_cap_per_fanout = 0.22e-15;
+  t.default_input_slew = 45e-12;
+  t.sim_dt = 0.5e-12;
+  return t;
+}
+
+}  // namespace
+
+const Technology& technology(const std::string& name) {
+  static const Technology t130 = make_130nm();
+  static const Technology t90 = make_90nm();
+  static const Technology t65 = make_65nm();
+  if (name == "130nm" || name == "130") return t130;
+  if (name == "90nm" || name == "90") return t90;
+  if (name == "65nm" || name == "65") return t65;
+  SASTA_FAIL() << " unknown technology '" << name << "'";
+}
+
+std::vector<const Technology*> all_technologies() {
+  return {&technology("130nm"), &technology("90nm"), &technology("65nm")};
+}
+
+}  // namespace sasta::tech

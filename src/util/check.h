@@ -1,0 +1,68 @@
+// Error-handling primitives for the saSTA library.
+//
+// Library code reports violated preconditions and invariants by throwing
+// sasta::util::Error (a std::runtime_error).  The SASTA_CHECK macro is the
+// preferred way to state a precondition: it captures the failing expression
+// and source location and allows a streamed message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sasta::util {
+
+/// Exception thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Accumulates a streamed error message and throws on destruction-free path.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: (" << expr << ")";
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace sasta::util
+
+/// Throws sasta::util::Error when `cond` is false.  Usage:
+///   SASTA_CHECK(n > 0) << " n=" << n;
+#define SASTA_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::sasta::util::detail::CheckRaiser{} &                                  \
+        ::sasta::util::detail::CheckMessageBuilder(#cond, __FILE__, __LINE__)
+
+/// Unconditional failure with a streamed message.
+#define SASTA_FAIL()                                                        \
+  ::sasta::util::detail::CheckRaiser{} &                                    \
+      ::sasta::util::detail::CheckMessageBuilder("failure", __FILE__, __LINE__)
+
+namespace sasta::util::detail {
+
+/// Helper whose operator& triggers the throw after the message is built.
+struct CheckRaiser {
+  [[noreturn]] void operator&(const CheckMessageBuilder& builder) const {
+    builder.raise();
+  }
+};
+
+}  // namespace sasta::util::detail

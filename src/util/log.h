@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (characterization progress, pathological
+// conditions).  The default level is kWarning so tests and benches stay
+// quiet; tools can raise verbosity with set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sasta::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace sasta::util
+
+#define SASTA_LOG(level) \
+  ::sasta::util::detail::LogStream(::sasta::util::LogLevel::level)

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generator (SplitMix64 / xoshiro-style).
+//
+// All stochastic components of the library (the ISCAS-like netlist
+// generator, randomized property tests) take an explicit Rng so that every
+// run of the benchmark harness is reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sasta::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's second
+  /// member is discarded to keep the generator stateless beyond `state_`).
+  double next_gaussian() {
+    // Avoid log(0).
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sasta::util

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used for the CPU-time columns of Table 6.
+#pragma once
+
+#include <chrono>
+
+namespace sasta::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sasta::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by the parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sasta::util {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Case-insensitive equality for ASCII.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII.
+std::string to_upper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with fixed decimals, returning std::string.
+std::string format_fixed(double value, int decimals);
+
+/// Formats `value` as a percentage string with `decimals` digits, e.g. "12.3%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace sasta::util

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/baseline_tool.h"
+#include "cell/library_builder.h"
+#include "charlib/characterizer.h"
+#include "test_charlib.h"
+#include "netlist/bench_parser.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+
+namespace sasta::baseline {
+namespace {
+
+using netlist::NetId;
+
+const cell::Library& lib() { return sasta::testing::test_library(); }
+
+const charlib::CharLibrary& charlib() {
+  return sasta::testing::test_charlib("90nm");
+}
+
+netlist::Netlist mapped_c17() {
+  const auto prim = netlist::parse_bench_string(netlist::c17_bench_text());
+  return netlist::tech_map(prim, lib()).netlist;
+}
+
+TEST(Arrival, MonotoneAlongLevels) {
+  const auto nl = mapped_c17();
+  ArrivalAnalysis aa(nl, charlib(), tech::technology("90nm"));
+  aa.run();
+  EXPECT_GT(aa.worst_arrival(), 0.0);
+  EXPECT_LT(aa.worst_arrival(), 2e-9);
+  // Output arrival must be at least one gate delay above any input's.
+  for (NetId po : nl.primary_outputs()) {
+    const auto& t = aa.timing(po);
+    EXPECT_TRUE(t.valid[0] || t.valid[1]);
+  }
+}
+
+TEST(KLongest, OrderedAndComplete) {
+  const auto nl = mapped_c17();
+  ArrivalAnalysis aa(nl, charlib(), tech::technology("90nm"));
+  aa.run();
+  const auto paths = k_longest_paths(nl, aa, 1000);
+  ASSERT_GT(paths.size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].delay_estimate, paths[i].delay_estimate + -1e-15);
+  }
+  // c17: every structural path starts at a PI and ends at a PO.
+  for (const auto& p : paths) {
+    EXPECT_TRUE(nl.net(p.source).is_primary_input);
+    EXPECT_TRUE(nl.net(p.sink).is_primary_output);
+    EXPECT_FALSE(p.steps.empty());
+    // Step chaining: each step's output feeds the next step's input pin.
+    for (std::size_t s = 1; s < p.steps.size(); ++s) {
+      const auto& prev = nl.instance(p.steps[s - 1].inst);
+      const auto& cur = nl.instance(p.steps[s].inst);
+      EXPECT_EQ(cur.inputs.at(p.steps[s].pin), prev.output);
+    }
+  }
+  // The longest structural delay matches the arrival-analysis worst.
+  EXPECT_NEAR(paths.front().delay_estimate, aa.worst_arrival(), 1e-13);
+}
+
+TEST(KLongest, RespectsLimit) {
+  const auto nl = mapped_c17();
+  ArrivalAnalysis aa(nl, charlib(), tech::technology("90nm"));
+  aa.run();
+  EXPECT_EQ(k_longest_paths(nl, aa, 3).size(), 3u);
+  EXPECT_TRUE(k_longest_paths(nl, aa, 0).empty());
+}
+
+TEST(BaselineTool, C17AllStructuralPathsAreTrue) {
+  // c17 is fully testable: the baseline should sensitize everything.
+  const auto nl = mapped_c17();
+  BaselineOptions opt;
+  BaselineTool tool(nl, charlib(), tech::technology("90nm"), opt);
+  const BaselineResult res = tool.run();
+  EXPECT_GT(res.explored, 0);
+  EXPECT_EQ(res.false_paths, 0);
+  EXPECT_EQ(res.backtrack_limited, 0);
+  EXPECT_EQ(res.true_paths, res.explored);
+  EXPECT_DOUBLE_EQ(res.no_vector_ratio(), 0.0);
+  for (const auto& p : res.paths) {
+    if (p.outcome.status == SensitizeStatus::kTrue) {
+      EXPECT_GT(p.lut_delay, 0.0);
+    }
+  }
+}
+
+TEST(BaselineTool, DetectsFalsePath) {
+  // z = AND2(a, na), na = NOT(a): the longer path (through the inverter)
+  // and the direct path are both false.
+  netlist::Netlist nl("fp");
+  const NetId a = nl.add_net("a");
+  const NetId na = nl.add_net("na");
+  const NetId z = nl.add_net("z");
+  nl.mark_primary_input(a);
+  nl.add_instance("g0", lib().find("INV"), {a}, na);
+  nl.add_instance("g1", lib().find("AND2"), {a, na}, z);
+  nl.mark_primary_output(z);
+  BaselineTool tool(nl, charlib(), tech::technology("90nm"));
+  const BaselineResult res = tool.run();
+  EXPECT_GT(res.explored, 0);
+  EXPECT_EQ(res.true_paths, 0);
+  EXPECT_EQ(res.false_paths, res.explored);
+  EXPECT_DOUBLE_EQ(res.no_vector_ratio(), 1.0);
+}
+
+TEST(BaselineTool, BacktrackLimitAborts) {
+  // A reconvergent cone that needs several cube retries: budget 0 forces
+  // an abort instead of a false-path proof.
+  netlist::Netlist nl("bt");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  const NetId nb = nl.add_net("nb");
+  const NetId t1 = nl.add_net("t1");
+  const NetId z = nl.add_net("z");
+  for (NetId pi : {a, b, c}) nl.mark_primary_input(pi);
+  nl.add_instance("g0", lib().find("INV"), {b}, nb);
+  nl.add_instance("g1", lib().find("OR2"), {nb, c}, t1);
+  nl.add_instance("g2", lib().find("AND3"), {a, b, t1}, z);
+  nl.mark_primary_output(z);
+
+  BaselineOptions opt;
+  opt.backtrack_limit = 0;
+  BaselineTool tool(nl, charlib(), tech::technology("90nm"), opt);
+  const BaselineResult res = tool.run();
+  long aborted_or_false = res.backtrack_limited + res.false_paths;
+  EXPECT_GT(res.explored, 0);
+  EXPECT_GT(aborted_or_false + res.true_paths, 0);
+}
+
+// The decisive behavioural difference (paper Section V.A): on a path
+// through a multi-vector complex-gate input, the baseline reports ONE
+// vector (the easiest) while the developed tool reports them all.
+TEST(BaselineTool, ReportsSingleEasyVectorOnComplexGate) {
+  netlist::Netlist nl("cx");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  const NetId d = nl.add_net("d");
+  const NetId z = nl.add_net("z");
+  for (NetId pi : {a, b, c, d}) nl.mark_primary_input(pi);
+  nl.add_instance("g0", lib().find("AO22"), {a, b, c, d}, z);
+  nl.mark_primary_output(z);
+
+  BaselineTool tool(nl, charlib(), tech::technology("90nm"));
+  const BaselineResult res = tool.run();
+  // Find a true path through pin A.
+  bool checked = false;
+  for (const auto& p : res.paths) {
+    if (p.outcome.status != SensitizeStatus::kTrue) continue;
+    if (p.structural.steps[0].pin != 0) continue;
+    checked = true;
+    // Baseline committed only B=1 (the minimal cube constrains C or D
+    // weakly); multiple full vectors stay consistent, and the reported one
+    // is the canonical (easiest) id.
+    EXPECT_GE(p.outcome.consistent_vectors[0].size(), 1u);
+    EXPECT_EQ(p.outcome.reported_vectors[0],
+              p.outcome.consistent_vectors[0].front());
+  }
+  EXPECT_TRUE(checked);
+
+  // The developed tool on the same netlist reports all 3 vectors for pin A.
+  sta::PathFinder finder(nl, charlib());
+  std::set<int> vecs;
+  for (const auto& p : finder.find_all()) {
+    if (p.source == a) vecs.insert(p.steps[0].vector_id);
+  }
+  EXPECT_EQ(vecs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sasta::baseline

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cell/boolfunc.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sasta::cell {
+namespace {
+
+using logicsys::TriVal;
+
+TruthTable ao22() {
+  // Z = A*B + C*D with pins A=0, B=1, C=2, D=3.
+  const ExprPtr f = Expr::ou(Expr::et(Expr::var(0), Expr::var(1)),
+                             Expr::et(Expr::var(2), Expr::var(3)));
+  return TruthTable::from_expr(*f, 4);
+}
+
+TEST(Expr, EvaluateAndPrint) {
+  const ExprPtr f = Expr::et(Expr::ou(Expr::var(0), Expr::var(1)),
+                             Expr::inv(Expr::var(2)));
+  EXPECT_TRUE(f->evaluate(0b001));   // A=1, C=0
+  EXPECT_FALSE(f->evaluate(0b100));  // only C=1
+  EXPECT_FALSE(f->evaluate(0b101));  // A=1 but C=1
+  EXPECT_EQ(f->max_pin_plus_one(), 3);
+  const std::string names[] = {"A", "B", "C"};
+  EXPECT_EQ(f->to_string(names), "((A+B)*!C)");
+}
+
+TEST(TruthTable, Ao22Minterms) {
+  const TruthTable t = ao22();
+  EXPECT_EQ(t.num_inputs(), 4);
+  EXPECT_TRUE(t.value(0b0011));   // A=B=1
+  EXPECT_TRUE(t.value(0b1100));   // C=D=1
+  EXPECT_TRUE(t.value(0b1111));
+  EXPECT_FALSE(t.value(0b0101));  // A=1, C=1 only
+  EXPECT_FALSE(t.value(0b0000));
+}
+
+TEST(TruthTable, Eval3KnownInputs) {
+  const TruthTable t = ao22();
+  const TriVal all1[] = {TriVal::kOne, TriVal::kOne, TriVal::kOne, TriVal::kOne};
+  EXPECT_EQ(t.eval3(all1), TriVal::kOne);
+}
+
+TEST(TruthTable, Eval3ControllingValueDecidesDespiteX) {
+  const TruthTable t = ao22();
+  // A=B=1 forces Z=1 regardless of C, D.
+  const TriVal v[] = {TriVal::kOne, TriVal::kOne, TriVal::kX, TriVal::kX};
+  EXPECT_EQ(t.eval3(v), TriVal::kOne);
+  // A=0, C=0 forces Z=0 regardless of B, D.
+  const TriVal w[] = {TriVal::kZero, TriVal::kX, TriVal::kZero, TriVal::kX};
+  EXPECT_EQ(t.eval3(w), TriVal::kZero);
+  // A=1, others X: undetermined.
+  const TriVal u[] = {TriVal::kOne, TriVal::kX, TriVal::kX, TriVal::kX};
+  EXPECT_EQ(t.eval3(u), TriVal::kX);
+}
+
+TEST(TruthTable, PrimeCubesOfAo22OnSet) {
+  const TruthTable t = ao22();
+  const auto cubes = t.prime_cubes(true);
+  // ON-set primes of AB + CD are exactly {AB, CD}.
+  ASSERT_EQ(cubes.size(), 2u);
+  for (const auto& c : cubes) {
+    EXPECT_EQ(c.num_literals(), 2);
+    const bool is_ab = c.care == 0b0011 && c.values == 0b0011;
+    const bool is_cd = c.care == 0b1100 && c.values == 0b1100;
+    EXPECT_TRUE(is_ab || is_cd);
+  }
+}
+
+TEST(TruthTable, PrimeCubesOfAo22OffSet) {
+  const TruthTable t = ao22();
+  const auto cubes = t.prime_cubes(false);
+  // OFF-set primes of AB+CD: (A'+B')(C'+D') expanded -> A'C', A'D', B'C', B'D'.
+  ASSERT_EQ(cubes.size(), 4u);
+  for (const auto& c : cubes) {
+    EXPECT_EQ(c.num_literals(), 2);
+    EXPECT_EQ(c.values & c.care, 0u);  // all literals negative
+  }
+}
+
+TEST(TruthTable, PrimeCubesSortedByLiteralCount) {
+  // f = A + B*C: primes {A}, {BC} - the single-literal cube must come first.
+  const ExprPtr f =
+      Expr::ou(Expr::var(0), Expr::et(Expr::var(1), Expr::var(2)));
+  const TruthTable t = TruthTable::from_expr(*f, 3);
+  const auto cubes = t.prime_cubes(true);
+  ASSERT_EQ(cubes.size(), 2u);
+  EXPECT_EQ(cubes[0].num_literals(), 1);
+  EXPECT_EQ(cubes[1].num_literals(), 2);
+}
+
+TEST(TruthTable, PrimeCubesCoverTargetExactly) {
+  // Property: for random functions, the union of prime cubes covers exactly
+  // the target minterms.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(4));
+    const std::uint64_t bits = rng.next_u64();
+    const TruthTable t = TruthTable::from_bits(bits, n);
+    for (bool target : {false, true}) {
+      const auto cubes = t.prime_cubes(target);
+      for (std::uint32_t m = 0; m < t.num_minterms(); ++m) {
+        const bool in_cube =
+            std::any_of(cubes.begin(), cubes.end(), [&](const Cube& c) {
+              return (m & c.care) == (c.values & c.care);
+            });
+        EXPECT_EQ(in_cube, t.value(m) == target)
+            << "n=" << n << " bits=" << bits << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(TruthTable, BooleanDifference) {
+  const TruthTable t = ao22();
+  const TruthTable d = t.boolean_difference(0);  // w.r.t. A
+  // dZ/dA = B * !(C*D).
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    const bool b = (m >> 1) & 1, c = (m >> 2) & 1, dd = (m >> 3) & 1;
+    EXPECT_EQ(d.value(m), b && !(c && dd)) << "m=" << m;
+  }
+}
+
+TEST(TruthTable, CofactorAndDependsOn) {
+  const TruthTable t = ao22();
+  const TruthTable t_a1 = t.cofactor(0, true);
+  // With A=1: Z = B + C*D; does not depend on A anymore.
+  EXPECT_FALSE(t_a1.depends_on(0));
+  EXPECT_TRUE(t_a1.depends_on(1));
+  EXPECT_TRUE(t.depends_on(3));
+  // Constant function depends on nothing.
+  const TruthTable zero = TruthTable::from_bits(0, 3);
+  for (int p = 0; p < 3; ++p) EXPECT_FALSE(zero.depends_on(p));
+}
+
+TEST(TruthTable, RejectsTooManyInputs) {
+  EXPECT_THROW(TruthTable::from_bits(0, 7), util::Error);
+  EXPECT_THROW(TruthTable::from_bits(0, 0), util::Error);
+}
+
+}  // namespace
+}  // namespace sasta::cell

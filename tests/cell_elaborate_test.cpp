@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cell/elaborate.h"
+#include "cell/library_builder.h"
+#include "spice/transient.h"
+#include "tech/technology.h"
+
+namespace sasta::cell {
+namespace {
+
+using spice::Edge;
+using spice::NodeId;
+using spice::Pwl;
+
+struct GateSim {
+  spice::Circuit ckt;
+  std::vector<NodeId> inputs;
+  NodeId output;
+  double vdd;
+};
+
+/// Builds one cell instance with PWL-driven inputs and a fixed load cap.
+/// `init` gives initial input logic; `final` the values after the ramp of
+/// the single switching pin (all other pins steady).
+GateSim build_gate(const Cell& cell, const tech::Technology& tech,
+                   const std::vector<int>& init, int switching_pin,
+                   double load_farads) {
+  GateSim sim;
+  sim.vdd = tech.vdd;
+  const NodeId vdd_n = sim.ckt.add_node("vdd");
+  sim.ckt.drive_dc(vdd_n, tech.vdd);
+  for (int p = 0; p < cell.num_inputs(); ++p) {
+    const NodeId n = sim.ckt.add_node("in_" + cell.pin_names()[p]);
+    sim.inputs.push_back(n);
+    const double v0 = init[p] ? tech.vdd : 0.0;
+    if (p == switching_pin) {
+      const double v1 = init[p] ? 0.0 : tech.vdd;
+      sim.ckt.drive(n, Pwl::ramp(v0, v1, 300e-12, 60e-12));
+    } else {
+      sim.ckt.drive_dc(n, v0);
+    }
+  }
+  sim.output = sim.ckt.add_node("out");
+  elaborate_cell(sim.ckt, cell, tech, sim.inputs, sim.output, vdd_n, tech.vdd,
+                 init, "u0");
+  sim.ckt.add_capacitor(sim.output, sim.ckt.ground(), load_farads);
+  return sim;
+}
+
+double gate_delay(const Cell& cell, const tech::Technology& tech,
+                  const std::vector<int>& init, int switching_pin,
+                  Edge out_edge) {
+  GateSim sim = build_gate(cell, tech, init, switching_pin, 2e-15);
+  spice::TransientOptions opt;
+  opt.t_stop = 1.5e-9;
+  opt.dt = tech.sim_dt;
+  const auto res = simulate_transient(sim.ckt, opt);
+  EXPECT_TRUE(res.converged);
+  const Edge in_edge = init[switching_pin] ? Edge::kFall : Edge::kRise;
+  const auto d = spice::propagation_delay(
+      res.waveform(sim.inputs[switching_pin]), in_edge,
+      res.waveform(sim.output), out_edge, tech.vdd, 100e-12);
+  EXPECT_TRUE(d.has_value()) << cell.name();
+  return d.value_or(-1.0);
+}
+
+const Library& lib() {
+  static const Library l = build_standard_library();
+  return l;
+}
+
+TEST(Elaborate, InverterSwitches) {
+  const auto& t = tech::technology("90nm");
+  const double d = gate_delay(lib().cell("INV"), t, {1}, 0, Edge::kRise);
+  EXPECT_GT(d, 1e-12);
+  EXPECT_LT(d, 200e-12);
+}
+
+TEST(Elaborate, Nand2BothInputsWork) {
+  const auto& t = tech::technology("90nm");
+  // A falls with B=1 -> output rises.
+  const double da = gate_delay(lib().cell("NAND2"), t, {1, 1}, 0, Edge::kRise);
+  const double db = gate_delay(lib().cell("NAND2"), t, {1, 1}, 1, Edge::kRise);
+  EXPECT_GT(da, 0.0);
+  EXPECT_GT(db, 0.0);
+  EXPECT_LT(da, 300e-12);
+  EXPECT_LT(db, 300e-12);
+}
+
+TEST(Elaborate, NonInvertingCellPolarity) {
+  const auto& t = tech::technology("90nm");
+  // AND2: A rises with B=1 -> output rises (non-inverting).
+  const double d = gate_delay(lib().cell("AND2"), t, {0, 1}, 0, Edge::kRise);
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(Elaborate, Xor2WithInternalInverters) {
+  const auto& t = tech::technology("90nm");
+  // B=0: A rising -> Z rising.
+  const double d1 = gate_delay(lib().cell("XOR2"), t, {0, 0}, 0, Edge::kRise);
+  // B=1: A rising -> Z falling.
+  const double d2 = gate_delay(lib().cell("XOR2"), t, {0, 1}, 0, Edge::kFall);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_GT(d2, 0.0);
+}
+
+TEST(Elaborate, Ao22AllSensitizationVectorsPropagate) {
+  const auto& t = tech::technology("90nm");
+  // Input A rising with the three side vectors of paper Table 1.
+  // (B,C,D) in {(1,0,0), (1,1,0), (1,0,1)}; Z rises in each case.
+  for (const auto& side : std::vector<std::vector<int>>{
+           {0, 1, 0, 0}, {0, 1, 1, 0}, {0, 1, 0, 1}}) {
+    const double d = gate_delay(lib().cell("AO22"), t, side, 0, Edge::kRise);
+    EXPECT_GT(d, 0.0) << "side vector failed";
+    EXPECT_LT(d, 500e-12);
+  }
+}
+
+// The paper's core phenomenon (Tables 3-4): the delay through a complex-gate
+// input depends measurably on which sensitization vector is applied.
+TEST(Elaborate, Ao22DelayDependsOnSensitizationVector) {
+  const auto& t = tech::technology("90nm");
+  // Falling input A (Z falls): cases from Table 1 rows for input A.
+  const double d1 = gate_delay(lib().cell("AO22"), t, {1, 1, 0, 0}, 0, Edge::kFall);
+  const double d2 = gate_delay(lib().cell("AO22"), t, {1, 1, 1, 0}, 0, Edge::kFall);
+  const double d3 = gate_delay(lib().cell("AO22"), t, {1, 1, 0, 1}, 0, Edge::kFall);
+  ASSERT_GT(d1, 0.0);
+  ASSERT_GT(d2, 0.0);
+  ASSERT_GT(d3, 0.0);
+  // Case 1 (C=D=0: both parallel PMOS on) must be the fastest.
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d1, d3);
+  // The spread must be measurable (paper reports up to ~20%).
+  EXPECT_GT((std::max(d2, d3) - d1) / d1, 0.02);
+}
+
+TEST(Elaborate, Oa12DelayDependsOnSensitizationVector) {
+  const auto& t = tech::technology("90nm");
+  // Rising input C (Z rises): cases from Table 2 for input C:
+  // (A,B) in {(1,0), (0,1), (1,1)}.
+  const double d1 = gate_delay(lib().cell("OA12"), t, {1, 0, 0}, 2, Edge::kRise);
+  const double d2 = gate_delay(lib().cell("OA12"), t, {0, 1, 0}, 2, Edge::kRise);
+  const double d3 = gate_delay(lib().cell("OA12"), t, {1, 1, 0}, 2, Edge::kRise);
+  ASSERT_GT(d1, 0.0);
+  ASSERT_GT(d2, 0.0);
+  ASSERT_GT(d3, 0.0);
+  // Case 3 (A=B=1: both parallel NMOS on) is the fastest (paper Fig. 3c).
+  EXPECT_LT(d3, d1);
+  EXPECT_LT(d3, d2);
+}
+
+TEST(Elaborate, DeviceAndNodeBookkeeping) {
+  const auto& t = tech::technology("90nm");
+  spice::Circuit ckt;
+  const NodeId vdd_n = ckt.add_node("vdd");
+  ckt.drive_dc(vdd_n, t.vdd);
+  std::vector<NodeId> ins;
+  const Cell& ao22 = lib().cell("AO22");
+  for (int p = 0; p < 4; ++p) {
+    const NodeId n = ckt.add_node("i" + std::to_string(p));
+    ckt.drive_dc(n, 0.0);
+    ins.push_back(n);
+  }
+  const NodeId out = ckt.add_node("z");
+  const std::vector<int> init{0, 0, 0, 0};
+  const auto res =
+      elaborate_cell(ckt, ao22, t, ins, out, vdd_n, t.vdd, init, "u1");
+  EXPECT_EQ(res.device_count, 10u);
+  EXPECT_NE(res.core, out);  // AO22 has an output inverter
+  // All-zero inputs: Z=0, core=1.
+  EXPECT_DOUBLE_EQ(ckt.initial_voltage(out), 0.0);
+  EXPECT_DOUBLE_EQ(ckt.initial_voltage(res.core), t.vdd);
+}
+
+}  // namespace
+}  // namespace sasta::cell

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "cell/netstate_analysis.h"
+#include "util/check.h"
+
+namespace sasta::cell {
+namespace {
+
+const Library& lib() {
+  static const Library l = build_standard_library();
+  return l;
+}
+
+const DeviceReport& device(const NetworkStateReport& r, const std::string& n) {
+  for (const auto& d : r.devices) {
+    if (d.name == n) return d;
+  }
+  SASTA_FAIL() << " no device " << n;
+}
+
+// Paper Fig. 2a: AO22, A falls, B=1, C=D=0 (Case 1).  The core output rises
+// through pA with both pC and pD ON: 3 conducting-path devices, no charge
+// sharing in the PDN.
+TEST(NetState, Ao22Case1MatchesFig2a) {
+  const auto r = analyze_network_state(lib().cell("AO22"), /*switching_pin=*/0,
+                                       /*pin_rises=*/false, {1, 1, 0, 0});
+  EXPECT_TRUE(r.output_rises);  // core output (inverting stage)
+  EXPECT_EQ(device(r, "pA").state, DeviceState::kTurningOn);
+  EXPECT_EQ(device(r, "pB").state, DeviceState::kOff);
+  EXPECT_EQ(device(r, "pC").state, DeviceState::kOn);
+  EXPECT_EQ(device(r, "pD").state, DeviceState::kOn);
+  EXPECT_EQ(device(r, "nA").state, DeviceState::kTurningOff);
+  EXPECT_EQ(device(r, "nB").state, DeviceState::kOn);
+  EXPECT_EQ(device(r, "nC").state, DeviceState::kOff);
+  EXPECT_EQ(device(r, "nD").state, DeviceState::kOff);
+  // pA plus both parallel top devices conduct.
+  EXPECT_EQ(r.parallel_on_drivers, 3);
+  EXPECT_EQ(r.charge_sharing_devices, 0);
+}
+
+// Paper Fig. 2b: Case 2 (C=1, D=0) - only pD ON in the top pair, and nC ON
+// couples the PDN internal node to the core output (charge sharing).
+TEST(NetState, Ao22Case2MatchesFig2b) {
+  const auto r = analyze_network_state(lib().cell("AO22"), 0, false,
+                                       {1, 1, 1, 0});
+  EXPECT_TRUE(r.output_rises);
+  EXPECT_EQ(device(r, "pC").state, DeviceState::kOff);
+  EXPECT_EQ(device(r, "pD").state, DeviceState::kOn);
+  EXPECT_EQ(device(r, "nC").state, DeviceState::kOn);
+  EXPECT_EQ(r.parallel_on_drivers, 2);
+  EXPECT_EQ(r.charge_sharing_devices, 1);  // nC couples internal node
+}
+
+// Paper Fig. 2c: Case 3 (C=0, D=1) - nD is ON but connects the internal PDN
+// node to ground, NOT to the output: no charge sharing at the output.
+TEST(NetState, Ao22Case3MatchesFig2c) {
+  const auto r = analyze_network_state(lib().cell("AO22"), 0, false,
+                                       {1, 1, 0, 1});
+  EXPECT_TRUE(r.output_rises);
+  EXPECT_EQ(device(r, "nD").state, DeviceState::kOn);
+  EXPECT_EQ(r.parallel_on_drivers, 2);
+  EXPECT_EQ(r.charge_sharing_devices, 0);
+}
+
+// Paper Fig. 3 / Table 4: OA12 with rising C.  The PUN stacks pB adjacent
+// to the core output (see library_builder.cpp), so Case 1 (B=0: pB ON)
+// couples the stack-internal parasitic to the output and is the slowest
+// In-Rise case, while Case 3 (A=B=1, both parallel NMOS ON) is the fastest.
+TEST(NetState, Oa12CasesMatchFig3) {
+  // Case 1: A=1, B=0 - pB ON, output-adjacent: charge sharing.
+  const auto r1 = analyze_network_state(lib().cell("OA12"), 2, true, {1, 0, 0});
+  EXPECT_FALSE(r1.output_rises);  // core output falls (PDN conducts)
+  EXPECT_EQ(device(r1, "nA").state, DeviceState::kOn);
+  EXPECT_EQ(device(r1, "nB").state, DeviceState::kOff);
+  EXPECT_EQ(device(r1, "pB").state, DeviceState::kOn);
+  EXPECT_EQ(r1.parallel_on_drivers, 2);
+  EXPECT_EQ(r1.charge_sharing_devices, 1);
+
+  // Case 2: A=0, B=1 - pA is ON but sits rail-adjacent: no coupling to the
+  // output.
+  const auto r2 = analyze_network_state(lib().cell("OA12"), 2, true, {0, 1, 0});
+  EXPECT_EQ(device(r2, "pA").state, DeviceState::kOn);
+  EXPECT_EQ(device(r2, "pB").state, DeviceState::kOff);
+  EXPECT_EQ(r2.parallel_on_drivers, 2);
+  EXPECT_EQ(r2.charge_sharing_devices, 0);
+
+  // Case 3: A=B=1 - both nA and nB conduct.
+  const auto r3 = analyze_network_state(lib().cell("OA12"), 2, true, {1, 1, 0});
+  EXPECT_EQ(r3.parallel_on_drivers, 3);
+  EXPECT_EQ(r3.charge_sharing_devices, 0);
+}
+
+TEST(NetState, InvalidSensitizationRejected) {
+  // AO22 input A with B=0: the A branch cannot conduct; analysis must throw.
+  EXPECT_THROW(analyze_network_state(lib().cell("AO22"), 0, false,
+                                     {1, 0, 0, 0}),
+               util::Error);
+}
+
+TEST(NetState, FormatReportMentionsDevices) {
+  const auto r = analyze_network_state(lib().cell("AO22"), 0, false,
+                                       {1, 1, 0, 0});
+  const std::string s = format_network_state(lib().cell("AO22"), r);
+  EXPECT_NE(s.find("pA"), std::string::npos);
+  EXPECT_NE(s.find("conducting-path devices: 3"), std::string::npos);
+}
+
+TEST(NetState, DeviceStateNames) {
+  EXPECT_STREQ(device_state_name(DeviceState::kOn), "ON");
+  EXPECT_STREQ(device_state_name(DeviceState::kTurningOff), "ON->OFF");
+}
+
+}  // namespace
+}  // namespace sasta::cell

@@ -1,0 +1,78 @@
+// Structural properties of series-parallel networks:
+//   * dual() is an involution;
+//   * conduction of the dual with active-low leaves is the complement of
+//     the original's conduction (the CMOS complementarity theorem that
+//     Cell::validate() relies on);
+//   * stack depth and device count behave as the series/parallel algebra
+//     dictates.
+#include <gtest/gtest.h>
+
+#include "cell/spnetwork.h"
+#include "util/rng.h"
+
+namespace sasta::cell {
+namespace {
+
+using logicsys::TriVal;
+
+SpTree random_tree(util::Rng& rng, int depth, int num_pins) {
+  if (depth == 0 || rng.next_bool(0.4)) {
+    return SpTree::leaf(static_cast<int>(rng.next_below(num_pins)),
+                        rng.next_bool(0.2));
+  }
+  std::vector<SpTree> kids;
+  const int n = 2 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < n; ++i) kids.push_back(random_tree(rng, depth - 1, num_pins));
+  return rng.next_bool() ? SpTree::series(std::move(kids))
+                         : SpTree::parallel(std::move(kids));
+}
+
+TEST(SpTreeProperty, DualIsInvolution) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const SpTree t = random_tree(rng, 3, 4);
+    const SpTree dd = t.dual().dual();
+    const std::vector<std::string> names{"A", "B", "C", "D"};
+    EXPECT_EQ(dd.to_string(names), t.to_string(names));
+    EXPECT_EQ(dd.num_devices(), t.num_devices());
+  }
+}
+
+TEST(SpTreeProperty, DualConductionIsComplement) {
+  util::Rng rng(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const SpTree t = random_tree(rng, 3, 4);
+    const SpTree d = t.dual();
+    for (std::uint32_t m = 0; m < 16; ++m) {
+      std::vector<TriVal> vals(4);
+      for (int i = 0; i < 4; ++i)
+
+        vals[i] = logicsys::tri_from_bool((m >> i) & 1);
+      const TriVal a = t.conducts(vals);
+      const TriVal b = d.conducts(vals, /*active_low_leaves=*/true);
+      EXPECT_EQ(a == TriVal::kOne, b == TriVal::kZero) << "m=" << m;
+    }
+  }
+}
+
+TEST(SpTreeProperty, DepthAlgebra) {
+  const SpTree s = SpTree::series(
+      SpTree::leaf(0), SpTree::series(SpTree::leaf(1), SpTree::leaf(2)));
+  EXPECT_EQ(s.stack_depth(), 3);
+  const SpTree p = SpTree::parallel(s, SpTree::leaf(3));
+  EXPECT_EQ(p.stack_depth(), 3);
+  EXPECT_EQ(p.dual().stack_depth(), 1 + 1);  // dual: series(parallel..,leaf)
+  EXPECT_EQ(p.num_devices(), 4);
+}
+
+TEST(SpTreeProperty, XLeafGivesXUnlessDominated) {
+  // series(leaf0, leaf1): leaf0=0 dominates X on leaf1.
+  const SpTree s = SpTree::series(SpTree::leaf(0), SpTree::leaf(1));
+  const std::vector<TriVal> v{TriVal::kZero, TriVal::kX};
+  EXPECT_EQ(s.conducts(v), TriVal::kZero);
+  const std::vector<TriVal> w{TriVal::kOne, TriVal::kX};
+  EXPECT_EQ(s.conducts(w), TriVal::kX);
+}
+
+}  // namespace
+}  // namespace sasta::cell

@@ -1,0 +1,83 @@
+// Numerical fidelity of the Liberty export: parse the emitted tables back
+// (lightweight scan) and compare against the LutModel values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "charlib/liberty_writer.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::charlib {
+namespace {
+
+/// Extracts the first numeric list following `needle` within `scope`.
+std::vector<double> numbers_after(const std::string& text, std::size_t from,
+                                  const std::string& needle) {
+  const auto pos = text.find(needle, from);
+  EXPECT_NE(pos, std::string::npos) << needle;
+  std::vector<double> out;
+  std::size_t i = pos + needle.size();
+  while (i < text.size() && text[i] != ';' && text[i] != '}') {
+    if (std::isdigit(static_cast<unsigned char>(text[i])) ||
+        (text[i] == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t end = i;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.' || text[end] == '-' || text[end] == 'e' ||
+              text[end] == '+')) {
+        ++end;
+      }
+      out.push_back(std::stod(text.substr(i, end - i)));
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+TEST(LibertyNumeric, InvTablesMatchLutModel) {
+  const auto& cl = testing::test_charlib("90nm");
+  const std::string lib = write_liberty_string(cl, testing::test_library(),
+                                               tech::technology("90nm"));
+  const auto cell_pos = lib.find("cell (INV)");
+  ASSERT_NE(cell_pos, std::string::npos);
+
+  // index_1 must be the slew axis in ns.
+  const LutModel& lut = cl.timing("INV").lut(0, spice::Edge::kRise);
+  const auto idx1 = numbers_after(lib, cell_pos, "index_1 (\"");
+  ASSERT_EQ(idx1.size(), lut.slew_axis().size());
+  for (std::size_t i = 0; i < idx1.size(); ++i) {
+    EXPECT_NEAR(idx1[i], lut.slew_axis()[i] * 1e9, 5e-6);
+  }
+  // index_2 is load in pF = fo * Cin.
+  const double cin = cl.timing("INV").avg_input_cap;
+  const auto idx2 = numbers_after(lib, cell_pos, "index_2 (\"");
+  ASSERT_EQ(idx2.size(), lut.fo_axis().size());
+  for (std::size_t j = 0; j < idx2.size(); ++j) {
+    EXPECT_NEAR(idx2[j], lut.fo_axis()[j] * cin * 1e12, 5e-6);
+  }
+  // INV is negative unate: cell_rise values come from the FALLING-input LUT.
+  const LutModel& fall_in = cl.timing("INV").lut(0, spice::Edge::kFall);
+  const auto rise_vals = numbers_after(lib, cell_pos, "values ( \\");
+  ASSERT_GE(rise_vals.size(),
+            fall_in.slew_axis().size() * fall_in.fo_axis().size());
+  // First row, first column equals the table's (0,0) delay in ns.
+  EXPECT_NEAR(rise_vals[0], fall_in.delay_table()(0, 0) * 1e9, 5e-6);
+}
+
+TEST(LibertyNumeric, PinCapacitancesInPf) {
+  const auto& cl = testing::test_charlib("90nm");
+  const std::string lib = write_liberty_string(cl, testing::test_library(),
+                                               tech::technology("90nm"));
+  const auto pos = lib.find("cell (AO22)");
+  ASSERT_NE(pos, std::string::npos);
+  const auto cap = numbers_after(lib, pos, "capacitance : ");
+  ASSERT_FALSE(cap.empty());
+  EXPECT_NEAR(cap[0], cl.timing("AO22").pin_caps[0] * 1e12, 5e-6);
+}
+
+}  // namespace
+}  // namespace sasta::charlib

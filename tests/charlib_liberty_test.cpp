@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "charlib/liberty_writer.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::charlib {
+namespace {
+
+TEST(Liberty, ExportsStructurallySoundLibrary) {
+  const std::string lib = write_liberty_string(
+      testing::test_charlib("90nm"), testing::test_library(),
+      tech::technology("90nm"));
+  // Header and units.
+  EXPECT_NE(lib.find("library (sasta_90nm)"), std::string::npos);
+  EXPECT_NE(lib.find("delay_model : table_lookup;"), std::string::npos);
+  EXPECT_NE(lib.find("time_unit : \"1ns\";"), std::string::npos);
+  // Every cell appears.
+  for (const auto& c : testing::test_library().cells()) {
+    EXPECT_NE(lib.find("cell (" + c.name() + ")"), std::string::npos)
+        << c.name();
+  }
+  // Functions exported.
+  EXPECT_NE(lib.find("function : \"((A*B)+(C*D))\";"), std::string::npos);
+  // Balanced braces.
+  long depth = 0;
+  for (char ch : lib) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Liberty, UnatenessFollowsArcPolarity) {
+  const std::string lib = write_liberty_string(
+      testing::test_charlib("90nm"), testing::test_library(),
+      tech::technology("90nm"));
+  // INV is negative unate; AND2 positive unate.
+  const auto inv_pos = lib.find("cell (INV)");
+  const auto and_pos = lib.find("cell (AND2)");
+  ASSERT_NE(inv_pos, std::string::npos);
+  ASSERT_NE(and_pos, std::string::npos);
+  const std::string inv_block = lib.substr(inv_pos, 2000);
+  EXPECT_NE(inv_block.find("timing_sense : negative_unate;"),
+            std::string::npos);
+  const std::string and_block = lib.substr(and_pos, 2000);
+  EXPECT_NE(and_block.find("timing_sense : positive_unate;"),
+            std::string::npos);
+}
+
+TEST(Liberty, TablesCarryPlausibleNanoseconds) {
+  const std::string lib = write_liberty_string(
+      testing::test_charlib("90nm"), testing::test_library(),
+      tech::technology("90nm"));
+  // Axis values present (ns range 0.01 .. 1) and pin capacitances in pF.
+  EXPECT_NE(lib.find("index_1 (\""), std::string::npos);
+  EXPECT_NE(lib.find("capacitance : "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasta::charlib

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "charlib/sensitization.h"
+
+namespace sasta::charlib {
+namespace {
+
+const cell::Library& lib() {
+  static const cell::Library l = cell::build_standard_library();
+  return l;
+}
+
+// Paper Table 1: AO22 has exactly three sensitization vectors per input,
+// 12 in total.
+TEST(Sensitization, Ao22MatchesTable1) {
+  const cell::Cell& c = lib().cell("AO22");
+  const auto all = enumerate_all_sensitization(c);
+  ASSERT_EQ(all.size(), 4u);
+  int total = 0;
+  for (const auto& pin_vecs : all) {
+    EXPECT_EQ(pin_vecs.size(), 3u);
+    total += static_cast<int>(pin_vecs.size());
+  }
+  EXPECT_EQ(total, 12);
+
+  // Input A (pin 0) cases, paper order: (B,C,D) = (1,0,0), (1,1,0), (1,0,1).
+  const auto& a = all[0];
+  EXPECT_EQ(a[0].side_value(1), true);
+  EXPECT_EQ(a[0].side_value(2), false);
+  EXPECT_EQ(a[0].side_value(3), false);
+  EXPECT_EQ(a[1].side_value(2), true);
+  EXPECT_EQ(a[1].side_value(3), false);
+  EXPECT_EQ(a[2].side_value(2), false);
+  EXPECT_EQ(a[2].side_value(3), true);
+  // AO22 is non-inverting through every vector.
+  for (const auto& v : a) EXPECT_FALSE(v.inverting);
+}
+
+// Paper Table 2: OA12 has one vector for A and B, three for C.
+TEST(Sensitization, Oa12MatchesTable2) {
+  const cell::Cell& c = lib().cell("OA12");
+  const auto all = enumerate_all_sensitization(c);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].size(), 1u);  // A: requires B=0, C=1
+  EXPECT_EQ(all[1].size(), 1u);  // B: requires A=0, C=1
+  EXPECT_EQ(all[2].size(), 3u);  // C: (A,B) in {10, 01, 11}
+
+  EXPECT_FALSE(all[0][0].side_value(1));
+  EXPECT_TRUE(all[0][0].side_value(2));
+
+  // C cases in paper order: (A,B) = (1,0), (0,1), (1,1).
+  const auto& cc = all[2];
+  EXPECT_TRUE(cc[0].side_value(0));
+  EXPECT_FALSE(cc[0].side_value(1));
+  EXPECT_FALSE(cc[1].side_value(0));
+  EXPECT_TRUE(cc[1].side_value(1));
+  EXPECT_TRUE(cc[2].side_value(0));
+  EXPECT_TRUE(cc[2].side_value(1));
+}
+
+TEST(Sensitization, SimpleGatesHaveOneVectorPerInput) {
+  for (const char* name : {"INV", "BUF", "NAND2", "NAND3", "NOR2", "AND2",
+                           "OR3", "NAND4"}) {
+    const cell::Cell& c = lib().cell(name);
+    const auto all = enumerate_all_sensitization(c);
+    for (int p = 0; p < c.num_inputs(); ++p) {
+      EXPECT_EQ(all[p].size(), 1u) << name << " pin " << p;
+    }
+  }
+}
+
+TEST(Sensitization, PolarityFollowsFunction) {
+  // NAND2 inverts; AND2 does not; XOR2 polarity depends on the vector.
+  const auto nand_vecs = enumerate_sensitization(
+      lib().cell("NAND2").function(), 0);
+  ASSERT_EQ(nand_vecs.size(), 1u);
+  EXPECT_TRUE(nand_vecs[0].inverting);
+
+  const auto and_vecs = enumerate_sensitization(
+      lib().cell("AND2").function(), 0);
+  ASSERT_EQ(and_vecs.size(), 1u);
+  EXPECT_FALSE(and_vecs[0].inverting);
+
+  const auto xor_vecs = enumerate_sensitization(
+      lib().cell("XOR2").function(), 0);
+  ASSERT_EQ(xor_vecs.size(), 2u);
+  // B=0: buffer-like; B=1: inverter-like.
+  EXPECT_FALSE(xor_vecs[0].inverting);
+  EXPECT_TRUE(xor_vecs[1].inverting);
+}
+
+TEST(Sensitization, Mux2SelectObservability) {
+  // S (pin 2) is observable iff A != B.
+  const auto vecs = enumerate_sensitization(lib().cell("MUX2").function(), 2);
+  ASSERT_EQ(vecs.size(), 2u);
+  for (const auto& v : vecs) {
+    EXPECT_NE(v.side_value(0), v.side_value(1));
+  }
+}
+
+TEST(Sensitization, OutEdgeHelper) {
+  SensitizationVector v;
+  v.inverting = true;
+  EXPECT_EQ(v.out_edge(spice::Edge::kRise), spice::Edge::kFall);
+  v.inverting = false;
+  EXPECT_EQ(v.out_edge(spice::Edge::kRise), spice::Edge::kRise);
+}
+
+TEST(Sensitization, FormatMatchesPaperStyle) {
+  const cell::Cell& c = lib().cell("OA12");
+  const auto vecs = enumerate_sensitization(c.function(), 2);
+  EXPECT_EQ(format_vector(c, vecs[0]), "A=1 B=0 C=T");
+  EXPECT_EQ(format_vector(c, vecs[2]), "A=1 B=1 C=T");
+}
+
+}  // namespace
+}  // namespace sasta::charlib

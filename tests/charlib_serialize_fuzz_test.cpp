@@ -1,0 +1,78 @@
+// Robustness fuzzing of the characterized-library text format: every
+// truncation and a batch of random single-character corruptions of a valid
+// file must raise util::Error (never crash, hang, or silently succeed with
+// mangled data).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "charlib/serialize.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+#include "util/rng.h"
+
+namespace sasta::charlib {
+namespace {
+
+const std::string& serialized() {
+  static const std::string text = [] {
+    std::ostringstream os;
+    save_charlibrary(testing::test_charlib("90nm"), os);
+    return os.str();
+  }();
+  return text;
+}
+
+TEST(SerializeFuzz, EveryCoarseTruncationRejected) {
+  const std::string& good = serialized();
+  ASSERT_GT(good.size(), 1000u);
+  // Sample ~200 truncation points across the file.
+  const std::size_t stride = good.size() / 200 + 1;
+  int rejected = 0, total = 0;
+  for (std::size_t cut = 10; cut + 8 < good.size(); cut += stride) {
+    ++total;
+    std::istringstream is(good.substr(0, cut));
+    try {
+      load_charlibrary(is);
+    } catch (const util::Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, total) << "a truncated library parsed successfully";
+}
+
+TEST(SerializeFuzz, RandomCorruptionsNeverCrash) {
+  const std::string& good = serialized();
+  util::Rng rng(4242);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bad = good;
+    // Flip 1-3 characters to random printable bytes.
+    const int flips = 1 + static_cast<int>(rng.next_below(3));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next_below(bad.size());
+      bad[pos] = static_cast<char>('!' + rng.next_below(90));
+    }
+    std::istringstream is(bad);
+    try {
+      load_charlibrary(is);
+      ++parsed_ok;  // corruption hit a numeric digit: acceptable
+    } catch (const util::Error&) {
+      // expected for structural damage
+    }
+  }
+  // Most corruptions damage structure; some only alter a coefficient digit.
+  EXPECT_LT(parsed_ok, 300);
+}
+
+TEST(SerializeFuzz, GarbagePrefixRejectedFast) {
+  for (const char* garbage :
+       {"", "\n\n\n", "sasta-charlib-v1\n", "{json: true}",
+        "sasta-charlib-v2 tech oops"}) {
+    std::istringstream is(garbage);
+    EXPECT_THROW(load_charlibrary(is), util::Error) << garbage;
+  }
+}
+
+}  // namespace
+}  // namespace sasta::charlib

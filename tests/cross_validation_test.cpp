@@ -1,0 +1,277 @@
+// Cross-validation of both STA engines against brute force on randomized
+// small circuits.
+//
+// Ground truth by exhaustive enumeration over all PI assignments:
+//   steady-sensitizable(course, dir): some assignment of the other PIs makes
+//     every node along the course toggle while every side input of every
+//     traversed gate stays HAZARD-FREE steady - equal before and after the
+//     transition AND still determined in the ternary mid-frame simulation
+//     (launching input = X).  This is the paper's sensitization model
+//     ("we only consider steady logic values applied to the inputs"): a
+//     side input that merely returns to its value but can glitch would
+//     invalidate the characterized gate delay.
+//   toggle-sensitizable(course, dir): some assignment makes every course
+//     node toggle (side inputs may glitch or switch: the laxer
+//     functional-sensitization notion the baseline's minimal-cube check
+//     admits).
+//
+// Invariants checked:
+//   1. developed-tool courses  ==  steady-sensitizable courses
+//      (sound AND complete w.r.t. the paper's model on these circuits);
+//   2. every steady-sensitizable course explored by the baseline is
+//      classified true (its lax static-sensitization check only errs on
+//      the optimistic side for these);
+//   3. steady-sensitizable courses the baseline labels false are the
+//      paper's "misidentified false paths"; they must all be caught by the
+//      developed tool.
+//
+// NOT asserted: baseline-true =&gt; sensitizable.  Static sensitization with
+// free (X) side values is a well-known OPTIMISTIC criterion - it accepts
+// some multi-input-switching and even some functionally-false paths.  That
+// optimism is faithful commercial behaviour (it is why the paper's
+// reference [8], "false-path AWARE formal STA", exists) and it is exactly
+// what electrical verification catches in the paper's flow.  The test
+// reports the over-acceptance count for visibility.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/baseline_tool.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/levelize.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "test_charlib.h"
+
+namespace sasta {
+namespace {
+
+using netlist::NetId;
+
+std::vector<int> simulate(const netlist::Netlist& nl, std::vector<int> value) {
+  const auto lv = netlist::levelize(nl);
+  for (netlist::InstId ii : lv.topo_order) {
+    const netlist::Instance& inst = nl.instance(ii);
+    std::uint32_t m = 0;
+    for (std::size_t p = 0; p < inst.inputs.size(); ++p) {
+      if (value[inst.inputs[p]]) m |= 1u << p;
+    }
+    value[inst.output] = inst.cell->function().value(m) ? 1 : 0;
+  }
+  return value;
+}
+
+/// Ternary simulation: -1 encodes X.  Used for the mid-frame (launching
+/// input at X) hazard check.
+std::vector<int> simulate3(const netlist::Netlist& nl, std::vector<int> value) {
+  using logicsys::TriVal;
+  const auto lv = netlist::levelize(nl);
+  for (netlist::InstId ii : lv.topo_order) {
+    const netlist::Instance& inst = nl.instance(ii);
+    std::vector<TriVal> in(inst.inputs.size());
+    for (std::size_t p = 0; p < inst.inputs.size(); ++p) {
+      const int v = value[inst.inputs[p]];
+      in[p] = v < 0 ? TriVal::kX : logicsys::tri_from_bool(v != 0);
+    }
+    const TriVal out = inst.cell->function().eval3(in);
+    value[inst.output] =
+        out == TriVal::kX ? -1 : (out == TriVal::kOne ? 1 : 0);
+  }
+  return value;
+}
+
+struct Course {
+  NetId source;
+  spice::Edge launch;
+  std::vector<sta::PathStep> steps;  // vector_id unused
+
+  std::string key(const netlist::Netlist& nl) const {
+    sta::TruePath p;
+    p.source = source;
+    p.launch_edge = launch;
+    p.steps = steps;
+    return p.course_key(nl);
+  }
+};
+
+/// All structural courses ending at a PO.
+std::vector<Course> enumerate_courses(const netlist::Netlist& nl) {
+  std::vector<Course> out;
+  std::vector<sta::PathStep> steps;
+  std::function<void(NetId)> dfs = [&](NetId net) {
+    if (nl.net(net).is_primary_output) {
+      for (const spice::Edge e : {spice::Edge::kRise, spice::Edge::kFall}) {
+        Course c;
+        c.source = steps.empty() ? net : NetId{};  // fixed below
+        c.launch = e;
+        c.steps = steps;
+        out.push_back(c);
+      }
+    }
+    for (const netlist::Fanout& f : nl.net(net).fanouts) {
+      steps.push_back({f.inst, f.pin, 0});
+      dfs(nl.instance(f.inst).output);
+      steps.pop_back();
+    }
+  };
+  for (NetId pi : nl.primary_inputs()) {
+    steps.clear();
+    const std::size_t before = out.size();
+    dfs(pi);
+    for (std::size_t i = before; i < out.size(); ++i) out[i].source = pi;
+  }
+  // Drop degenerate PI==PO empty courses.
+  std::vector<Course> filtered;
+  for (auto& c : out) {
+    if (!c.steps.empty()) filtered.push_back(std::move(c));
+  }
+  return filtered;
+}
+
+struct BruteForce {
+  bool steady = false;
+  bool toggle = false;
+};
+
+BruteForce brute_force(const netlist::Netlist& nl, const Course& c) {
+  BruteForce result;
+  std::vector<NetId> others;
+  for (NetId pi : nl.primary_inputs()) {
+    if (pi != c.source) others.push_back(pi);
+  }
+  SASTA_CHECK(others.size() <= 16) << " circuit too large for brute force";
+  for (std::uint32_t m = 0; m < (1u << others.size()); ++m) {
+    std::vector<int> values(nl.num_nets(), 0);
+    for (std::size_t i = 0; i < others.size(); ++i) {
+      values[others[i]] = (m >> i) & 1;
+    }
+    const int v0 = c.launch == spice::Edge::kRise ? 0 : 1;
+    values[c.source] = v0;
+    const auto before = simulate(nl, values);
+    values[c.source] = 1 - v0;
+    const auto after = simulate(nl, values);
+
+    bool toggles = true;
+    for (const auto& s : c.steps) {
+      if (before[nl.instance(s.inst).output] ==
+          after[nl.instance(s.inst).output]) {
+        toggles = false;
+        break;
+      }
+    }
+    if (!toggles) continue;
+    result.toggle = true;
+    // Hazard-free steadiness: side inputs equal before/after AND determined
+    // in the ternary mid-frame (launching input at X).
+    values[c.source] = -1;
+    const auto mid = simulate3(nl, values);
+    bool sides_steady = true;
+    for (const auto& s : c.steps) {
+      const netlist::Instance& inst = nl.instance(s.inst);
+      for (int q = 0; q < inst.cell->num_inputs() && sides_steady; ++q) {
+        if (q == s.pin) continue;
+        const NetId side = inst.inputs[q];
+        if (before[side] != after[side] || mid[side] != before[side]) {
+          sides_steady = false;
+        }
+      }
+      if (!sides_steady) break;
+    }
+    if (sides_steady) {
+      result.steady = true;
+      return result;  // both flags now true
+    }
+  }
+  return result;
+}
+
+netlist::Netlist make_random_circuit(std::uint64_t seed) {
+  netlist::GeneratorProfile p;
+  p.name = "rnd" + std::to_string(seed);
+  p.num_inputs = 7;
+  p.num_outputs = 3;
+  p.num_gates = 20;
+  p.depth = 5;
+  p.seed = seed;
+  const auto prim = netlist::generate_iscas_like(p);
+  return netlist::tech_map(prim, testing::test_library()).netlist;
+}
+
+class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossValidation, EnginesMatchBruteForce) {
+  const netlist::Netlist nl = make_random_circuit(GetParam());
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+
+  // Ground truth.
+  std::map<std::string, BruteForce> truth;
+  for (const Course& c : enumerate_courses(nl)) {
+    truth[c.key(nl)] = brute_force(nl, c);
+  }
+
+  // Developed tool in exact mode (unlimited justification budget): these
+  // circuits are small enough for the complete search.
+  sta::PathFinderOptions popt;
+  popt.justify_backtrack_budget = -1;
+  sta::PathFinder finder(nl, cl, popt);
+  std::set<std::string> dev;
+  for (const auto& p : finder.find_all()) dev.insert(p.course_key(nl));
+
+  // Invariant 1: developed == steady-sensitizable.
+  int steady_total = 0;
+  for (const auto& [key, bf] : truth) {
+    if (bf.steady) {
+      ++steady_total;
+      EXPECT_TRUE(dev.count(key))
+          << "developed tool missed steady-sensitizable course " << key;
+    } else {
+      EXPECT_FALSE(dev.count(key))
+          << "developed tool reported non-steady-sensitizable course " << key;
+    }
+  }
+  EXPECT_GT(steady_total, 0) << "degenerate circuit";
+
+  // Baseline.
+  baseline::BaselineOptions bopt;
+  bopt.path_limit = 100000;
+  bopt.backtrack_limit = -1;
+  baseline::BaselineTool base(nl, cl, tech, bopt);
+  const auto bres = base.run();
+
+  int misidentified_false = 0;
+  int over_accepted = 0;
+  int true_count = 0;
+  for (const auto& bp : bres.paths) {
+    sta::TruePath tp;
+    tp.source = bp.structural.source;
+    tp.launch_edge = bp.structural.launch_edge;
+    tp.steps = bp.structural.steps;
+    const std::string key = tp.course_key(nl);
+    ASSERT_TRUE(truth.count(key)) << "baseline explored unknown course";
+    const BruteForce& bf = truth[key];
+    if (bp.outcome.status == baseline::SensitizeStatus::kTrue) {
+      ++true_count;
+      if (!bf.toggle) ++over_accepted;  // static-sensitization optimism
+    } else if (bf.steady) {
+      // Invariant 2: a steady-sensitizable course must not be called false
+      // ... except through the baseline's first-fit justification, which is
+      // precisely the paper's "misidentified false paths" effect.  Either
+      // way the developed tool has it (invariant 1).
+      EXPECT_TRUE(dev.count(key));
+      if (bp.outcome.status == baseline::SensitizeStatus::kFalse) {
+        ++misidentified_false;
+      }
+    }
+  }
+  EXPECT_GT(true_count, 0);
+  RecordProperty("baseline_over_accepted", over_accepted);
+  RecordProperty("baseline_misidentified_false", misidentified_false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace sasta

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "charlib/characterizer.h"
+#include "test_charlib.h"
+#include "golden/pathsim.h"
+#include "netlist/bench_parser.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+
+namespace sasta::golden {
+namespace {
+
+using netlist::NetId;
+
+const cell::Library& lib() { return sasta::testing::test_library(); }
+
+const charlib::CharLibrary& charlib() {
+  return sasta::testing::test_charlib("90nm");
+}
+
+TEST(PathSim, SingleInverterMatchesArcModel) {
+  netlist::Netlist nl("inv1");
+  const NetId a = nl.add_net("a");
+  const NetId z = nl.add_net("z");
+  nl.mark_primary_input(a);
+  nl.add_instance("g0", lib().find("INV"), {a}, z);
+  nl.mark_primary_output(z);
+
+  sta::TruePath p;
+  p.source = a;
+  p.sink = z;
+  p.launch_edge = spice::Edge::kRise;
+  p.steps = {{0, 0, 0}};
+
+  const auto res =
+      simulate_path(nl, charlib(), tech::technology("90nm"), p);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.path_delay, 1e-12);
+  EXPECT_LT(res.path_delay, 300e-12);
+  ASSERT_EQ(res.stage_delays.size(), 1u);
+  EXPECT_NEAR(res.stage_delays[0], res.path_delay, 1e-15);
+  EXPECT_GT(res.sink_slew, 0.0);
+
+  // The polynomial model for the same arc must agree within ~12 %.
+  sta::DelayCalculator calc(nl, charlib(), tech::technology("90nm"));
+  const auto timed = calc.compute(p);
+  EXPECT_NEAR(timed.delay, res.path_delay, 0.12 * res.path_delay);
+}
+
+TEST(PathSim, ChainDelaysAccumulate) {
+  // Chain of 4 inverters.
+  netlist::Netlist nl("chain");
+  NetId prev = nl.add_net("a");
+  nl.mark_primary_input(prev);
+  sta::TruePath p;
+  p.source = prev;
+  p.launch_edge = spice::Edge::kFall;
+  for (int i = 0; i < 4; ++i) {
+    const NetId next = nl.add_net("n" + std::to_string(i));
+    const netlist::InstId inst =
+        nl.add_instance("g" + std::to_string(i), lib().find("INV"), {prev},
+                        next);
+    p.steps.push_back({inst, 0, 0});
+    prev = next;
+  }
+  nl.mark_primary_output(prev);
+  p.sink = prev;
+
+  const auto res = simulate_path(nl, charlib(), tech::technology("90nm"), p);
+  EXPECT_TRUE(res.converged);
+  ASSERT_EQ(res.stage_delays.size(), 4u);
+  double sum = 0;
+  for (double d : res.stage_delays) {
+    EXPECT_GT(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum, res.path_delay, 1e-14);
+
+  // Model total within ~15 % of golden.
+  sta::DelayCalculator calc(nl, charlib(), tech::technology("90nm"));
+  const auto timed = calc.compute(p);
+  EXPECT_NEAR(timed.delay, res.path_delay, 0.15 * res.path_delay);
+}
+
+// The end-to-end claim of the paper: for a path through a complex gate, the
+// golden (electrical) delay differs between sensitization vectors, and the
+// vector-aware polynomial model tracks each one.
+TEST(PathSim, Ao22PathVectorDependenceTracked) {
+  netlist::Netlist nl("ao22path");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  const NetId d = nl.add_net("d");
+  const NetId n1 = nl.add_net("n1");
+  const NetId z = nl.add_net("z");
+  for (NetId pi : {a, b, c, d}) nl.mark_primary_input(pi);
+  const netlist::InstId g0 =
+      nl.add_instance("g0", lib().find("AO22"), {a, b, c, d}, n1);
+  const netlist::InstId g1 = nl.add_instance("g1", lib().find("INV"), {n1}, z);
+  nl.mark_primary_output(z);
+
+  sta::DelayCalculator calc(nl, charlib(), tech::technology("90nm"));
+  std::vector<double> golden_delays, model_delays;
+  for (int vec = 0; vec < 3; ++vec) {
+    sta::TruePath p;
+    p.source = a;
+    p.sink = z;
+    p.launch_edge = spice::Edge::kFall;  // larger vector spread on falls
+    p.steps = {{g0, 0, vec}, {g1, 0, 0}};
+    const auto g = simulate_path(nl, charlib(), tech::technology("90nm"), p);
+    EXPECT_TRUE(g.converged);
+    golden_delays.push_back(g.path_delay);
+    model_delays.push_back(calc.compute(p).delay);
+  }
+  // Vector 0 (Case 1) is the fastest electrically.
+  EXPECT_LT(golden_delays[0], golden_delays[1]);
+  EXPECT_LT(golden_delays[0], golden_delays[2]);
+  // The model must reproduce the ordering of case 1 vs the slower cases.
+  EXPECT_LT(model_delays[0], model_delays[1]);
+  EXPECT_LT(model_delays[0], model_delays[2]);
+  // And each vector's model delay must be within ~12 % of its golden delay.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(model_delays[i], golden_delays[i], 0.12 * golden_delays[i])
+        << "vector " << i;
+  }
+}
+
+TEST(PathSim, LoadsFromRealFanoutSlowPath) {
+  // Same 2-stage path, but the first stage also drives two extra NAND4
+  // loads: golden delay must increase.
+  auto build = [&](bool extra_load, double* delay) {
+    netlist::Netlist nl("load");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId n1 = nl.add_net("n1");
+    const NetId z = nl.add_net("z");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    const netlist::InstId g0 =
+        nl.add_instance("g0", lib().find("NAND2"), {a, b}, n1);
+    const netlist::InstId g1 =
+        nl.add_instance("g1", lib().find("INV"), {n1}, z);
+    nl.mark_primary_output(z);
+    if (extra_load) {
+      const NetId c = nl.add_net("c");
+      const NetId e1 = nl.add_net("e1");
+      const NetId e2 = nl.add_net("e2");
+      nl.mark_primary_input(c);
+      nl.add_instance("x0", lib().find("NAND4"), {n1, n1 == 0 ? c : c, c, c},
+                      e1);
+      nl.add_instance("x1", lib().find("NOR3"), {n1, c, e1}, e2);
+      nl.mark_primary_output(e2);
+    }
+    sta::TruePath p;
+    p.source = a;
+    p.sink = z;
+    p.launch_edge = spice::Edge::kRise;
+    p.steps = {{g0, 0, 0}, {g1, 0, 0}};
+    const auto g = simulate_path(nl, charlib(), tech::technology("90nm"), p);
+    *delay = g.path_delay;
+  };
+  double light = 0, heavy = 0;
+  build(false, &light);
+  build(true, &heavy);
+  EXPECT_GT(heavy, light * 1.05);
+}
+
+}  // namespace
+}  // namespace sasta::golden

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "logicsys/ninevalue.h"
+#include "logicsys/trivalue.h"
+
+namespace sasta::logicsys {
+namespace {
+
+TEST(TriVal, NotTable) {
+  EXPECT_EQ(tri_not(TriVal::kZero), TriVal::kOne);
+  EXPECT_EQ(tri_not(TriVal::kOne), TriVal::kZero);
+  EXPECT_EQ(tri_not(TriVal::kX), TriVal::kX);
+}
+
+TEST(TriVal, AndTable) {
+  EXPECT_EQ(tri_and(TriVal::kZero, TriVal::kX), TriVal::kZero);
+  EXPECT_EQ(tri_and(TriVal::kX, TriVal::kZero), TriVal::kZero);
+  EXPECT_EQ(tri_and(TriVal::kOne, TriVal::kOne), TriVal::kOne);
+  EXPECT_EQ(tri_and(TriVal::kOne, TriVal::kX), TriVal::kX);
+  EXPECT_EQ(tri_and(TriVal::kX, TriVal::kX), TriVal::kX);
+}
+
+TEST(TriVal, OrTable) {
+  EXPECT_EQ(tri_or(TriVal::kOne, TriVal::kX), TriVal::kOne);
+  EXPECT_EQ(tri_or(TriVal::kZero, TriVal::kZero), TriVal::kZero);
+  EXPECT_EQ(tri_or(TriVal::kZero, TriVal::kX), TriVal::kX);
+}
+
+TEST(TriVal, Compatibility) {
+  EXPECT_TRUE(tri_compatible(TriVal::kX, TriVal::kOne));
+  EXPECT_TRUE(tri_compatible(TriVal::kOne, TriVal::kOne));
+  EXPECT_FALSE(tri_compatible(TriVal::kOne, TriVal::kZero));
+}
+
+TEST(NineVal, NamedValues) {
+  EXPECT_EQ(NineVal::rise().to_string(), "R");
+  EXPECT_EQ(NineVal::fall().to_string(), "F");
+  EXPECT_EQ(NineVal::stable0().to_string(), "0");
+  EXPECT_EQ(NineVal::stable1().to_string(), "1");
+  EXPECT_EQ(NineVal::x0().to_string(), "X0");
+  EXPECT_EQ(NineVal::x1().to_string(), "X1");
+  EXPECT_EQ(NineVal::unknown().to_string(), "X");
+  EXPECT_EQ((NineVal{TriVal::kZero, TriVal::kX}).to_string(), "0X");
+}
+
+TEST(NineVal, Predicates) {
+  EXPECT_TRUE(NineVal::rise().is_transition());
+  EXPECT_FALSE(NineVal::rise().is_steady());
+  EXPECT_TRUE(NineVal::stable1().is_steady());
+  EXPECT_FALSE(NineVal::x0().fully_known());
+  EXPECT_FALSE(NineVal::x0().is_steady());
+}
+
+TEST(NineVal, SemiUndeterminedCompatibility) {
+  // X0 (ends at 0) is compatible with stable-0 but not with stable-1.
+  EXPECT_TRUE(NineVal::x0().compatible(NineVal::stable0()));
+  EXPECT_FALSE(NineVal::x0().compatible(NineVal::stable1()));
+  // X0 is also compatible with FALL (1 -> 0).
+  EXPECT_TRUE(NineVal::x0().compatible(NineVal::fall()));
+  EXPECT_FALSE(NineVal::x0().compatible(NineVal::rise()));
+}
+
+TEST(NineVal, MeetRefines) {
+  const NineVal met = NineVal::x0().meet(NineVal::stable0());
+  EXPECT_EQ(met, NineVal::stable0());
+  EXPECT_TRUE(NineVal::stable0().refines(NineVal::x0()));
+  EXPECT_FALSE(NineVal::x0().refines(NineVal::stable0()));
+}
+
+TEST(NineVal, Inversion) {
+  EXPECT_EQ(NineVal::rise().inverted(), NineVal::fall());
+  EXPECT_EQ(NineVal::x0().inverted(), NineVal::x1());
+  EXPECT_EQ(NineVal::stable1().inverted(), NineVal::stable0());
+  EXPECT_EQ(NineVal::unknown().inverted(), NineVal::unknown());
+}
+
+}  // namespace
+}  // namespace sasta::logicsys

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.h"
+#include "netlist/bench_writer.h"
+#include "util/check.h"
+
+namespace sasta::netlist {
+namespace {
+
+TEST(BenchParser, ParsesC17) {
+  const PrimNetlist nl = parse_bench_string(c17_bench_text(), "c17");
+  EXPECT_EQ(nl.inputs.size(), 5u);
+  EXPECT_EQ(nl.outputs.size(), 2u);
+  EXPECT_EQ(nl.gates.size(), 6u);
+  for (const auto& g : nl.gates) {
+    EXPECT_EQ(g.op, PrimOp::kNand);
+    EXPECT_EQ(g.inputs.size(), 2u);
+  }
+}
+
+TEST(BenchParser, HandlesCommentsAndBlanks) {
+  const std::string text = R"(
+# full line comment
+INPUT(a)   # trailing comment
+INPUT(b)
+OUTPUT(z)
+
+z = AND(a, b)
+)";
+  const PrimNetlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.inputs.size(), 2u);
+  EXPECT_EQ(nl.gates.size(), 1u);
+  EXPECT_EQ(nl.gates[0].op, PrimOp::kAnd);
+}
+
+TEST(BenchParser, AllGateTypes) {
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+n1 = AND(a, b)
+n2 = NAND(a, b)
+n3 = OR(a, b)
+n4 = NOR(a, b)
+n5 = NOT(a)
+n6 = BUFF(b)
+n7 = XOR(a, b)
+n8 = XNOR(a, b)
+z = AND(n1, n2, n3, n4, n5, n6, n7, n8)
+)";
+  const PrimNetlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.gates.size(), 9u);
+  EXPECT_EQ(nl.gates[4].op, PrimOp::kNot);
+  EXPECT_EQ(nl.gates[5].op, PrimOp::kBuf);
+  EXPECT_EQ(nl.gates[8].inputs.size(), 8u);
+}
+
+TEST(BenchParser, RejectsUnknownGate) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n"),
+               util::Error);
+}
+
+TEST(BenchParser, RejectsBadArity) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\nz = AND(a)\n"),
+               util::Error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NOT(a, b)\n"),
+               util::Error);
+}
+
+TEST(BenchParser, RejectsUndrivenSignal) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"),
+               util::Error);
+}
+
+TEST(BenchParser, RejectsMalformedLine) {
+  EXPECT_THROW(parse_bench_string("INPUT a\n"), util::Error);
+  EXPECT_THROW(parse_bench_string("z AND(a, b)\n"), util::Error);
+}
+
+TEST(BenchWriter, RoundTrip) {
+  const PrimNetlist original = parse_bench_string(c17_bench_text(), "c17");
+  const std::string text = write_bench_string(original);
+  const PrimNetlist reparsed = parse_bench_string(text, "c17");
+  EXPECT_EQ(reparsed.inputs.size(), original.inputs.size());
+  EXPECT_EQ(reparsed.outputs.size(), original.outputs.size());
+  ASSERT_EQ(reparsed.gates.size(), original.gates.size());
+  for (std::size_t i = 0; i < original.gates.size(); ++i) {
+    EXPECT_EQ(reparsed.gates[i].op, original.gates[i].op);
+    EXPECT_EQ(reparsed.gates[i].inputs.size(),
+              original.gates[i].inputs.size());
+  }
+}
+
+}  // namespace
+}  // namespace sasta::netlist

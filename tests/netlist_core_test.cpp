@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+#include "util/check.h"
+
+namespace sasta::netlist {
+namespace {
+
+const cell::Library& lib() {
+  static const cell::Library l = cell::build_standard_library();
+  return l;
+}
+
+/// a, b -> NAND2 -> n1; n1, c -> NAND2 -> out.
+Netlist two_nands() {
+  Netlist nl("two_nands");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  const NetId n1 = nl.add_net("n1");
+  const NetId out = nl.add_net("out");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_input(c);
+  nl.add_instance("g0", lib().find("NAND2"), {a, b}, n1);
+  nl.add_instance("g1", lib().find("NAND2"), {n1, c}, out);
+  nl.mark_primary_output(out);
+  return nl;
+}
+
+TEST(Netlist, BuildAndValidate) {
+  const Netlist nl = two_nands();
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.num_instances(), 2);
+  EXPECT_EQ(nl.num_nets(), 5);
+  EXPECT_EQ(nl.primary_inputs().size(), 3u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  // Fanout bookkeeping.
+  const Net& n1 = nl.net(nl.net_id("n1"));
+  ASSERT_EQ(n1.fanouts.size(), 1u);
+  EXPECT_EQ(n1.fanouts[0].pin, 0);
+  EXPECT_EQ(n1.driver, 0);
+}
+
+TEST(Netlist, DoubleDriverRejected) {
+  Netlist nl("bad");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId n = nl.add_net("n");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_instance("g0", lib().find("INV"), {a}, n);
+  EXPECT_THROW(nl.add_instance("g1", lib().find("INV"), {b}, n), util::Error);
+}
+
+TEST(Netlist, PiCannotBeDriven) {
+  Netlist nl("bad2");
+  const NetId a = nl.add_net("a");
+  const NetId n = nl.add_net("n");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(n);
+  EXPECT_THROW(nl.add_instance("g0", lib().find("INV"), {a}, n), util::Error);
+}
+
+TEST(Netlist, UndrivenNetFailsValidation) {
+  Netlist nl("bad3");
+  const NetId a = nl.add_net("a");
+  const NetId n = nl.add_net("floating");
+  nl.mark_primary_input(a);
+  (void)n;
+  EXPECT_THROW(nl.validate(), util::Error);
+}
+
+TEST(Netlist, PinCountMismatchRejected) {
+  Netlist nl("bad4");
+  const NetId a = nl.add_net("a");
+  const NetId n = nl.add_net("n");
+  nl.mark_primary_input(a);
+  EXPECT_THROW(nl.add_instance("g0", lib().find("NAND2"), {a}, n),
+               util::Error);
+}
+
+TEST(Levelize, OrdersAndLevels) {
+  const Netlist nl = two_nands();
+  const Levelization lv = levelize(nl);
+  ASSERT_EQ(lv.topo_order.size(), 2u);
+  EXPECT_EQ(lv.topo_order[0], 0);
+  EXPECT_EQ(lv.topo_order[1], 1);
+  EXPECT_EQ(lv.net_level[nl.net_id("a")], 0);
+  EXPECT_EQ(lv.net_level[nl.net_id("n1")], 1);
+  EXPECT_EQ(lv.net_level[nl.net_id("out")], 2);
+  EXPECT_EQ(lv.max_level, 2);
+}
+
+TEST(Levelize, ReachesOutput) {
+  Netlist nl("reach");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_instance("g0", lib().find("INV"), {a}, n1);
+  nl.add_instance("g1", lib().find("INV"), {b}, n2);  // dangles
+  nl.mark_primary_output(n1);
+  const auto reach = reaches_output(nl);
+  EXPECT_TRUE(reach[a]);
+  EXPECT_TRUE(reach[n1]);
+  EXPECT_FALSE(reach[b]);
+  EXPECT_FALSE(reach[n2]);
+}
+
+TEST(Netlist, ComplexGateCount) {
+  Netlist nl("cplx");
+  std::vector<NetId> ins;
+  for (int i = 0; i < 4; ++i) {
+    const NetId n = nl.add_net("i" + std::to_string(i));
+    nl.mark_primary_input(n);
+    ins.push_back(n);
+  }
+  const NetId z1 = nl.add_net("z1");
+  const NetId z2 = nl.add_net("z2");
+  nl.add_instance("g0", lib().find("AO22"), ins, z1);
+  nl.add_instance("g1", lib().find("NAND2"), {ins[0], z1}, z2);
+  nl.mark_primary_output(z2);
+  EXPECT_EQ(nl.complex_gate_count(), 1);
+}
+
+}  // namespace
+}  // namespace sasta::netlist

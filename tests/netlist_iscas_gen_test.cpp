@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "netlist/bench_writer.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/levelize.h"
+#include "netlist/techmap.h"
+#include "util/check.h"
+
+namespace sasta::netlist {
+namespace {
+
+TEST(IscasGen, ProfilesMatchPublishedInterfaceStats) {
+  const GeneratorProfile c432 = iscas_profile("c432");
+  EXPECT_EQ(c432.num_inputs, 36);
+  EXPECT_EQ(c432.num_outputs, 7);
+  EXPECT_EQ(c432.num_gates, 160);
+  const GeneratorProfile c6288 = iscas_profile("c6288");
+  EXPECT_EQ(c6288.num_inputs, 32);
+  EXPECT_EQ(c6288.num_outputs, 32);
+  EXPECT_THROW(iscas_profile("c9999"), util::Error);
+  EXPECT_EQ(iscas_profile_names().size(), 10u);
+}
+
+TEST(IscasGen, GeneratesValidDeterministicCircuit) {
+  const GeneratorProfile p = iscas_profile("c432");
+  const PrimNetlist a = generate_iscas_like(p);
+  const PrimNetlist b = generate_iscas_like(p);
+  EXPECT_EQ(a.gates.size(), b.gates.size());
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+  EXPECT_EQ(static_cast<int>(a.gates.size()), p.num_gates);
+  EXPECT_EQ(static_cast<int>(a.inputs.size()), p.num_inputs);
+  EXPECT_GE(static_cast<int>(a.outputs.size()), p.num_outputs);
+}
+
+TEST(IscasGen, DifferentSeedsDiffer) {
+  GeneratorProfile p = iscas_profile("c432");
+  const PrimNetlist a = generate_iscas_like(p);
+  p.seed += 1;
+  const PrimNetlist b = generate_iscas_like(p);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(IscasGen, MapsWithComplexGates) {
+  static const cell::Library lib = cell::build_standard_library();
+  for (const char* name : {"c432", "c880"}) {
+    const PrimNetlist prim = generate_iscas_like(iscas_profile(name));
+    const TechMapResult r = tech_map(prim, lib);
+    EXPECT_NO_THROW(r.netlist.validate());
+    // The mapped netlist must be acyclic and contain complex gates, the
+    // object of study.
+    const Levelization lv = levelize(r.netlist);
+    EXPECT_GT(lv.max_level, 3);
+    EXPECT_GT(r.netlist.complex_gate_count(), 5) << name;
+  }
+}
+
+TEST(IscasGen, AllProfilesGenerate) {
+  for (const auto& name : iscas_profile_names()) {
+    const PrimNetlist nl = generate_iscas_like(iscas_profile(name));
+    EXPECT_NO_THROW(nl.validate()) << name;
+    EXPECT_GT(nl.gates.size(), 100u) << name;
+  }
+}
+
+TEST(IscasGen, RejectsBadProfile) {
+  GeneratorProfile p;
+  p.num_inputs = 1;
+  EXPECT_THROW(generate_iscas_like(p), util::Error);
+}
+
+}  // namespace
+}  // namespace sasta::netlist

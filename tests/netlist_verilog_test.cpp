@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cell/library_builder.h"
+#include "netlist/bench_parser.h"
+#include "netlist/techmap.h"
+#include "netlist/verilog.h"
+#include "util/check.h"
+
+namespace sasta::netlist {
+namespace {
+
+const cell::Library& lib() {
+  static const cell::Library l = cell::build_standard_library();
+  return l;
+}
+
+TEST(Verilog, ParsesNamedConnections) {
+  const std::string text = R"(
+// simple mapped block
+module top (a, b, z);
+  input a, b;
+  output z;
+  wire n1;
+  NAND2 g0 (.A(a), .B(b), .Z(n1));
+  INV g1 (.A(n1), .Z(z));
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(text, lib());
+  EXPECT_EQ(nl.name(), "top");
+  EXPECT_EQ(nl.num_instances(), 2);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.instance(0).cell->name(), "NAND2");
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Verilog, ParsesPositionalConnections) {
+  const std::string text = R"(
+module m (a, b, c, z);
+  input a, b, c;
+  output z;
+  wire n1;
+  OA12 u0 (a, b, c, n1);
+  INV u1 (n1, z);
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(text, lib());
+  EXPECT_EQ(nl.num_instances(), 2);
+  const Instance& oa = nl.instance(0);
+  EXPECT_EQ(oa.cell->name(), "OA12");
+  EXPECT_EQ(nl.net(oa.inputs[2]).name, "c");
+}
+
+TEST(Verilog, HandlesBlockCommentsAndOrder) {
+  const std::string text = R"(
+module m (z, a);
+  output z; /* out first,
+     multi-line comment */
+  input a;
+  INV g (.A(a), .Z(z));
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(text, lib());
+  EXPECT_EQ(nl.num_instances(), 1);
+}
+
+TEST(Verilog, RejectsUnknownCell) {
+  const std::string text =
+      "module m (a, z);\n input a;\n output z;\n FROB g (.A(a), .Z(z));\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog_string(text, lib()), util::Error);
+}
+
+TEST(Verilog, RejectsUnconnectedPin) {
+  const std::string text =
+      "module m (a, z);\n input a;\n output z;\n NAND2 g (.A(a), .Z(z));\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog_string(text, lib()), util::Error);
+}
+
+TEST(Verilog, RejectsArityMismatchPositional) {
+  const std::string text =
+      "module m (a, z);\n input a;\n output z;\n NAND2 g (a, z);\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog_string(text, lib()), util::Error);
+}
+
+TEST(Verilog, RejectsBehaviouralConstructs) {
+  const std::string text =
+      "module m (a, z);\n input a;\n output z;\n always @(a) z = a;\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog_string(text, lib()), util::Error);
+}
+
+TEST(Verilog, RoundTripMappedC17) {
+  const auto prim = parse_bench_string(c17_bench_text(), "c17");
+  const TechMapResult mapped = tech_map(prim, lib());
+  const std::string text = write_verilog_string(mapped.netlist);
+  const Netlist reparsed = parse_verilog_string(text, lib());
+  EXPECT_EQ(reparsed.num_instances(), mapped.netlist.num_instances());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            mapped.netlist.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            mapped.netlist.primary_outputs().size());
+  // Instances preserve cell types.
+  for (int i = 0; i < reparsed.num_instances(); ++i) {
+    EXPECT_EQ(reparsed.instance(i).cell->name(),
+              mapped.netlist.instance(i).cell->name());
+  }
+}
+
+TEST(Verilog, WriterDeclaresAllWires) {
+  const std::string text = R"(
+module m (a, z);
+  input a;
+  output z;
+  wire n1;
+  INV g0 (.A(a), .Z(n1));
+  INV g1 (.A(n1), .Z(z));
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(text, lib());
+  const std::string out = write_verilog_string(nl);
+  EXPECT_NE(out.find("wire n1;"), std::string::npos);
+  EXPECT_NE(out.find("input a;"), std::string::npos);
+  EXPECT_NE(out.find(".A(n1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasta::netlist

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "numeric/interp.h"
+#include "numeric/stats.h"
+
+namespace sasta::num {
+namespace {
+
+TEST(Interp, BracketIndex) {
+  const std::vector<double> axis{0, 1, 2, 4};
+  EXPECT_EQ(bracket_index(axis, -1), 0u);
+  EXPECT_EQ(bracket_index(axis, 0.5), 0u);
+  EXPECT_EQ(bracket_index(axis, 1.0), 1u);
+  EXPECT_EQ(bracket_index(axis, 3.0), 2u);
+  EXPECT_EQ(bracket_index(axis, 9.0), 2u);
+}
+
+TEST(Interp, LinearInterpolatesAndExtrapolates) {
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{0, 10, 40};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 25.0);
+  // Linear extrapolation beyond both ends.
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 3.0), 70.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, -1.0), -10.0);
+}
+
+TEST(Interp, BilinearExactOnBilinearFunction) {
+  const std::vector<double> rows{1, 2, 4};
+  const std::vector<double> cols{10, 20};
+  Matrix t(3, 2);
+  auto f = [](double r, double c) { return 3 + 2 * r + 0.5 * c + 0.1 * r * c; };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      t(i, j) = f(rows[i], cols[j]);
+    }
+  }
+  EXPECT_NEAR(interp_bilinear(rows, cols, t, 1.5, 15.0), f(1.5, 15.0), 1e-12);
+  EXPECT_NEAR(interp_bilinear(rows, cols, t, 3.0, 12.0), f(3.0, 12.0), 1e-12);
+  // Corners are exact.
+  EXPECT_NEAR(interp_bilinear(rows, cols, t, 4.0, 20.0), f(4.0, 20.0), 1e-12);
+}
+
+TEST(Interp, DegenerateAxes) {
+  Matrix one(1, 1);
+  one(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(interp_bilinear({5}, {3}, one, 0, 0), 7.0);
+  Matrix row(1, 2);
+  row(0, 0) = 1.0;
+  row(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(interp_bilinear({5}, {0, 1}, row, 9.0, 0.5), 2.0);
+}
+
+TEST(Stats, RelErrorAccumulator) {
+  RelErrorAccumulator acc;
+  acc.add(11.0, 10.0);  // 10%
+  acc.add(9.0, 10.0);   // 10%
+  acc.add(10.0, 20.0);  // 50%
+  const ErrorStats s = acc.stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean, (0.1 + 0.1 + 0.5) / 3, 1e-12);
+  EXPECT_NEAR(s.max, 0.5, 1e-12);
+}
+
+TEST(Stats, MeanStdMax) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944487358056, 1e-12);
+  const std::vector<double> ys{-5, 3};
+  EXPECT_DOUBLE_EQ(max_abs(ys), 5.0);
+}
+
+}  // namespace
+}  // namespace sasta::num

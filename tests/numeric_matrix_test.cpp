@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "numeric/matrix.h"
+#include "util/check.h"
+
+namespace sasta::num {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), util::Error);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), util::Error);
+  EXPECT_THROW(m(0, 2), util::Error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, util::Error);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Vector v = a * Vector{1, 1};
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 3);
+  EXPECT_DOUBLE_EQ(v[1], 7);
+}
+
+TEST(Matrix, AddSubNorm) {
+  Matrix a{{3, 0}, {0, 4}};
+  Matrix z = a - a;
+  EXPECT_DOUBLE_EQ(z.frobenius_norm(), 0.0);
+  Matrix d = a + a;
+  EXPECT_DOUBLE_EQ(d(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW(dot({1}, {1, 2}), util::Error);
+}
+
+}  // namespace
+}  // namespace sasta::num

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/poly_basis.h"
+#include "numeric/poly_regression.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sasta::num {
+namespace {
+
+TEST(PolyBasis, TensorSizeMatchesOrders) {
+  const int orders[] = {2, 1};
+  const PolyBasis b = PolyBasis::tensor(orders);
+  EXPECT_EQ(b.size(), 6u);  // (2+1)*(1+1)
+}
+
+TEST(PolyBasis, TotalDegreeCap) {
+  const int orders[] = {2, 2};
+  const PolyBasis b = PolyBasis::tensor(orders, 2);
+  // Exponent pairs with i+j <= 2: (0,0),(1,0),(2,0),(0,1),(1,1),(0,2) = 6.
+  EXPECT_EQ(b.size(), 6u);
+}
+
+TEST(PolyBasis, EvaluateRowMatchesManual) {
+  const int orders[] = {1, 1};
+  const PolyBasis b = PolyBasis::tensor(orders);
+  std::vector<double> row;
+  const double x[] = {2.0, 3.0};
+  b.evaluate_row(x, row);
+  // Basis = {1, Fo, t, Fo*t} in odometer order {(0,0),(1,0),(0,1),(1,1)}.
+  ASSERT_EQ(row.size(), 4u);
+  double sum = 0;
+  for (double v : row) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1 + 2 + 3 + 6);
+}
+
+TEST(PolyBasis, EvaluateWithCoefficients) {
+  const int orders[] = {2};
+  const PolyBasis b = PolyBasis::tensor(orders);
+  // f(x) = 1 + 2x + 3x^2 at x=2 -> 17.
+  const double coeff[] = {1, 2, 3};
+  const double x[] = {2.0};
+  EXPECT_DOUBLE_EQ(b.evaluate(coeff, x), 17.0);
+}
+
+TEST(PolyFit, RecoversExactPolynomial) {
+  // f(a, b) = 3 + 2a - b + 0.5*a*b sampled on a grid.
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+  for (double a : {0.0, 1.0, 2.0, 3.0}) {
+    for (double b : {0.0, 1.0, 2.0}) {
+      pts.push_back({a, b});
+      vals.push_back(3 + 2 * a - b + 0.5 * a * b);
+    }
+  }
+  const int orders[] = {1, 1};
+  const PolyFit fit = fit_polynomial(PolyBasis::tensor(orders), pts, vals);
+  EXPECT_LT(fit.max_rel_error, 1e-10);
+  EXPECT_NEAR(fit.evaluate(std::vector<double>{2.5, 1.5}), 3 + 5 - 1.5 + 1.875,
+              1e-9);
+}
+
+TEST(PolyFit, UnderdeterminedThrows) {
+  std::vector<std::vector<double>> pts{{0.0}, {1.0}};
+  std::vector<double> vals{1.0, 2.0};
+  const int orders[] = {3};
+  EXPECT_THROW(fit_polynomial(PolyBasis::tensor(orders), pts, vals),
+               util::Error);
+}
+
+TEST(RecursiveFit, EscalatesOrderUntilAccurate) {
+  // Cubic in one variable: first order is insufficient, recursion must
+  // raise the order to >= 3.
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+  for (int i = 0; i <= 8; ++i) {
+    const double x = i * 0.5;
+    pts.push_back({x});
+    vals.push_back(1 + x + 0.2 * x * x * x);
+  }
+  RecursiveFitOptions opt;
+  opt.target_max_rel_error = 1e-6;
+  opt.max_order = {5};
+  const PolyFit fit = fit_recursive(pts, vals, opt);
+  EXPECT_LT(fit.max_rel_error, 1e-6);
+}
+
+TEST(RecursiveFit, RespectsLevelCap) {
+  // Only two distinct sample values in variable 1: order there must stay
+  // at 1, but the fit must still succeed.
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+  for (double a : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    for (double b : {0.0, 1.0}) {
+      pts.push_back({a, b});
+      vals.push_back(a * a + b);
+    }
+  }
+  RecursiveFitOptions opt;
+  opt.target_max_rel_error = 1e-9;
+  opt.max_order = {4, 4};
+  const PolyFit fit = fit_recursive(pts, vals, opt);
+  EXPECT_LT(fit.max_rel_error, 1e-8);
+  for (const auto& m : fit.basis.monomials()) {
+    EXPECT_LE(m.exp[1], 1) << "order in a two-level variable must stay <= 1";
+  }
+}
+
+TEST(RecursiveFit, MultivariateDelayShape) {
+  // Synthetic delay-like surface: d = 10 + 5*Fo + 2*t + 0.3*Fo*t - 4*V.
+  util::Rng rng(9);
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+  for (double fo : {1.0, 2.0, 4.0, 8.0}) {
+    for (double t : {0.02, 0.05, 0.1, 0.2}) {
+      for (double v : {0.9, 1.0, 1.1}) {
+        pts.push_back({fo, t, v});
+        vals.push_back(10 + 5 * fo + 2 * t + 0.3 * fo * t - 4 * v);
+      }
+    }
+  }
+  RecursiveFitOptions opt;
+  opt.target_max_rel_error = 1e-8;
+  opt.max_order = {3, 3, 2};
+  const PolyFit fit = fit_recursive(pts, vals, opt);
+  EXPECT_LT(fit.max_rel_error, 1e-7);
+  // Spot-check an off-grid point.
+  const double ref = 10 + 5 * 3 + 2 * 0.07 + 0.3 * 3 * 0.07 - 4 * 0.95;
+  EXPECT_NEAR(fit.evaluate(std::vector<double>{3.0, 0.07, 0.95}), ref, 1e-6);
+}
+
+}  // namespace
+}  // namespace sasta::num

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/linear_solver.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sasta::num {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Vector x = solve_lu(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  const Vector x = solve_lu(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_lu(a, {1, 2}), util::Error);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(12);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) = rng.next_double() * 2.0 - 1.0;
+      }
+      a(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.next_double() * 10 - 5;
+    const Vector b = a * x_true;
+    const Vector x = solve_lu(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Cholesky, SolvesSpd) {
+  Matrix a{{4, 2}, {2, 3}};
+  const Vector x = solve_cholesky(a, {8, 7});
+  // Check residual instead of hand-solved values.
+  const Vector r = a * x;
+  EXPECT_NEAR(r[0], 8.0, 1e-12);
+  EXPECT_NEAR(r[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  Matrix a{{1, 2}, {2, 1}};  // indefinite
+  EXPECT_THROW(solve_cholesky(a, {1, 1}), util::Error);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Square full-rank system: LS must reproduce the exact solution.
+  Matrix a{{2, 0}, {0, 5}};
+  const Vector x = solve_least_squares(a, {4, 10});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedLineFit) {
+  // Fit y = 2x + 1 through noisy-free samples: must be exact.
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  Matrix a(xs.size(), 2);
+  Vector b(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = xs[i];
+    b[i] = 2.0 * xs[i] + 1.0;
+  }
+  const Vector coef = solve_least_squares(a, b);
+  EXPECT_NEAR(coef[0], 1.0, 1e-10);
+  EXPECT_NEAR(coef[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidual) {
+  // Inconsistent system: solution must satisfy the normal equations.
+  Matrix a{{1, 0}, {1, 0}, {0, 1}};
+  const Vector b{1, 3, 5};
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);  // mean of 1 and 3
+  EXPECT_NEAR(x[1], 5.0, 1e-10);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_least_squares(a, {1, 2}), util::Error);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  Matrix a{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_THROW(solve_least_squares(a, {1, 2, 3}), util::Error);
+}
+
+TEST(LuWorkspace, ReusableAcrossSolves) {
+  LuWorkspace ws;
+  Matrix a{{3, 1}, {1, 2}};
+  Vector b1{4, 3};
+  ASSERT_TRUE(ws.factor_and_solve(a, b1));
+  EXPECT_NEAR(b1[0], 1.0, 1e-12);
+  EXPECT_NEAR(b1[1], 1.0, 1e-12);
+  Matrix c{{1, 0}, {0, 1}};
+  Vector b2{7, 8};
+  ASSERT_TRUE(ws.factor_and_solve(c, b2));
+  EXPECT_NEAR(b2[0], 7.0, 1e-12);
+  EXPECT_NEAR(b2[1], 8.0, 1e-12);
+}
+
+TEST(LuWorkspace, ReportsSingular) {
+  LuWorkspace ws;
+  Matrix a{{1, 1}, {1, 1}};
+  Vector b{1, 1};
+  EXPECT_FALSE(ws.factor_and_solve(a, b));
+}
+
+}  // namespace
+}  // namespace sasta::num

@@ -1,0 +1,111 @@
+// Cross-layer property tests tying the transistor-level *analysis* to the
+// transistor-level *simulation*: the paper's Section III explanation
+// (parallel drive + charge sharing) must predict the measured per-vector
+// delay ordering, not just describe it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cell/library_builder.h"
+#include "cell/netstate_analysis.h"
+#include "charlib/characterizer.h"
+#include "charlib/sensitization.h"
+#include "tech/technology.h"
+
+namespace sasta {
+namespace {
+
+struct CaseResult {
+  int vec_id;
+  int drivers;
+  int sharers;
+  double delay;
+};
+
+/// Measures all vectors of (cell, pin) for the given input edge and returns
+/// per-case conduction statistics + electrical delay.
+std::vector<CaseResult> measure_cases(const std::string& cell_name, int pin,
+                                      spice::Edge in_edge) {
+  static const cell::Library lib = cell::build_standard_library();
+  const cell::Cell& c = lib.cell(cell_name);
+  const auto& tech = tech::technology("90nm");
+  const auto vecs = charlib::enumerate_sensitization(c.function(), pin);
+  std::vector<CaseResult> out;
+  for (const auto& v : vecs) {
+    std::vector<int> side(c.num_inputs(), 0);
+    for (int q = 0; q < c.num_inputs(); ++q) {
+      if (q != pin) side[q] = v.side_value(q) ? 1 : 0;
+    }
+    const auto report = cell::analyze_network_state(
+        c, pin, in_edge == spice::Edge::kRise, side);
+    const charlib::ModelPoint pt{2.0, tech.default_input_slew,
+                                 tech.nominal_temp_c, tech.vdd};
+    const auto m = charlib::measure_arc_point(c, tech, v, in_edge, pt);
+    out.push_back({v.id, report.parallel_on_drivers,
+                   report.charge_sharing_devices, m.delay_s});
+  }
+  return out;
+}
+
+class ComplexCellPhysics
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+// Property 1: the vector with the most conducting-path devices (strongest
+// parallel drive) is never slower than the vector with the fewest drivers
+// and charge sharing present.
+TEST_P(ComplexCellPhysics, StrongestDriveBeatsChargeSharing) {
+  const auto [cell_name, pin] = GetParam();
+  for (const spice::Edge e : {spice::Edge::kRise, spice::Edge::kFall}) {
+    const auto cases = measure_cases(cell_name, pin, e);
+    ASSERT_GE(cases.size(), 2u);
+    const auto& best_drive = *std::max_element(
+        cases.begin(), cases.end(), [](const CaseResult& a, const CaseResult& b) {
+          return std::make_pair(a.drivers, -a.sharers) <
+                 std::make_pair(b.drivers, -b.sharers);
+        });
+    for (const auto& other : cases) {
+      if (other.vec_id == best_drive.vec_id) continue;
+      if (other.drivers < best_drive.drivers && other.sharers > 0) {
+        EXPECT_LT(best_drive.delay, other.delay)
+            << cell_name << " pin " << pin << " edge " << spice::edge_name(e)
+            << ": case " << best_drive.vec_id + 1
+            << " (drive " << best_drive.drivers << ") vs case "
+            << other.vec_id + 1;
+      }
+    }
+  }
+}
+
+// Property 2: the paper's headline orderings (Tables 3-4) hold.
+TEST(ComplexCellPhysicsOrdering, Ao22InputAFallCase2Slowest) {
+  const auto cases = measure_cases("AO22", 0, spice::Edge::kFall);
+  ASSERT_EQ(cases.size(), 3u);
+  // Case 1 fastest (both parallel PMOS on), Case 2 slowest (nC couples the
+  // PDN-internal parasitic to the output).
+  EXPECT_LT(cases[0].delay, cases[1].delay);
+  EXPECT_LT(cases[0].delay, cases[2].delay);
+  EXPECT_GT(cases[1].delay, cases[2].delay);
+  // The spread is the paper's headline number: > 5 %.
+  EXPECT_GT((cases[1].delay - cases[0].delay) / cases[0].delay, 0.05);
+}
+
+TEST(ComplexCellPhysicsOrdering, Oa12InputCRiseCase3FastestCase1Slowest) {
+  const auto cases = measure_cases("OA12", 2, spice::Edge::kRise);
+  ASSERT_EQ(cases.size(), 3u);
+  // Paper Table 4 In-Rise: Case 1 slowest (pB output-adjacent charge
+  // sharing), Case 3 fastest (both parallel NMOS on).
+  EXPECT_GT(cases[0].delay, cases[1].delay);
+  EXPECT_GT(cases[1].delay, cases[2].delay);
+  EXPECT_GT((cases[0].delay - cases[2].delay) / cases[2].delay, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StudyGates, ComplexCellPhysics,
+    ::testing::Values(std::make_tuple("AO22", 0),   // paper Table 3
+                      std::make_tuple("OA12", 2),   // paper Table 4
+                      std::make_tuple("AOI22", 0),
+                      std::make_tuple("OAI21", 2),
+                      std::make_tuple("AO21", 2)));
+
+}  // namespace
+}  // namespace sasta

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "spice/circuit.h"
+#include "spice/sources.h"
+#include "util/check.h"
+
+namespace sasta::spice {
+namespace {
+
+TEST(Circuit, GroundIsNodeZeroAndDriven) {
+  Circuit c;
+  EXPECT_EQ(c.ground(), 0);
+  EXPECT_TRUE(c.is_driven(c.ground()));
+  EXPECT_DOUBLE_EQ(c.driven_voltage(c.ground(), 1e-9), 0.0);
+}
+
+TEST(Circuit, NodeNamesAreUnique) {
+  Circuit c;
+  const NodeId a1 = c.add_node("a");
+  const NodeId a2 = c.add_node("a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(c.node("a"), a1);
+  EXPECT_TRUE(c.has_node("a"));
+  EXPECT_FALSE(c.has_node("b"));
+  EXPECT_THROW(c.node("b"), util::Error);
+  EXPECT_EQ(c.node_name(a1), "a");
+  EXPECT_THROW(c.node_name(99), util::Error);
+}
+
+TEST(Circuit, DeviceTerminalValidation) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  MosfetInstance m;
+  m.gate = a;
+  m.drain = 42;  // out of range
+  m.source = c.ground();
+  EXPECT_THROW(c.add_mosfet(m), util::Error);
+  m.drain = a;
+  m.width_um = -1.0;
+  EXPECT_THROW(c.add_mosfet(m), util::Error);
+}
+
+TEST(Circuit, PassiveValidation) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  EXPECT_THROW(c.add_resistor(a, a + 7, 100.0), util::Error);
+  EXPECT_THROW(c.add_resistor(a, c.ground(), 0.0), util::Error);
+  EXPECT_THROW(c.add_capacitor(a, c.ground(), -1e-15), util::Error);
+  // Zero capacitance and self-loops are silently dropped, not stored.
+  c.add_capacitor(a, c.ground(), 0.0);
+  c.add_capacitor(a, a, 1e-15);
+  EXPECT_TRUE(c.capacitors().empty());
+  c.add_capacitor(a, c.ground(), 1e-15);
+  EXPECT_EQ(c.capacitors().size(), 1u);
+}
+
+TEST(Circuit, DrivenNodeQueries) {
+  Circuit c;
+  const NodeId in = c.add_node("in");
+  EXPECT_FALSE(c.is_driven(in));
+  EXPECT_THROW(c.driven_voltage(in, 0.0), util::Error);
+  c.drive(in, Pwl::ramp(0.0, 1.0, 1e-9, 1e-10));
+  EXPECT_TRUE(c.is_driven(in));
+  EXPECT_DOUBLE_EQ(c.driven_voltage(in, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.driven_voltage(in, 2e-9), 1.0);
+  EXPECT_NEAR(c.driven_voltage(in, 1.05e-9), 0.5, 1e-12);
+}
+
+TEST(Circuit, InitialVoltages) {
+  Circuit c;
+  const NodeId n = c.add_node("n");
+  EXPECT_DOUBLE_EQ(c.initial_voltage(n), 0.0);
+  c.set_initial_voltage(n, 0.7);
+  EXPECT_DOUBLE_EQ(c.initial_voltage(n), 0.7);
+}
+
+TEST(Pwl, RampAndDc) {
+  const Pwl dc = Pwl::dc(1.2);
+  EXPECT_DOUBLE_EQ(dc.at(-1.0), 1.2);
+  EXPECT_DOUBLE_EQ(dc.at(5.0), 1.2);
+  EXPECT_THROW(Pwl::ramp(0, 1, 0, 0.0), util::Error);
+  // Non-monotone time points rejected.
+  EXPECT_THROW(Pwl(std::vector<std::pair<double, double>>{{1.0, 0.0},
+                                                          {0.5, 1.0}}),
+               util::Error);
+}
+
+TEST(Pwl, BinarySearchInterpolation) {
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i <= 100; ++i) pts.emplace_back(i * 1e-12, i * 0.01);
+  const Pwl w(pts);
+  EXPECT_NEAR(w.at(50.5e-12), 0.505, 1e-12);
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace sasta::spice

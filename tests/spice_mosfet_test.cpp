@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/mosfet.h"
+#include "tech/technology.h"
+#include "util/rng.h"
+
+namespace sasta::spice {
+namespace {
+
+MosParamsAtTemp nominal_nmos() {
+  return adjust_for_temperature(tech::technology("90nm").nmos, 25.0);
+}
+
+TEST(Mosfet, CutoffCurrentNegligible) {
+  const auto p = nominal_nmos();
+  const MosEval e = eval_mosfet(MosType::kNmos, p, 3.0, /*vg=*/0.0,
+                                /*vd=*/1.0, /*vs=*/0.0);
+  // The smoothed overdrive leaves a deliberate subthreshold-like leakage;
+  // it must be orders of magnitude below the on-current (~10s of uA).
+  EXPECT_LT(std::fabs(e.ids), 1e-7);
+}
+
+TEST(Mosfet, SaturationCurrentPositiveAndIncreasingInVg) {
+  const auto p = nominal_nmos();
+  const MosEval lo = eval_mosfet(MosType::kNmos, p, 3.0, 0.6, 1.0, 0.0);
+  const MosEval hi = eval_mosfet(MosType::kNmos, p, 3.0, 1.0, 1.0, 0.0);
+  EXPECT_GT(lo.ids, 0.0);
+  EXPECT_GT(hi.ids, lo.ids);
+}
+
+TEST(Mosfet, LinearRegionSmallerThanSaturation) {
+  const auto p = nominal_nmos();
+  const MosEval lin = eval_mosfet(MosType::kNmos, p, 3.0, 1.0, 0.05, 0.0);
+  const MosEval sat = eval_mosfet(MosType::kNmos, p, 3.0, 1.0, 1.0, 0.0);
+  EXPECT_GT(sat.ids, lin.ids);
+  EXPECT_GT(lin.ids, 0.0);
+}
+
+TEST(Mosfet, SymmetricInDrainSource) {
+  // Reversing drain and source must negate the current exactly.
+  const auto p = nominal_nmos();
+  const MosEval fwd = eval_mosfet(MosType::kNmos, p, 3.0, 0.9, 0.7, 0.2);
+  const MosEval rev = eval_mosfet(MosType::kNmos, p, 3.0, 0.9, 0.2, 0.7);
+  EXPECT_NEAR(fwd.ids, -rev.ids, 1e-15);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const auto p = nominal_nmos();
+  // PMOS with source at VDD, gate low, drain mid: conducts "upward".
+  const MosEval e = eval_mosfet(MosType::kPmos, p, 3.0, /*vg=*/0.0,
+                                /*vd=*/0.5, /*vs=*/1.0);
+  // Current drain->source must be negative (current flows source->drain).
+  EXPECT_LT(e.ids, 0.0);
+}
+
+TEST(Mosfet, TemperatureSlowsDevice) {
+  const auto& raw = tech::technology("90nm").nmos;
+  const auto cold = adjust_for_temperature(raw, 0.0);
+  const auto hot = adjust_for_temperature(raw, 125.0);
+  const MosEval e_cold = eval_mosfet(MosType::kNmos, cold, 3.0, 1.0, 1.0, 0.0);
+  const MosEval e_hot = eval_mosfet(MosType::kNmos, hot, 3.0, 1.0, 1.0, 0.0);
+  // Mobility loss dominates at full overdrive: hot current is lower.
+  EXPECT_LT(e_hot.ids, e_cold.ids);
+  // Vth decreases with temperature.
+  EXPECT_LT(hot.vth, cold.vth);
+}
+
+// Property test: analytic derivatives must match finite differences over a
+// broad random sweep of bias points, for both polarities.
+TEST(Mosfet, DerivativesMatchFiniteDifferences) {
+  const auto p = nominal_nmos();
+  util::Rng rng(2024);
+  const double h = 1e-6;
+  int checked = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const MosType type = rng.next_bool() ? MosType::kNmos : MosType::kPmos;
+    const double vg = rng.next_double() * 1.4 - 0.2;
+    const double vd = rng.next_double() * 1.4 - 0.2;
+    const double vs = rng.next_double() * 1.4 - 0.2;
+    const MosEval e = eval_mosfet(type, p, 3.0, vg, vd, vs);
+    // Central differences; the model is C1 so a small h suffices.
+    auto fd = [&](double dvg, double dvd, double dvs) {
+      const MosEval hi =
+          eval_mosfet(type, p, 3.0, vg + dvg, vd + dvd, vs + dvs);
+      const MosEval lo =
+          eval_mosfet(type, p, 3.0, vg - dvg, vd - dvd, vs - dvs);
+      return (hi.ids - lo.ids) / (2 * h);
+    };
+    auto tol = [&](double analytic) {
+      return 3e-2 * std::fabs(analytic) + 1e-7;
+    };
+    EXPECT_NEAR(fd(h, 0, 0), e.d_vg, tol(e.d_vg))
+        << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+    EXPECT_NEAR(fd(0, h, 0), e.d_vd, tol(e.d_vd))
+        << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+    EXPECT_NEAR(fd(0, 0, h), e.d_vs, tol(e.d_vs))
+        << "vg=" << vg << " vd=" << vd << " vs=" << vs;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 500);
+}
+
+TEST(Mosfet, CurrentContinuousAcrossSaturationBoundary) {
+  const auto p = nominal_nmos();
+  const double vgs = 0.8;
+  const double vdsat = p.vdsat_gamma * (vgs - p.vth);
+  const MosEval below = eval_mosfet(MosType::kNmos, p, 3.0, vgs,
+                                    vdsat - 1e-9, 0.0);
+  const MosEval above = eval_mosfet(MosType::kNmos, p, 3.0, vgs,
+                                    vdsat + 1e-9, 0.0);
+  EXPECT_NEAR(below.ids, above.ids, 1e-9 * std::fabs(below.ids) + 1e-15);
+  EXPECT_NEAR(below.d_vd, above.d_vd, 1e-4 * std::fabs(below.ids) + 1e-9);
+}
+
+}  // namespace
+}  // namespace sasta::spice

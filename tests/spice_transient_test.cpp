@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.h"
+#include "spice/transient.h"
+#include "tech/technology.h"
+
+namespace sasta::spice {
+namespace {
+
+const tech::Technology& T90() { return tech::technology("90nm"); }
+
+/// Builds a single inverter with input `in`, output `out`, load cap `cl`.
+Circuit make_inverter(double cl_farads, double vdd, Pwl input_wave,
+                      double initial_out) {
+  const auto& t = T90();
+  Circuit ckt;
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  const NodeId vdd_n = ckt.add_node("vdd");
+  ckt.drive_dc(vdd_n, vdd);
+  ckt.drive(in, std::move(input_wave));
+
+  MosfetInstance mn;
+  mn.type = MosType::kNmos;
+  mn.gate = in;
+  mn.drain = out;
+  mn.source = ckt.ground();
+  mn.width_um = t.wn_unit_um;
+  mn.length_um = t.lmin_um;
+  mn.params = t.nmos;
+  ckt.add_mosfet(std::move(mn));
+
+  MosfetInstance mp;
+  mp.type = MosType::kPmos;
+  mp.gate = in;
+  mp.drain = out;
+  mp.source = vdd_n;
+  mp.width_um = t.wn_unit_um * t.beta_p;
+  mp.length_um = t.lmin_um;
+  mp.params = t.pmos;
+  ckt.add_mosfet(std::move(mp));
+
+  ckt.add_capacitor(out, ckt.ground(), cl_farads);
+  ckt.set_initial_voltage(out, initial_out);
+  return ckt;
+}
+
+TransientOptions fast_options(double t_stop) {
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = 0.5e-12;
+  return opt;
+}
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // Pure RC: 1k x 1fF discharging from 1 V; tau = 1 ps.
+  Circuit ckt;
+  const NodeId a = ckt.add_node("a");
+  ckt.add_resistor(a, ckt.ground(), 1e3);
+  ckt.add_capacitor(a, ckt.ground(), 1e-15);
+  ckt.set_initial_voltage(a, 1.0);
+  TransientOptions opt;
+  opt.t_stop = 5e-12;
+  opt.dt = 0.005e-12;  // fine steps: BE is first order
+  const TransientResult res = simulate_transient(ckt, opt);
+  const double v_at_tau = res.waveform(a).at(1e-12);
+  EXPECT_NEAR(v_at_tau, std::exp(-1.0), 0.01);
+  const double v_at_3tau = res.waveform(a).at(3e-12);
+  EXPECT_NEAR(v_at_3tau, std::exp(-3.0), 0.01);
+}
+
+TEST(Transient, RcChargeThroughSeriesResistor) {
+  Circuit ckt;
+  const NodeId src = ckt.add_node("src");
+  const NodeId a = ckt.add_node("a");
+  ckt.drive_dc(src, 1.0);
+  ckt.add_resistor(src, a, 1e3);
+  ckt.add_capacitor(a, ckt.ground(), 1e-15);
+  ckt.set_initial_voltage(a, 0.0);
+  TransientOptions opt;
+  opt.t_stop = 5e-12;
+  opt.dt = 0.005e-12;
+  const TransientResult res = simulate_transient(ckt, opt);
+  EXPECT_NEAR(res.waveform(a).at(1e-12), 1 - std::exp(-1.0), 0.01);
+  EXPECT_GT(res.waveform(a).last_value(), 0.98);
+}
+
+TEST(Transient, InverterFallingInputProducesRisingOutput) {
+  const double vdd = T90().vdd;
+  Circuit ckt = make_inverter(2e-15, vdd,
+                              Pwl::ramp(vdd, 0.0, 200e-12, 50e-12),
+                              /*initial_out=*/0.0);
+  const TransientResult res = simulate_transient(ckt, fast_options(1.2e-9));
+  ASSERT_TRUE(res.converged);
+  const Waveform& out = res.waveform(ckt.node("out"));
+  // Before the input edge the output must sit near 0 (input high).
+  EXPECT_LT(out.at(190e-12), 0.1 * vdd);
+  // After the edge it must charge to VDD.
+  EXPECT_GT(out.last_value(), 0.95 * vdd);
+  const auto delay = propagation_delay(res.waveform(ckt.node("in")),
+                                       Edge::kFall, out, Edge::kRise, vdd,
+                                       100e-12);
+  ASSERT_TRUE(delay.has_value());
+  // Plausible gate delay for a ~2 fF load: between 1 and 300 ps.
+  EXPECT_GT(*delay, 1e-12);
+  EXPECT_LT(*delay, 300e-12);
+}
+
+TEST(Transient, InverterRisingInputProducesFallingOutput) {
+  const double vdd = T90().vdd;
+  Circuit ckt = make_inverter(2e-15, vdd,
+                              Pwl::ramp(0.0, vdd, 200e-12, 50e-12),
+                              /*initial_out=*/vdd);
+  const TransientResult res = simulate_transient(ckt, fast_options(1.2e-9));
+  ASSERT_TRUE(res.converged);
+  const Waveform& out = res.waveform(ckt.node("out"));
+  EXPECT_GT(out.at(190e-12), 0.9 * vdd);
+  EXPECT_LT(out.last_value(), 0.05 * vdd);
+}
+
+TEST(Transient, HeavierLoadIsSlower) {
+  const double vdd = T90().vdd;
+  auto delay_for_load = [&](double cl) {
+    Circuit ckt = make_inverter(cl, vdd, Pwl::ramp(vdd, 0.0, 200e-12, 50e-12),
+                                0.0);
+    const TransientResult res = simulate_transient(ckt, fast_options(2e-9));
+    const auto d = propagation_delay(res.waveform(ckt.node("in")), Edge::kFall,
+                                     res.waveform(ckt.node("out")), Edge::kRise,
+                                     vdd, 100e-12);
+    EXPECT_TRUE(d.has_value());
+    return d.value_or(0.0);
+  };
+  const double d1 = delay_for_load(1e-15);
+  const double d4 = delay_for_load(4e-15);
+  const double d8 = delay_for_load(8e-15);
+  EXPECT_LT(d1, d4);
+  EXPECT_LT(d4, d8);
+  // Roughly linear in load for a fixed driver: d8/d4 < 3.
+  EXPECT_LT(d8 / d4, 3.0);
+}
+
+TEST(Transient, SlowerInputSlewIncreasesDelay) {
+  const double vdd = T90().vdd;
+  auto delay_for_slew = [&](double ramp) {
+    Circuit ckt = make_inverter(2e-15, vdd,
+                                Pwl::ramp(vdd, 0.0, 200e-12, ramp), 0.0);
+    const TransientResult res = simulate_transient(ckt, fast_options(2e-9));
+    return propagation_delay(res.waveform(ckt.node("in")), Edge::kFall,
+                             res.waveform(ckt.node("out")), Edge::kRise, vdd,
+                             100e-12)
+        .value_or(-1.0);
+  };
+  const double fast = delay_for_slew(20e-12);
+  const double slow = delay_for_slew(200e-12);
+  ASSERT_GT(fast, 0.0);
+  ASSERT_GT(slow, 0.0);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Transient, HigherTemperatureSlower) {
+  const double vdd = T90().vdd;
+  auto delay_at = [&](double temp) {
+    Circuit ckt = make_inverter(2e-15, vdd,
+                                Pwl::ramp(vdd, 0.0, 200e-12, 50e-12), 0.0);
+    TransientOptions opt = fast_options(2e-9);
+    opt.temperature_c = temp;
+    const TransientResult res = simulate_transient(ckt, opt);
+    return propagation_delay(res.waveform(ckt.node("in")), Edge::kFall,
+                             res.waveform(ckt.node("out")), Edge::kRise, vdd,
+                             100e-12)
+        .value_or(-1.0);
+  };
+  const double cold = delay_at(0.0);
+  const double hot = delay_at(125.0);
+  ASSERT_GT(cold, 0.0);
+  ASSERT_GT(hot, 0.0);
+  EXPECT_GT(hot, cold);
+}
+
+TEST(Transient, LowerSupplySlower) {
+  auto delay_at = [&](double vdd) {
+    Circuit ckt = make_inverter(2e-15, vdd,
+                                Pwl::ramp(vdd, 0.0, 200e-12, 50e-12), 0.0);
+    const TransientResult res = simulate_transient(ckt, fast_options(2e-9));
+    return propagation_delay(res.waveform(ckt.node("in")), Edge::kFall,
+                             res.waveform(ckt.node("out")), Edge::kRise, vdd,
+                             100e-12)
+        .value_or(-1.0);
+  };
+  const double nominal = delay_at(1.0);
+  const double low = delay_at(0.9);
+  ASSERT_GT(nominal, 0.0);
+  ASSERT_GT(low, 0.0);
+  EXPECT_GT(low, nominal);
+}
+
+TEST(Transient, TrapezoidalMoreAccurateAtCoarseStep) {
+  // RC discharge, tau = 1 ps, COARSE step (tau/5): trapezoidal (2nd order)
+  // must beat backward Euler (1st order) against the analytic solution.
+  auto v_at_tau = [](Integrator integ) {
+    Circuit ckt;
+    const NodeId a = ckt.add_node("a");
+    ckt.add_resistor(a, ckt.ground(), 1e3);
+    ckt.add_capacitor(a, ckt.ground(), 1e-15);
+    ckt.set_initial_voltage(a, 1.0);
+    TransientOptions opt;
+    opt.t_stop = 3e-12;
+    opt.dt = 0.2e-12;
+    opt.integrator = integ;
+    const TransientResult res = simulate_transient(ckt, opt);
+    return res.waveform(a).at(1e-12);
+  };
+  const double exact = std::exp(-1.0);
+  const double be_err = std::fabs(v_at_tau(Integrator::kBackwardEuler) - exact);
+  const double tr_err = std::fabs(v_at_tau(Integrator::kTrapezoidal) - exact);
+  EXPECT_LT(tr_err, be_err);
+  EXPECT_LT(tr_err, 0.01);
+}
+
+TEST(Transient, TrapezoidalInverterDelayConsistent) {
+  // The two integrators must agree on a gate delay within a few percent at
+  // the production timestep.
+  const double vdd = T90().vdd;
+  auto delay_with = [&](Integrator integ) {
+    Circuit ckt = make_inverter(2e-15, vdd,
+                                Pwl::ramp(vdd, 0.0, 200e-12, 50e-12), 0.0);
+    TransientOptions opt = fast_options(1.5e-9);
+    opt.integrator = integ;
+    const TransientResult res = simulate_transient(ckt, opt);
+    return propagation_delay(res.waveform(ckt.node("in")), Edge::kFall,
+                             res.waveform(ckt.node("out")), Edge::kRise, vdd,
+                             100e-12)
+        .value_or(-1.0);
+  };
+  const double be = delay_with(Integrator::kBackwardEuler);
+  const double tr = delay_with(Integrator::kTrapezoidal);
+  ASSERT_GT(be, 0.0);
+  ASSERT_GT(tr, 0.0);
+  EXPECT_NEAR(be, tr, 0.05 * be);
+}
+
+TEST(Waveform, CrossTimeAndSlew) {
+  Waveform w;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 1e-12;
+    w.append(t, std::min(1.0, i / 50.0));  // rises linearly to 1 at 50 ps
+  }
+  const auto t50 = w.cross_time(0.5, Edge::kRise);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_NEAR(*t50, 25e-12, 1e-13);
+  const auto tt = transition_time(w, 1.0, Edge::kRise);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_NEAR(*tt, 40e-12, 1e-13);
+  EXPECT_FALSE(w.cross_time(0.5, Edge::kFall).has_value());
+}
+
+}  // namespace
+}  // namespace sasta::spice

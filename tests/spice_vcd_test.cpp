@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "spice/vcd_writer.h"
+#include "util/check.h"
+
+namespace sasta::spice {
+namespace {
+
+TEST(Vcd, DumpsRcWaveform) {
+  Circuit ckt;
+  const NodeId a = ckt.add_node("node_a");
+  ckt.add_resistor(a, ckt.ground(), 1e3);
+  ckt.add_capacitor(a, ckt.ground(), 1e-15);
+  ckt.set_initial_voltage(a, 1.0);
+  TransientOptions opt;
+  opt.t_stop = 2e-12;
+  opt.dt = 0.1e-12;
+  const auto res = simulate_transient(ckt, opt);
+  const std::string vcd = write_vcd_string(ckt, res);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("node_a"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  // Initial value dump at time 0 and at least one later change.
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);
+  EXPECT_NE(vcd.find("r1 "), std::string::npos);
+}
+
+TEST(Vcd, NodeSubsetAndValidation) {
+  Circuit ckt;
+  const NodeId a = ckt.add_node("a");
+  const NodeId b = ckt.add_node("b!weird name");
+  ckt.add_resistor(a, ckt.ground(), 1e3);
+  ckt.add_resistor(b, ckt.ground(), 1e3);
+  ckt.add_capacitor(a, ckt.ground(), 1e-15);
+  ckt.add_capacitor(b, ckt.ground(), 1e-15);
+  TransientOptions opt;
+  opt.t_stop = 1e-12;
+  opt.dt = 0.5e-12;
+  const auto res = simulate_transient(ckt, opt);
+  VcdOptions vopt;
+  vopt.nodes = {b};
+  const std::string vcd = write_vcd_string(ckt, res, vopt);
+  EXPECT_EQ(vcd.find(" a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("b_weird_name"), std::string::npos);
+  vopt.nodes = {99};
+  EXPECT_THROW(write_vcd_string(ckt, res, vopt), util::Error);
+}
+
+}  // namespace
+}  // namespace sasta::spice

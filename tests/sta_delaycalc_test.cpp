@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sta/delaycalc.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::sta {
+namespace {
+
+using netlist::NetId;
+
+const tech::Technology& T() { return tech::technology("90nm"); }
+
+/// a -> INV -> n1 -> {NAND2.A, AO22.C} ; NAND2 -> z1 (PO), AO22 -> z2 (PO).
+struct Fixture {
+  netlist::Netlist nl{"dc"};
+  NetId a, b, c, d, e, n1, z1, z2;
+  netlist::InstId inv, nand2, ao22;
+  Fixture() {
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    c = nl.add_net("c");
+    d = nl.add_net("d");
+    e = nl.add_net("e");
+    n1 = nl.add_net("n1");
+    z1 = nl.add_net("z1");
+    z2 = nl.add_net("z2");
+    for (NetId pi : {a, b, c, d, e}) nl.mark_primary_input(pi);
+    const auto& lib = testing::test_library();
+    inv = nl.add_instance("u_inv", lib.find("INV"), {a}, n1);
+    nand2 = nl.add_instance("u_nand", lib.find("NAND2"), {n1, b}, z1);
+    ao22 = nl.add_instance("u_ao", lib.find("AO22"), {c, d, n1, e}, z2);
+    nl.mark_primary_output(z1);
+    nl.mark_primary_output(z2);
+  }
+};
+
+TEST(DelayCalc, NetLoadSumsSinkPinsWiresAndPoLoad) {
+  Fixture f;
+  const auto& cl = testing::test_charlib("90nm");
+  DelayCalculator calc(f.nl, cl, T());
+
+  // n1 drives NAND2.A and AO22.C plus two wire segments.
+  const double expected_n1 = cl.timing("NAND2").pin_caps[0] +
+                             cl.timing("AO22").pin_caps[2] +
+                             2 * T().wire_cap_per_fanout;
+  EXPECT_NEAR(calc.net_load(f.n1), expected_n1, 1e-20);
+
+  // z1 is a PO with no sinks: exactly the PO load (2 INV input caps).
+  const double expected_z1 = 2.0 * cl.timing("INV").avg_input_cap;
+  EXPECT_NEAR(calc.net_load(f.z1), expected_z1, 1e-20);
+}
+
+TEST(DelayCalc, EquivalentFanoutUsesDriverInputCap) {
+  Fixture f;
+  const auto& cl = testing::test_charlib("90nm");
+  DelayCalculator calc(f.nl, cl, T());
+  const double fo = calc.equivalent_fanout(f.inv, f.n1);
+  EXPECT_NEAR(fo, calc.net_load(f.n1) / cl.timing("INV").avg_input_cap,
+              1e-12);
+  EXPECT_GT(fo, 0.5);
+  EXPECT_LT(fo, 20.0);
+}
+
+TEST(DelayCalc, PoLoadOptionScales) {
+  Fixture f;
+  const auto& cl = testing::test_charlib("90nm");
+  DelayCalcOptions opt;
+  opt.po_load_fanouts = 6.0;
+  DelayCalculator heavy(f.nl, cl, T(), opt);
+  DelayCalculator light(f.nl, cl, T());
+  EXPECT_GT(heavy.net_load(f.z1), light.net_load(f.z1) * 2.5);
+}
+
+TEST(DelayCalc, EdgePolarityChainsThroughInversions) {
+  Fixture f;
+  const auto& cl = testing::test_charlib("90nm");
+  DelayCalculator calc(f.nl, cl, T());
+  TruePath p;
+  p.source = f.a;
+  p.sink = f.z1;
+  p.launch_edge = spice::Edge::kRise;
+  p.steps = {{f.inv, 0, 0}, {f.nand2, 0, 0}};
+  const TimedPath tp = calc.compute(p);
+  ASSERT_EQ(tp.stage_in_edges.size(), 2u);
+  EXPECT_EQ(tp.stage_in_edges[0], spice::Edge::kRise);
+  // INV inverts: NAND2 sees a falling input.
+  EXPECT_EQ(tp.stage_in_edges[1], spice::Edge::kFall);
+  EXPECT_GT(tp.delay, 0.0);
+}
+
+TEST(DelayCalc, HigherVddFasterWithFullProfileNotFast) {
+  // The fast profile has no VDD sweep: delays must be insensitive (flat
+  // polynomial), demonstrating the profile distinction explicitly.
+  Fixture f;
+  const auto& cl = testing::test_charlib("90nm");
+  TruePath p;
+  p.source = f.a;
+  p.sink = f.z1;
+  p.launch_edge = spice::Edge::kRise;
+  p.steps = {{f.inv, 0, 0}, {f.nand2, 0, 0}};
+  DelayCalcOptions low, high;
+  low.vdd = 0.9 * T().vdd;
+  high.vdd = 1.1 * T().vdd;
+  const double d_low = DelayCalculator(f.nl, cl, T(), low).compute(p).delay;
+  const double d_high = DelayCalculator(f.nl, cl, T(), high).compute(p).delay;
+  EXPECT_NEAR(d_low, d_high, 1e-15);
+}
+
+}  // namespace
+}  // namespace sasta::sta

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "netlist/fig4_testcircuit.h"
+#include "sta/erc.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::sta {
+namespace {
+
+using netlist::NetId;
+
+const tech::Technology& T() { return tech::technology("90nm"); }
+
+TEST(HoldPaths, FastestSetRetainedAndOrdered) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  StaToolOptions opt;
+  opt.keep_worst = 4;
+  opt.keep_fastest = 4;
+  StaTool tool(fig4.nl, testing::test_charlib("90nm"), T(), opt);
+  const StaResult res = tool.run();
+  ASSERT_EQ(res.fastest.size(), 4u);
+  for (std::size_t i = 1; i < res.fastest.size(); ++i) {
+    EXPECT_LE(res.fastest[i - 1].delay, res.fastest[i].delay);
+  }
+  EXPECT_LE(res.shortest().delay, res.critical().delay);
+  // The shortest retained path must be at most as slow as anything in the
+  // worst set.
+  for (const auto& tp : res.paths) {
+    EXPECT_LE(res.shortest().delay, tp.delay);
+  }
+}
+
+TEST(HoldPaths, MatchesExhaustiveMinimum) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  StaToolOptions all;
+  all.keep_worst = -1;
+  StaTool tool_all(fig4.nl, testing::test_charlib("90nm"), T(), all);
+  const StaResult res_all = tool_all.run();
+  double min_delay = 1e9;
+  for (const auto& tp : res_all.paths) min_delay = std::min(min_delay, tp.delay);
+
+  StaToolOptions opt;
+  opt.keep_worst = 1;
+  opt.keep_fastest = 1;
+  StaTool tool(fig4.nl, testing::test_charlib("90nm"), T(), opt);
+  const StaResult res = tool.run();
+  EXPECT_NEAR(res.shortest().delay, min_delay, 1e-15);
+}
+
+TEST(HoldPaths, ShortestThrowsWhenNotRetained) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  StaToolOptions opt;  // keep_fastest = 0
+  StaTool tool(fig4.nl, testing::test_charlib("90nm"), T(), opt);
+  const StaResult res = tool.run();
+  EXPECT_THROW(res.shortest(), util::Error);
+}
+
+TEST(Erc, CleanCircuitHasNoViolations) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  const auto report = check_electrical_rules(
+      fig4.nl, testing::test_charlib("90nm"), T());
+  EXPECT_EQ(report.checked_nets, fig4.nl.num_instances());
+  EXPECT_TRUE(report.violations.empty())
+      << format_erc_report(fig4.nl, report);
+}
+
+TEST(Erc, OverloadedNetFlagged) {
+  // One INV driving 24 NAND4 pins: must trip the default max-cap (and
+  // likely max-slew) limits.
+  netlist::Netlist nl("overload");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId n1 = nl.add_net("n1");
+  nl.add_instance("drv", testing::test_library().find("INV"), {a}, n1);
+  for (int i = 0; i < 24; ++i) {
+    const NetId o = nl.add_net("o" + std::to_string(i));
+    nl.add_instance("ld" + std::to_string(i),
+                    testing::test_library().find("NAND4"),
+                    {n1, n1, n1, n1}, o);
+    nl.mark_primary_output(o);
+  }
+  const auto report =
+      check_electrical_rules(nl, testing::test_charlib("90nm"), T());
+  ASSERT_FALSE(report.violations.empty());
+  bool has_cap = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == ErcViolation::Kind::kMaxCap && v.net == n1) has_cap = true;
+    EXPECT_GT(v.value, v.limit);
+  }
+  EXPECT_TRUE(has_cap);
+  const std::string text = format_erc_report(nl, report);
+  EXPECT_NE(text.find("max-cap"), std::string::npos);
+  EXPECT_NE(text.find("n1"), std::string::npos);
+}
+
+TEST(Erc, CustomLimits) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  ErcLimits tight;
+  tight.max_slew_s = 1e-15;  // impossible: everything violates
+  const auto report = check_electrical_rules(
+      fig4.nl, testing::test_charlib("90nm"), T(), tight);
+  EXPECT_EQ(static_cast<int>(report.violations.size()),
+            report.checked_nets);
+}
+
+}  // namespace
+}  // namespace sasta::sta

@@ -1,0 +1,81 @@
+// The justifier's support-disjoint goal partitioning is a pure search
+// optimization: results must be identical with and without it, on random
+// circuits and random goal sets.
+#include <gtest/gtest.h>
+
+#include "netlist/iscas_gen.h"
+#include "netlist/levelize.h"
+#include "netlist/techmap.h"
+#include "sta/justify.h"
+#include "test_charlib.h"
+#include "util/rng.h"
+
+namespace sasta::sta {
+namespace {
+
+std::vector<std::vector<std::uint64_t>> build_supports(
+    const netlist::Netlist& nl) {
+  const int num_pis = static_cast<int>(nl.primary_inputs().size());
+  const std::size_t words = (num_pis + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> supports(
+      nl.num_nets(), std::vector<std::uint64_t>(words, 0));
+  for (int i = 0; i < num_pis; ++i) {
+    supports[nl.primary_inputs()[i]][i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  const auto lv = netlist::levelize(nl);
+  for (netlist::InstId ii : lv.topo_order) {
+    const netlist::Instance& inst = nl.instance(ii);
+    for (netlist::NetId in : inst.inputs) {
+      for (std::size_t w = 0; w < words; ++w) {
+        supports[inst.output][w] |= supports[in][w];
+      }
+    }
+  }
+  return supports;
+}
+
+TEST(JustifyPartition, SameVerdictWithAndWithoutPartitioning) {
+  util::Rng rng(905);
+  for (std::uint64_t seed : {1ULL, 4ULL, 9ULL, 16ULL}) {
+    netlist::GeneratorProfile p;
+    p.name = "jp";
+    p.num_inputs = 10;
+    p.num_outputs = 4;
+    p.num_gates = 30;
+    p.depth = 5;
+    p.seed = seed;
+    const netlist::Netlist nl =
+        netlist::tech_map(netlist::generate_iscas_like(p),
+                          testing::test_library())
+            .netlist;
+    const auto supports = build_supports(nl);
+
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random goal set over internal nets.
+      std::vector<Goal> goals;
+      const int k = 1 + static_cast<int>(rng.next_below(4));
+      for (int g = 0; g < k; ++g) {
+        const netlist::NetId net =
+            static_cast<netlist::NetId>(rng.next_below(nl.num_nets()));
+        goals.push_back({net, rng.next_bool()});
+      }
+
+      AssignmentState s1(nl.num_nets());
+      ImplicationEngine e1(nl, s1);
+      Justifier j1(nl, s1, e1);
+      const auto plain = j1.justify_all(goals, kScenarioBoth);
+
+      AssignmentState s2(nl.num_nets());
+      ImplicationEngine e2(nl, s2);
+      Justifier j2(nl, s2, e2);
+      j2.set_supports(&supports);
+      const auto split = j2.justify_all(goals, kScenarioBoth);
+
+      EXPECT_EQ(plain.alive, split.alive)
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sasta::sta

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::sta {
+namespace {
+
+netlist::Netlist mid_circuit(std::uint64_t seed) {
+  netlist::GeneratorProfile p;
+  p.name = "nw" + std::to_string(seed);
+  p.num_inputs = 12;
+  p.num_outputs = 6;
+  p.num_gates = 60;
+  p.depth = 7;
+  p.seed = seed;
+  return netlist::tech_map(netlist::generate_iscas_like(p),
+                           testing::test_library())
+      .netlist;
+}
+
+std::vector<double> top_delays(const StaResult& res, std::size_t n) {
+  std::vector<double> d;
+  for (const auto& tp : res.paths) d.push_back(tp.delay);
+  std::sort(d.rbegin(), d.rend());
+  if (d.size() > n) d.resize(n);
+  return d;
+}
+
+class NWorst : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The branch-and-bound N-worst mode must return exactly the same N worst
+// delays as exhaustive enumeration, with strictly less search effort.
+TEST_P(NWorst, MatchesExhaustiveTopN) {
+  const netlist::Netlist nl = mid_circuit(GetParam());
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+  constexpr long kN = 10;
+
+  StaToolOptions exhaustive;
+  exhaustive.keep_worst = kN;
+  StaTool full(nl, cl, tech, exhaustive);
+  const StaResult full_res = full.run();
+  ASSERT_FALSE(full_res.paths.empty());
+
+  StaToolOptions pruned = exhaustive;
+  pruned.finder.n_worst = kN;
+  StaTool nworst(nl, cl, tech, pruned);
+  const StaResult res = nworst.run();
+
+  const auto want = top_delays(full_res, kN);
+  const auto got = top_delays(res, kN);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-15) << "rank " << i;
+  }
+
+  // Pruning must not EXPLORE more than the exhaustive run; on non-trivial
+  // circuits it explores strictly less.
+  EXPECT_LE(res.stats.vector_trials, full_res.stats.vector_trials);
+  EXPECT_LE(res.stats.paths_recorded, full_res.stats.paths_recorded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NWorst, ::testing::Values(3, 7, 11, 19));
+
+TEST(NWorst, PrunesSubstantiallyOnWiderCircuit) {
+  netlist::GeneratorProfile p;
+  p.name = "nwbig";
+  p.num_inputs = 20;
+  p.num_outputs = 8;
+  p.num_gates = 120;
+  p.depth = 8;
+  p.seed = 99;
+  const auto nl = netlist::tech_map(netlist::generate_iscas_like(p),
+                                    testing::test_library())
+                      .netlist;
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+
+  StaToolOptions exhaustive;
+  exhaustive.keep_worst = 5;
+  const auto full = StaTool(nl, cl, tech, exhaustive).run();
+
+  StaToolOptions pruned = exhaustive;
+  pruned.finder.n_worst = 5;
+  const auto res = StaTool(nl, cl, tech, pruned).run();
+
+  ASSERT_FALSE(full.paths.empty());
+  EXPECT_NEAR(res.critical().delay, full.critical().delay, 1e-15);
+  // Expect a real reduction in recorded paths (the whole point).
+  EXPECT_LT(res.stats.paths_recorded, full.stats.paths_recorded);
+}
+
+}  // namespace
+}  // namespace sasta::sta

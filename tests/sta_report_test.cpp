@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "netlist/fig4_testcircuit.h"
+#include "sta/report.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+
+namespace sasta::sta {
+namespace {
+
+StaResult analyzed_fig4(const netlist::Netlist& nl) {
+  StaToolOptions opt;
+  StaTool tool(nl, testing::test_charlib("90nm"), tech::technology("90nm"),
+               opt);
+  return tool.run();
+}
+
+TEST(Report, EndpointSummaryAndSlack) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  const StaResult res = analyzed_fig4(fig4.nl);
+  ASSERT_FALSE(res.paths.empty());
+
+  // Unconstrained: slack = -worst.
+  TimingReport unconstrained = build_timing_report(fig4.nl, res, 0.0);
+  ASSERT_EQ(unconstrained.endpoints.size(), 1u);  // single PO
+  const auto& e = unconstrained.endpoints[0];
+  EXPECT_EQ(e.endpoint, fig4.n20);
+  EXPECT_NEAR(e.worst_delay, res.critical().delay, 1e-15);
+  EXPECT_NEAR(e.slack, -e.worst_delay, 1e-15);
+  EXPECT_GT(e.paths, 0);
+  ASSERT_NE(e.worst_path, nullptr);
+
+  // Tight constraint: violation accounted in WNS/TNS.
+  const double required = res.critical().delay * 0.5;
+  TimingReport tight = build_timing_report(fig4.nl, res, required);
+  EXPECT_EQ(tight.violating_endpoints, 1);
+  EXPECT_LT(tight.wns, 0.0);
+  EXPECT_NEAR(tight.tns, tight.wns, 1e-15);  // one endpoint
+
+  // Loose constraint: no violations.
+  TimingReport loose = build_timing_report(fig4.nl, res,
+                                           res.critical().delay * 2);
+  EXPECT_EQ(loose.violating_endpoints, 0);
+  EXPECT_GT(loose.wns, 0.0);
+}
+
+TEST(Report, PathRenderingContainsStagesAndVectors) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  const StaResult res = analyzed_fig4(fig4.nl);
+  const std::string text = format_path(fig4.nl, testing::test_charlib("90nm"),
+                                       res.critical());
+  EXPECT_NE(text.find("Startpoint: N1"), std::string::npos);
+  EXPECT_NE(text.find("Endpoint:   N20"), std::string::npos);
+  EXPECT_NE(text.find("AO22"), std::string::npos);
+  EXPECT_NE(text.find("arrival:"), std::string::npos);
+  // One line per stage.
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_GE(lines, static_cast<int>(res.critical().path.steps.size()) + 3);
+}
+
+TEST(Report, TableRendering) {
+  const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
+  const StaResult res = analyzed_fig4(fig4.nl);
+  const TimingReport rep = build_timing_report(fig4.nl, res, 0.0);
+  const std::string text = format_timing_report(fig4.nl, rep);
+  EXPECT_NE(text.find("N20"), std::string::npos);
+  EXPECT_NE(text.find("WNS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasta::sta

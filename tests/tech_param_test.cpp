@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cell/elaborate.h"
+#include "cell/library_builder.h"
+#include "spice/transient.h"
+#include "tech/technology.h"
+#include "util/check.h"
+
+namespace sasta::tech {
+namespace {
+
+using spice::Edge;
+using spice::NodeId;
+using spice::Pwl;
+
+TEST(Technology, LookupAndAliases) {
+  EXPECT_EQ(technology("130nm").name, "130nm");
+  EXPECT_EQ(technology("90").name, "90nm");
+  EXPECT_EQ(technology("65nm").name, "65nm");
+  EXPECT_THROW(technology("45nm"), util::Error);
+  EXPECT_EQ(all_technologies().size(), 3u);
+}
+
+TEST(Technology, ScalingSanity) {
+  const auto& t130 = technology("130nm");
+  const auto& t90 = technology("90nm");
+  const auto& t65 = technology("65nm");
+  EXPECT_GT(t130.vdd, t90.vdd);
+  EXPECT_GT(t130.lmin_um, t90.lmin_um);
+  EXPECT_GT(t90.lmin_um, t65.lmin_um);
+  // The 65nm node is a low-power flavour: highest Vth/VDD ratio.
+  EXPECT_GT(t65.nmos.vth0 / t65.vdd, t90.nmos.vth0 / t90.vdd);
+  EXPECT_GT(t65.nmos.vth0 / t65.vdd, t130.nmos.vth0 / t130.vdd);
+}
+
+/// Parameterized inverter-delay sanity sweep across the three nodes.
+class TechInverter : public ::testing::TestWithParam<const char*> {};
+
+double inverter_delay(const Technology& t, Edge in_edge) {
+  const cell::Library lib = cell::build_standard_library();
+  const cell::Cell& inv = lib.cell("INV");
+  spice::Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  ckt.drive_dc(vdd, t.vdd);
+  const NodeId in = ckt.add_node("in");
+  const int v0 = in_edge == Edge::kRise ? 0 : 1;
+  ckt.drive(in, Pwl::ramp(v0 ? t.vdd : 0.0, v0 ? 0.0 : t.vdd, 200e-12,
+                          t.default_input_slew / 0.8));
+  const NodeId out = ckt.add_node("out");
+  const std::vector<spice::NodeId> ins{in};
+  const std::vector<int> init{v0};
+  cell::elaborate_cell(ckt, inv, t, ins, out, vdd, t.vdd, init, "u");
+  ckt.add_capacitor(out, ckt.ground(), 2.0 * inv.avg_input_cap(t));
+  spice::TransientOptions opt;
+  opt.t_stop = 2.5e-9;
+  opt.dt = t.sim_dt;
+  const auto res = simulate_transient(ckt, opt);
+  EXPECT_TRUE(res.converged);
+  const Edge out_edge = spice::opposite(in_edge);
+  const auto d = spice::propagation_delay(res.waveform(in), in_edge,
+                                          res.waveform(out), out_edge, t.vdd,
+                                          100e-12);
+  EXPECT_TRUE(d.has_value());
+  return d.value_or(-1);
+}
+
+TEST_P(TechInverter, Fo2DelayInPlausibleRange) {
+  const auto& t = technology(GetParam());
+  for (const Edge e : {Edge::kRise, Edge::kFall}) {
+    const double d = inverter_delay(t, e);
+    // Plausible FO2 inverter delays for these calibrations: 10..300 ps.
+    EXPECT_GT(d, 10e-12) << t.name << " " << spice::edge_name(e);
+    EXPECT_LT(d, 300e-12) << t.name << " " << spice::edge_name(e);
+  }
+}
+
+TEST_P(TechInverter, RoughlyBalancedEdges) {
+  const auto& t = technology(GetParam());
+  const double dr = inverter_delay(t, Edge::kRise);
+  const double df = inverter_delay(t, Edge::kFall);
+  // The beta ratio keeps rise/fall within ~2.2x of each other.
+  EXPECT_LT(std::max(dr, df) / std::min(dr, df), 2.2) << t.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, TechInverter,
+                         ::testing::Values("130nm", "90nm", "65nm"));
+
+// Paper-shape check: the 65nm low-power node is slower than 90nm GP, and
+// 130nm is the slowest in absolute terms at this calibration.
+TEST(Technology, RelativeSpeedMatchesPaperShape) {
+  const double d130 = inverter_delay(technology("130nm"), Edge::kFall);
+  const double d90 = inverter_delay(technology("90nm"), Edge::kFall);
+  const double d65 = inverter_delay(technology("65nm"), Edge::kFall);
+  EXPECT_LT(d90, d65);   // 65nm LP slower than 90nm GP (paper Tables 3-4)
+  EXPECT_LT(d90, d130);  // 90nm fastest
+}
+
+}  // namespace
+}  // namespace sasta::tech

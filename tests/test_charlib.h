@@ -1,0 +1,34 @@
+// Shared fast-profile characterized library for the test suite.  The first
+// test binary to run pays the characterization cost; the rest load the disk
+// cache (build-tree local, keyed by tech/profile/cell-set).
+#pragma once
+
+#include "cell/library_builder.h"
+#include "charlib/serialize.h"
+#include "tech/technology.h"
+
+namespace sasta::testing {
+
+inline const cell::Library& test_library() {
+  static const cell::Library lib = cell::build_standard_library();
+  return lib;
+}
+
+inline const charlib::CharLibrary& test_charlib(const std::string& tech_name =
+                                                    "90nm") {
+  static std::map<std::string, charlib::CharLibrary> cache;
+  auto it = cache.find(tech_name);
+  if (it == cache.end()) {
+    charlib::CharacterizeOptions opt;
+    opt.profile = charlib::CharacterizeOptions::Profile::kFast;
+    it = cache
+             .emplace(tech_name,
+                      charlib::load_or_characterize(
+                          test_library(), tech::technology(tech_name), opt,
+                          "sasta-test-charcache"))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace sasta::testing

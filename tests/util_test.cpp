@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sasta::util {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(SASTA_CHECK(1 + 1 == 2) << " impossible");
+}
+
+TEST(Check, FailingCheckThrowsWithMessage) {
+  try {
+    SASTA_CHECK(false) << " detail " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+    EXPECT_NE(what.find("detail 42"), std::string::npos);
+  }
+}
+
+TEST(Check, FailMacroThrows) {
+  EXPECT_THROW(SASTA_FAIL() << " boom", Error);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a, b,,c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(split("", ",").empty()); }
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("NaNd2", "nand2"));
+  EXPECT_FALSE(iequals("nand2", "nand3"));
+  EXPECT_FALSE(iequals("nand", "nand2"));
+}
+
+TEST(Strings, ToUpperAndStartsWith) {
+  EXPECT_EQ(to_upper("abC1"), "ABC1");
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_percent(0.1234, 1), "12.3%");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, GaussianMomentsAndRange) {
+  Rng rng(2718);
+  const int n = 20000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+    ASSERT_LT(std::fabs(g), 8.0);  // sane tail at this sample size
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sasta::util

@@ -1,0 +1,310 @@
+// sasta — command-line driver for the sensitization-aware STA library.
+//
+// Usage:
+//   sasta [options] <netlist>
+//
+//   <netlist>            .bench or .v file, a built-in ISCAS profile name
+//                        (c432, c880, ...), or "c17"
+//
+// Options:
+//   --tech NAME          130nm | 90nm | 65nm            (default 90nm)
+//   --paths N            report the N worst true paths  (default 10)
+//   --max-seconds S      exploration wall-clock budget  (default 60)
+//   --budget B           justification backtrack budget (default 2000,
+//                        -1 = exact)
+//   --baseline           also run the two-step commercial-style baseline
+//   --golden             verify reported paths with transistor-level
+//                        simulation
+//   --full-char          paper-style full PVT characterization profile
+//                        (default: fast profile)
+//   --temp T             analysis temperature in degC   (default 25)
+//   --vdd V              analysis supply in volts       (default nominal)
+//   --prune              N-worst branch-and-bound pruning (uses --paths)
+//   --report             report_timing-style worst path + endpoint slack
+//   --required NS        required time (ns) for the slack report
+//   --corners            fast/typ/slow multi-corner summary
+//   --fastest N          also report the N fastest (hold-side) true paths
+//   --erc                max-slew / max-cap electrical rule checks
+//   --write-verilog F    dump the mapped netlist to F
+//   --write-sdf F        SDF annotation (min:typ:max = vector spread)
+//   -q                   quiet (suppress progress logging)
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "baseline/baseline_tool.h"
+#include "cell/library_builder.h"
+#include "charlib/serialize.h"
+#include "golden/pathsim.h"
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "netlist/verilog.h"
+#include "sta/corners.h"
+#include "sta/erc.h"
+#include "sta/report.h"
+#include "sta/sdf_writer.h"
+#include "sta/sta_tool.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace {
+
+struct Options {
+  std::string netlist;
+  std::string tech = "90nm";
+  long paths = 10;
+  double max_seconds = 60.0;
+  int budget = 2000;
+  bool baseline = false;
+  bool golden = false;
+  bool full_char = false;
+  double temp_c = 25.0;
+  double vdd = 0.0;
+  std::string write_verilog;
+  bool quiet = false;
+  bool report = false;        ///< detailed per-stage report of the worst path
+  double required_ns = 0.0;   ///< slack constraint for the endpoint table
+  bool corners = false;       ///< fast/typ/slow multi-corner summary
+  bool prune = false;         ///< N-worst branch-and-bound (uses --paths)
+  bool erc = false;           ///< max-slew / max-cap electrical rule checks
+  long fastest = 0;           ///< also report the N fastest (hold) paths
+  std::string write_sdf;      ///< SDF annotation output file
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--tech T] [--paths N] [--prune] [--max-seconds S]\n"
+               "       [--budget B] [--baseline] [--golden] [--full-char]\n"
+               "       [--temp T] [--vdd V] [--report] [--required NS]\n"
+               "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
+               "       <netlist>\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--tech") {
+      o.tech = value();
+    } else if (a == "--paths") {
+      o.paths = std::stol(value());
+    } else if (a == "--max-seconds") {
+      o.max_seconds = std::stod(value());
+    } else if (a == "--budget") {
+      o.budget = std::stoi(value());
+    } else if (a == "--baseline") {
+      o.baseline = true;
+    } else if (a == "--golden") {
+      o.golden = true;
+    } else if (a == "--full-char") {
+      o.full_char = true;
+    } else if (a == "--temp") {
+      o.temp_c = std::stod(value());
+    } else if (a == "--vdd") {
+      o.vdd = std::stod(value());
+    } else if (a == "--write-verilog") {
+      o.write_verilog = value();
+    } else if (a == "-q") {
+      o.quiet = true;
+    } else if (a == "--report") {
+      o.report = true;
+    } else if (a == "--required") {
+      o.required_ns = std::stod(value());
+    } else if (a == "--corners") {
+      o.corners = true;
+    } else if (a == "--prune") {
+      o.prune = true;
+    } else if (a == "--erc") {
+      o.erc = true;
+    } else if (a == "--fastest") {
+      o.fastest = std::stol(value());
+    } else if (a == "--write-sdf") {
+      o.write_sdf = value();
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option " << a << "\n";
+      usage(argv[0]);
+    } else {
+      o.netlist = a;
+    }
+  }
+  if (o.netlist.empty()) usage(argv[0]);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sasta;
+  const Options opt = parse_args(argc, argv);
+  if (!opt.quiet) util::set_log_level(util::LogLevel::kInfo);
+
+  try {
+    const cell::Library lib = cell::build_standard_library();
+    const auto& tech = tech::technology(opt.tech);
+
+    // --- Load / generate and map the netlist -------------------------------
+    netlist::Netlist mapped_storage;
+    const netlist::Netlist* nlp = nullptr;
+    if (std::filesystem::exists(opt.netlist) &&
+        (opt.netlist.ends_with(".v") || opt.netlist.ends_with(".verilog"))) {
+      mapped_storage = netlist::parse_verilog_file(opt.netlist, lib);
+      nlp = &mapped_storage;
+    } else {
+      netlist::PrimNetlist prim;
+      if (opt.netlist == "c17") {
+        prim = netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+      } else if (std::filesystem::exists(opt.netlist)) {
+        prim = netlist::parse_bench_file(opt.netlist);
+      } else {
+        prim = netlist::generate_iscas_like(
+            netlist::iscas_profile(opt.netlist));
+        std::cerr << "note: '" << opt.netlist
+                  << "' is a synthetic ISCAS-like profile circuit\n";
+      }
+      auto mapped = netlist::tech_map(prim, lib);
+      mapped_storage = std::move(mapped.netlist);
+      nlp = &mapped_storage;
+    }
+    const netlist::Netlist& nl = *nlp;
+    std::cout << "circuit " << nl.name() << ": " << nl.num_instances()
+              << " cells (" << nl.complex_gate_count() << " complex), "
+              << nl.primary_inputs().size() << " PIs, "
+              << nl.primary_outputs().size() << " POs\n";
+
+    if (!opt.write_verilog.empty()) {
+      std::ofstream os(opt.write_verilog);
+      netlist::write_verilog(nl, os);
+      std::cout << "wrote " << opt.write_verilog << "\n";
+    }
+
+    // --- Characterized library ---------------------------------------------
+    charlib::CharacterizeOptions copt;
+    copt.profile = opt.full_char
+                       ? charlib::CharacterizeOptions::Profile::kFull
+                       : charlib::CharacterizeOptions::Profile::kFast;
+    const charlib::CharLibrary cl = charlib::load_or_characterize(
+        lib, tech, copt, charlib::default_cache_dir());
+
+    // --- Developed tool -----------------------------------------------------
+    sta::StaToolOptions sopt;
+    sopt.keep_worst = opt.paths;
+    sopt.finder.max_seconds = opt.max_seconds;
+    sopt.finder.justify_backtrack_budget = opt.budget;
+    sopt.delay.temperature_c = opt.temp_c;
+    sopt.delay.vdd = opt.vdd;
+    if (opt.prune) sopt.finder.n_worst = opt.paths;
+    sopt.keep_fastest = opt.fastest;
+    sta::StaTool tool(nl, cl, tech, sopt);
+    const sta::StaResult res = tool.run();
+
+    std::cout << "\n[saSTA] " << res.stats.paths_recorded
+              << " true (path, vector, direction) sensitizations in "
+              << util::format_fixed(res.stats.cpu_seconds, 2) << " s ("
+              << res.stats.courses << " courses, "
+              << res.stats.multi_vector_courses << " multi-vector, "
+              << res.stats.justify_limited << " budget drops"
+              << (res.stats.truncated ? ", TRUNCATED" : "") << ")\n";
+    std::cout << "worst true paths:\n";
+    for (const auto& tp : res.paths) {
+      std::cout << "  " << util::format_fixed(tp.delay * 1e12, 1) << " ps  "
+                << nl.net(tp.path.source).name
+                << (tp.path.launch_edge == spice::Edge::kRise ? "(R)" : "(F)");
+      for (const auto& s : tp.path.steps) {
+        const auto& inst = nl.instance(s.inst);
+        std::cout << " > " << inst.cell->name() << ":"
+                  << inst.cell->pin_names()[s.pin] << "/v" << s.vector_id;
+      }
+      std::cout << " > " << nl.net(tp.path.sink).name;
+      if (opt.golden) {
+        golden::PathSimOptions gopt;
+        gopt.temperature_c = opt.temp_c;
+        gopt.vdd = opt.vdd;
+        const auto g = golden::simulate_path(nl, cl, tech, tp.path, gopt);
+        std::cout << "  [golden " << util::format_fixed(g.path_delay * 1e12, 1)
+                  << " ps, err "
+                  << util::format_percent(
+                         std::abs(tp.delay - g.path_delay) / g.path_delay, 1)
+                  << "]";
+      }
+      std::cout << "\n";
+    }
+
+    if (opt.fastest > 0 && !res.fastest.empty()) {
+      std::cout << "fastest true paths (hold side):\n";
+      for (const auto& tp : res.fastest) {
+        std::cout << "  " << util::format_fixed(tp.delay * 1e12, 1) << " ps  "
+                  << nl.net(tp.path.source).name << " -> "
+                  << nl.net(tp.path.sink).name << " ("
+                  << tp.path.steps.size() << " stages)\n";
+      }
+    }
+
+    if (opt.erc) {
+      const auto erc_report = sta::check_electrical_rules(nl, cl, tech);
+      std::cout << "\n" << sta::format_erc_report(nl, erc_report);
+    }
+
+    if (!opt.write_sdf.empty()) {
+      std::ofstream os(opt.write_sdf);
+      sta::SdfOptions sdf_opt;
+      sdf_opt.temperature_c = opt.temp_c;
+      sdf_opt.vdd = opt.vdd;
+      sta::write_sdf(nl, cl, tech, os, sdf_opt);
+      std::cout << "wrote " << opt.write_sdf << "\n";
+    }
+
+    if (opt.corners) {
+      const auto mc = sta::analyze_corners(nl, cl, tech,
+                                           sta::default_corners(tech), sopt);
+      std::cout << "\ncorner    temp(C)  vdd(V)   critical(ps)\n";
+      for (const auto& c : mc.corners) {
+        std::cout << (c.corner.name + "        ").substr(0, 8) << "  "
+                  << util::format_fixed(c.corner.temp_c, 0) << "\t   "
+                  << util::format_fixed(
+                         c.corner.vdd > 0 ? c.corner.vdd : tech.vdd, 2)
+                  << "     " << util::format_fixed(c.critical_delay * 1e12, 1)
+                  << "\n";
+      }
+      std::cout << "worst corner: " << mc.worst().corner.name << "\n";
+      if (!opt.full_char) {
+        std::cout << "(note: the fast characterization profile has no T/VDD "
+                     "sweep; use --full-char for real corner coefficients)\n";
+      }
+    }
+
+    if (opt.report && !res.paths.empty()) {
+      std::cout << "\n" << sta::format_path(nl, cl, res.critical());
+      const sta::TimingReport rep =
+          sta::build_timing_report(nl, res, opt.required_ns * 1e-9);
+      std::cout << "\n" << sta::format_timing_report(nl, rep);
+    }
+
+    // --- Optional baseline ---------------------------------------------------
+    if (opt.baseline) {
+      baseline::BaselineOptions bopt;
+      bopt.delay.temperature_c = opt.temp_c;
+      bopt.delay.vdd = opt.vdd;
+      baseline::BaselineTool base(nl, cl, tech, bopt);
+      const auto bres = base.run();
+      std::cout << "\n[baseline] explored " << bres.explored << " in "
+                << util::format_fixed(bres.cpu_seconds, 2) << " s: "
+                << bres.true_paths << " true, " << bres.false_paths
+                << " false, " << bres.backtrack_limited
+                << " aborted (no-vector ratio "
+                << util::format_percent(bres.no_vector_ratio(), 1) << ")\n";
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
