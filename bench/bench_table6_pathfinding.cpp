@@ -21,7 +21,9 @@
 #include "netlist/iscas_gen.h"
 #include "netlist/techmap.h"
 #include "sta/sta_tool.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sasta::bench {
 namespace {
@@ -166,6 +168,57 @@ int run() {
                  util::format_percent(r.no_vector_ratio(), 1)},
                 {9, 8, 7, 9, 8, 9});
     }
+  }
+
+  // Thread-scaling variant: the same exhaustive enumeration fanned out over
+  // source primary inputs.  No time/path budget, so every run is exhaustive
+  // and the delivered path list must be byte-identical at every thread
+  // count (checked against num_threads=1 via the full path keys, order
+  // included).
+  {
+    print_title("Thread scaling (source-parallel PathFinder)");
+    netlist::GeneratorProfile prof;
+    prof.name = "scale16";
+    prof.num_inputs = 16;
+    prof.num_outputs = 8;
+    prof.num_gates = fast_mode() ? 80 : 140;
+    prof.depth = 8;
+    prof.seed = 42;
+    const auto mapped =
+        netlist::tech_map(netlist::generate_iscas_like(prof), library());
+    const netlist::Netlist& nl = mapped.netlist;
+    std::cout << "circuit " << prof.name << ": " << nl.num_instances()
+              << " cells, " << nl.primary_inputs().size() << " PIs, "
+              << util::ThreadPool::hardware_threads()
+              << " hardware threads\n";
+
+    print_row({"threads", "cpu_s", "speedup", "paths", "identical"},
+              {8, 9, 9, 9, 10});
+    double t1 = 0.0;
+    std::vector<std::string> reference_keys;
+    for (const int threads : {1, 2, 4, 8}) {
+      sta::PathFinderOptions opt;
+      opt.num_threads = threads;
+      sta::PathFinder finder(nl, cl, opt);
+      std::vector<std::string> keys;
+      util::Stopwatch watch;
+      const sta::PathFinderStats stats = finder.run(
+          [&](const sta::TruePath& p) { keys.push_back(p.full_key(nl)); });
+      const double secs = watch.elapsed_seconds();
+      if (threads == 1) {
+        t1 = secs;
+        reference_keys = keys;
+      }
+      print_row({std::to_string(threads), util::format_fixed(secs, 3),
+                 threads == 1 ? "1.00x"
+                              : util::format_fixed(t1 / secs, 2) + "x",
+                 std::to_string(stats.paths_recorded),
+                 keys == reference_keys ? "yes" : "NO (BUG)"},
+                {8, 9, 9, 9, 10});
+    }
+    std::cout << "(speedup needs that many hardware threads and >= 8 "
+                 "reachable sources; delivered order is the sequential "
+                 "order at every thread count)\n";
   }
 
   std::cout << "\n'*' = exploration truncated by the time/path budget.\n"

@@ -38,12 +38,21 @@ PrimNetlist parse_bench(std::istream& is, const std::string& name) {
     const std::string_view body = util::trim(line);
     if (body.empty()) continue;
 
-    if (util::starts_with(body, "INPUT") || util::starts_with(body, "OUTPUT")) {
-      const bool is_input = util::starts_with(body, "INPUT");
-      const auto open = body.find('(');
+    // A port declaration is exactly INPUT(name) / OUTPUT(name): the token
+    // before '(' must match in full.  A starts_with test here swallowed
+    // gate lines whose LHS begins with a port keyword (e.g. "OUTPUTX =
+    // AND(a, b)", common in MCNC/ISCAS89-derived names) and registered the
+    // whole argument list as one garbage port signal.
+    const auto port_open = body.find('(');
+    const std::string_view head =
+        port_open == std::string_view::npos
+            ? std::string_view{}
+            : util::trim(body.substr(0, port_open));
+    if (head == "INPUT" || head == "OUTPUT") {
+      const bool is_input = head == "INPUT";
+      const auto open = port_open;
       const auto close = body.rfind(')');
-      SASTA_CHECK(open != std::string_view::npos &&
-                  close != std::string_view::npos && close > open)
+      SASTA_CHECK(close != std::string_view::npos && close > open)
           << " line " << line_no << ": malformed port declaration";
       const std::string port(util::trim(body.substr(open + 1, close - open - 1)));
       SASTA_CHECK(!port.empty()) << " line " << line_no << ": empty port name";

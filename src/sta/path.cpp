@@ -1,6 +1,20 @@
 #include "sta/path.h"
 
+#include <algorithm>
+
 namespace sasta::sta {
+
+PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
+  paths_recorded += other.paths_recorded;
+  courses += other.courses;
+  multi_vector_courses += other.multi_vector_courses;
+  backtracks += other.backtracks;
+  vector_trials += other.vector_trials;
+  justify_limited += other.justify_limited;
+  cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
+  truncated = truncated || other.truncated;
+  return *this;
+}
 
 std::string TruePath::course_key(const netlist::Netlist& nl) const {
   std::string key = nl.net(source).name;

@@ -41,6 +41,25 @@ struct TruePath {
   std::string full_key(const netlist::Netlist& nl) const;
 };
 
+/// Aggregate search statistics of one true-path enumeration run.  The
+/// parallel finder keeps one instance per worker and sums them with
+/// operator+= when the workers join (all counters are per-source and
+/// sources never span workers, so the sums are exact).
+struct PathFinderStats {
+  long paths_recorded = 0;        ///< (course, vector combo, direction) count
+                                  ///< == Table 6 "input vectors"
+  long courses = 0;               ///< distinct (gate sequence, direction)
+  long multi_vector_courses = 0;  ///< courses with > 1 vector combination
+                                  ///< == Table 6 "MultiInput paths"
+  long backtracks = 0;
+  long vector_trials = 0;         ///< sensitization vectors attempted
+  long justify_limited = 0;       ///< solves dropped at the backtrack budget
+  double cpu_seconds = 0.0;       ///< wall clock of run(); on merge, the max
+  bool truncated = false;         ///< a limit fired before exhaustion
+
+  PathFinderStats& operator+=(const PathFinderStats& other);
+};
+
 /// A path with its computed timing.
 struct TimedPath {
   TruePath path;

@@ -1,13 +1,44 @@
 #include "sta/pathfinder.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "netlist/levelize.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace sasta::sta {
 
 using logicsys::NineVal;
+
+/// Everything one source-DFS mutates.  One instance per worker thread,
+/// constructed on that thread (first-touch locality for the assignment
+/// trail); reused across all sources the worker pulls.
+struct PathFinder::Worker {
+  explicit Worker(PathFinder& owner)
+      : pf(owner),
+        state(owner.nl_.num_nets()),
+        engine(owner.nl_, state),
+        justifier(owner.nl_, state, engine,
+                  owner.opt_.use_scoap_guide ? &owner.guide_ : nullptr) {}
+
+  PathFinder& pf;
+  AssignmentState state;
+  ImplicationEngine engine;
+  Justifier justifier;
+  std::vector<PathStep> steps;
+  /// Steady side-value requirements accumulated along the current DFS
+  /// prefix; re-solved jointly (per direction) at every extension.
+  std::vector<Goal> goal_stack;
+  /// Per-DFS-depth (R, F) arrival tuples, parallel to steps (N-worst mode).
+  std::vector<std::array<Arrival, 2>> arrival_stack;
+  netlist::NetId current_source = netlist::kNoId;
+  PathFinderStats stats;
+  std::unordered_map<std::string, int> course_counts;
+  /// Parallel mode: per-source output buffer.  Null in sequential mode,
+  /// where paths stream straight to the caller's sink.
+  std::vector<TruePath>* out = nullptr;
+};
 
 PathFinder::PathFinder(const netlist::Netlist& nl,
                        const charlib::CharLibrary& charlib,
@@ -15,11 +46,7 @@ PathFinder::PathFinder(const netlist::Netlist& nl,
     : nl_(nl),
       charlib_(charlib),
       opt_(options),
-      state_(nl.num_nets()),
-      engine_(nl, state_),
-      guide_(netlist::compute_controllability(nl)),
-      justifier_(nl, state_, engine_,
-                 options.use_scoap_guide ? &guide_ : nullptr) {
+      guide_(netlist::compute_controllability(nl)) {
   reach_ = netlist::reaches_output(nl);
 
   // Primary-input support bitsets per net, for the justifier's
@@ -82,96 +109,116 @@ void PathFinder::enable_n_worst_pruning(const DelayCalculator& calc) {
   }
 }
 
-double PathFinder::heap_floor() const {
-  if (static_cast<long>(worst_heap_.size()) < opt_.n_worst) return -1e30;
-  return worst_heap_.front();
-}
-
-bool PathFinder::limits_hit() {
-  if (stop_) return true;
-  if (opt_.max_paths >= 0 && stats_.paths_recorded >= opt_.max_paths) {
-    stats_.truncated = true;
-    stop_ = true;
+void PathFinder::note_recorded_delay(double delay) {
+  std::lock_guard<std::mutex> lk(heap_mu_);
+  worst_heap_.push_back(delay);
+  std::push_heap(worst_heap_.begin(), worst_heap_.end(), std::greater<>());
+  if (static_cast<long>(worst_heap_.size()) > opt_.n_worst) {
+    std::pop_heap(worst_heap_.begin(), worst_heap_.end(), std::greater<>());
+    worst_heap_.pop_back();
   }
-  return stop_;
+  if (static_cast<long>(worst_heap_.size()) >= opt_.n_worst) {
+    prune_floor_.store(worst_heap_.front(), std::memory_order_relaxed);
+  }
 }
 
-void PathFinder::record(netlist::NetId sink_net, unsigned alive) {
+bool PathFinder::deadline_hit(Worker& w) {
+  if (deadline_ <= 0) return false;
+  if (run_watch_.elapsed_seconds() <= deadline_) return false;
+  w.stats.truncated = true;
+  stop_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool PathFinder::claim_record_slot(Worker& w) {
+  if (opt_.max_paths < 0) return true;
+  long cur = total_recorded_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= opt_.max_paths) {
+      w.stats.truncated = true;
+      stop_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+  } while (!total_recorded_.compare_exchange_weak(
+      cur, cur + 1, std::memory_order_relaxed));
+  return true;
+}
+
+void PathFinder::deliver(Worker& w, TruePath&& p) {
+  if (w.out != nullptr) {
+    w.out->push_back(std::move(p));
+  } else if (sink_ != nullptr && *sink_) {
+    (*sink_)(p);
+  }
+}
+
+void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
   for (const unsigned bit : {kScenarioR, kScenarioF}) {
     if (!(alive & bit)) continue;
-    if (limits_hit()) return;
+    // A single record can sit behind an expensive justify_all on a gate
+    // with few vectors, so the deadline is polled here too — the 64-trial
+    // amortized poll in extend() alone can overshoot max_seconds badly.
+    if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) return;
     // Commit a justification witness for this direction to read off the
     // realizing primary-input assignment, then roll it back.
-    const AssignmentState::Mark mark = state_.mark();
-    const Justifier::Result w = justifier_.justify_all(
-        goal_stack_, bit, opt_.justify_backtrack_budget);
-    if (w.backtrack_limited) ++stats_.justify_limited;
-    if (!(w.alive & bit)) {
+    const AssignmentState::Mark mark = w.state.mark();
+    const Justifier::Result witness = w.justifier.justify_all(
+        w.goal_stack, bit, opt_.justify_backtrack_budget);
+    if (witness.backtrack_limited) ++w.stats.justify_limited;
+    if (!(witness.alive & bit)) {
       // Either the budget fired or an accumulated infeasibility only
       // becomes visible on the joint solve (per-gate checks cover the new
       // goals, not the full conjunction).
-      state_.rollback(mark);
+      w.state.rollback(mark);
       continue;
     }
     TruePath p;
-    p.source = current_source_;
+    p.source = w.current_source;
     p.sink = sink_net;
     p.launch_edge = bit == kScenarioR ? spice::Edge::kRise : spice::Edge::kFall;
-    p.steps = steps_;
+    p.steps = w.steps;
     for (netlist::NetId pi : nl_.primary_inputs()) {
-      if (pi == current_source_) continue;
-      const NineVal& v = bit == kScenarioR ? state_.value(pi).r
-                                           : state_.value(pi).f;
+      if (pi == w.current_source) continue;
+      const NineVal& v = bit == kScenarioR ? w.state.value(pi).r
+                                           : w.state.value(pi).f;
       if (v.is_steady()) {
         p.pi_assignment.emplace_back(pi, v.init == logicsys::TriVal::kOne);
       }
     }
-    state_.rollback(mark);
-    ++stats_.paths_recorded;
-    const int count = ++course_counts_[p.course_key(nl_)];
-    if (count == 1) ++stats_.courses;
-    if (count == 2) ++stats_.multi_vector_courses;
+    w.state.rollback(mark);
+    if (!claim_record_slot(w)) return;
+    ++w.stats.paths_recorded;
+    const int count = ++w.course_counts[p.course_key(nl_)];
+    if (count == 1) ++w.stats.courses;
+    if (count == 2) ++w.stats.multi_vector_courses;
 
-    // N-worst bookkeeping: maintain the min-heap of the N largest recorded
-    // delays (the pruning floor).
+    // N-worst bookkeeping: tighten the shared pruning floor with this
+    // path's estimated delay.
     if (prune_calc_ != nullptr && opt_.n_worst > 0) {
-      const double delay =
-          arrival_stack_.back()[bit == kScenarioR ? 0 : 1].delay;
-      worst_heap_.push_back(delay);
-      std::push_heap(worst_heap_.begin(), worst_heap_.end(),
-                     std::greater<>());
-      if (static_cast<long>(worst_heap_.size()) > opt_.n_worst) {
-        std::pop_heap(worst_heap_.begin(), worst_heap_.end(),
-                      std::greater<>());
-        worst_heap_.pop_back();
-      }
+      note_recorded_delay(
+          w.arrival_stack.back()[bit == kScenarioR ? 0 : 1].delay);
     }
-    if (sink_ && *sink_) (*sink_)(p);
+    deliver(w, std::move(p));
   }
 }
 
-void PathFinder::extend(netlist::NetId net, unsigned alive) {
-  if (limits_hit()) return;
-  if (deadline_ > 0 && stats_.vector_trials % 64 == 0 &&
-      run_watch_.elapsed_seconds() > deadline_) {
-    stats_.truncated = true;
-    stop_ = true;
-    return;
-  }
+void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  if (w.stats.vector_trials % 64 == 0 && deadline_hit(w)) return;
 
-  if (nl_.net(net).is_primary_output) record(net, alive);
+  if (nl_.net(net).is_primary_output) record(w, net, alive);
 
   for (const netlist::Fanout& f : nl_.net(net).fanouts) {
-    if (stop_) return;
+    if (stop_.load(std::memory_order_relaxed)) return;
     const netlist::Instance& inst = nl_.instance(f.inst);
     if (!reach_[inst.output]) continue;
     const charlib::CellTiming& timing = charlib_.timing(inst.cell->name());
     const auto& vectors = timing.vectors.at(f.pin);
     for (const charlib::SensitizationVector& vec : vectors) {
-      if (stop_) return;
-      ++stats_.vector_trials;
-      const AssignmentState::Mark mark = state_.mark();
-      const std::size_t saved_goals = goal_stack_.size();
+      if (stop_.load(std::memory_order_relaxed)) return;
+      ++w.stats.vector_trials;
+      const AssignmentState::Mark mark = w.state.mark();
+      const std::size_t saved_goals = w.goal_stack.size();
 
       // Assign the vector's steady side values and propagate; the
       // justification itself is NOT committed here (its decisions would
@@ -180,20 +227,20 @@ void PathFinder::extend(netlist::NetId net, unsigned alive) {
       // is recorded.
       unsigned sub = alive;
       bool ok = true;
-      std::size_t first_new_goal = goal_stack_.size();
+      std::size_t first_new_goal = w.goal_stack.size();
       for (int q = 0; q < inst.cell->num_inputs() && ok; ++q) {
         if (q == f.pin) continue;
         const auto r =
-            engine_.assign_steady(inst.inputs[q], vec.side_value(q));
+            w.engine.assign_steady(inst.inputs[q], vec.side_value(q));
         sub &= ~r.conflict;
         if (sub == kScenarioNone) ok = false;
-        goal_stack_.push_back({inst.inputs[q], vec.side_value(q)});
+        w.goal_stack.push_back({inst.inputs[q], vec.side_value(q)});
       }
 
       if (ok) {
         // The implication pass must produce a transition at the gate output
         // for a scenario to stay alive.
-        const DualVal& out = state_.value(inst.output);
+        const DualVal& out = w.state.value(inst.output);
         unsigned transiting = kScenarioNone;
         if ((sub & kScenarioR) && out.r.is_transition()) {
           transiting |= kScenarioR;
@@ -211,15 +258,15 @@ void PathFinder::extend(netlist::NetId net, unsigned alive) {
         // narrowed result falls back to per-direction solves.
         unsigned feasible = kScenarioNone;
         const std::span<const Goal> new_goals(
-            goal_stack_.data() + first_new_goal,
-            goal_stack_.size() - first_new_goal);
+            w.goal_stack.data() + first_new_goal,
+            w.goal_stack.size() - first_new_goal);
         unsigned pending = transiting;
         if (pending == kScenarioBoth) {
-          const AssignmentState::Mark m2 = state_.mark();
-          const Justifier::Result r = justifier_.justify_all(
+          const AssignmentState::Mark m2 = w.state.mark();
+          const Justifier::Result r = w.justifier.justify_all(
               new_goals, kScenarioBoth, opt_.justify_backtrack_budget);
-          state_.rollback(m2);
-          if (r.backtrack_limited) ++stats_.justify_limited;
+          w.state.rollback(m2);
+          if (r.backtrack_limited) ++w.stats.justify_limited;
           if (r.alive == kScenarioBoth) {
             feasible = kScenarioBoth;
             pending = kScenarioNone;
@@ -229,11 +276,11 @@ void PathFinder::extend(netlist::NetId net, unsigned alive) {
         }
         for (const unsigned bit : {kScenarioR, kScenarioF}) {
           if (!(pending & bit)) continue;
-          const AssignmentState::Mark m2 = state_.mark();
-          const Justifier::Result r = justifier_.justify_all(
+          const AssignmentState::Mark m2 = w.state.mark();
+          const Justifier::Result r = w.justifier.justify_all(
               new_goals, bit, opt_.justify_backtrack_budget);
-          state_.rollback(m2);
-          if (r.backtrack_limited) ++stats_.justify_limited;
+          w.state.rollback(m2);
+          if (r.backtrack_limited) ++w.stats.justify_limited;
           if (r.alive & bit) feasible |= bit;
         }
 
@@ -245,11 +292,11 @@ void PathFinder::extend(netlist::NetId net, unsigned alive) {
             feasible != kScenarioNone) {
           const double fo =
               prune_calc_->equivalent_fanout(f.inst, inst.output);
-          const double floor = heap_floor();
+          const double floor = prune_floor();
           for (const unsigned bit : {kScenarioR, kScenarioF}) {
             if (!(feasible & bit)) continue;
             const int bi = bit == kScenarioR ? 0 : 1;
-            const Arrival& cur = arrival_stack_.back()[bi];
+            const Arrival& cur = w.arrival_stack.back()[bi];
             const charlib::ArcModel& arc =
                 timing.arc(f.pin, vec.id, cur.edge);
             const charlib::ModelPoint pt{fo, cur.slew,
@@ -268,66 +315,111 @@ void PathFinder::extend(netlist::NetId net, unsigned alive) {
         }
 
         if (feasible != kScenarioNone) {
-          steps_.push_back({f.inst, f.pin, vec.id});
+          w.steps.push_back({f.inst, f.pin, vec.id});
           if (prune_calc_ != nullptr && opt_.n_worst > 0) {
-            arrival_stack_.push_back(next_arrivals);
+            w.arrival_stack.push_back(next_arrivals);
           }
-          extend(inst.output, feasible);
+          extend(w, inst.output, feasible);
           if (prune_calc_ != nullptr && opt_.n_worst > 0) {
-            arrival_stack_.pop_back();
+            w.arrival_stack.pop_back();
           }
-          steps_.pop_back();
+          w.steps.pop_back();
         }
       }
-      state_.rollback(mark);
-      goal_stack_.resize(saved_goals);
+      w.state.rollback(mark);
+      w.goal_stack.resize(saved_goals);
     }
   }
+}
+
+void PathFinder::search_source(Worker& w, netlist::NetId source) {
+  w.state.reset();
+  w.goal_stack.clear();
+  w.steps.clear();
+  w.justifier.reset_backtracks();
+  w.justifier.set_supports(&supports_, pi_bit_[source]);
+  w.current_source = source;
+  if (prune_calc_ != nullptr && opt_.n_worst > 0) {
+    w.arrival_stack.clear();
+    std::array<Arrival, 2> launch{};
+    launch[0] = {0.0, prune_calc_->options().input_slew_s,
+                 spice::Edge::kRise};
+    launch[1] = {0.0, prune_calc_->options().input_slew_s,
+                 spice::Edge::kFall};
+    w.arrival_stack.push_back(launch);
+  }
+  const auto r =
+      w.engine.assign_dual(source, NineVal::rise(), NineVal::fall());
+  SASTA_CHECK(r.conflict == kScenarioNone)
+      << " transition launch conflicted on a fresh state";
+  extend(w, source, opt_.directions & kScenarioBoth);
+  w.stats.backtracks += w.justifier.backtracks();
 }
 
 PathFinderStats PathFinder::run(
     const std::function<void(const TruePath&)>& sink) {
   util::Stopwatch watch;
   run_watch_.reset();
-  stats_ = PathFinderStats{};
-  course_counts_.clear();
   sink_ = &sink;
-  stop_ = false;
+  stop_.store(false, std::memory_order_relaxed);
+  total_recorded_.store(0, std::memory_order_relaxed);
+  prune_floor_.store(-1e30, std::memory_order_relaxed);
   worst_heap_.clear();
-  deadline_ = -1;
-  if (opt_.max_seconds > 0) deadline_ = opt_.max_seconds;
+  deadline_ = opt_.max_seconds > 0 ? opt_.max_seconds : -1;
 
+  std::vector<netlist::NetId> sources;
   for (netlist::NetId pi : nl_.primary_inputs()) {
-    if (stop_) break;
-    if (opt_.max_seconds > 0 && run_watch_.elapsed_seconds() > opt_.max_seconds) {
-      stats_.truncated = true;
-      break;
-    }
-    if (!reach_[pi]) continue;
-    state_.reset();
-    goal_stack_.clear();
-    justifier_.reset_backtracks();
-    justifier_.set_supports(&supports_, pi_bit_[pi]);
-    current_source_ = pi;
-    if (prune_calc_ != nullptr && opt_.n_worst > 0) {
-      arrival_stack_.clear();
-      std::array<Arrival, 2> launch{};
-      launch[0] = {0.0, prune_calc_->options().input_slew_s,
-                   spice::Edge::kRise};
-      launch[1] = {0.0, prune_calc_->options().input_slew_s,
-                   spice::Edge::kFall};
-      arrival_stack_.push_back(launch);
-    }
-    const auto r =
-        engine_.assign_dual(pi, NineVal::rise(), NineVal::fall());
-    SASTA_CHECK(r.conflict == kScenarioNone)
-        << " transition launch conflicted on a fresh state";
-    extend(pi, opt_.directions & kScenarioBoth);
-    stats_.backtracks += justifier_.backtracks();
+    if (reach_[pi]) sources.push_back(pi);
   }
-  stats_.cpu_seconds = watch.elapsed_seconds();
+
+  const unsigned n_workers = std::max<unsigned>(
+      1, std::min<std::size_t>(util::ThreadPool::resolve(opt_.num_threads),
+                               sources.size()));
+
+  PathFinderStats total;
+  if (n_workers == 1) {
+    // Sequential reference implementation: paths stream to the sink in
+    // discovery order.
+    Worker w(*this);
+    for (netlist::NetId pi : sources) {
+      if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
+      search_source(w, pi);
+    }
+    total = w.stats;
+  } else {
+    // Source-parallel: workers pull sources from an atomic index into
+    // per-source buffers, merged in source order after the join so the
+    // delivery order matches the sequential run exactly.
+    std::vector<std::vector<TruePath>> buffers(sources.size());
+    std::vector<PathFinderStats> worker_stats(n_workers);
+    std::atomic<std::size_t> next_source{0};
+    util::ThreadPool pool(n_workers);
+    for (unsigned t = 0; t < n_workers; ++t) {
+      pool.submit([this, t, &sources, &buffers, &worker_stats,
+                   &next_source] {
+        Worker w(*this);
+        for (std::size_t i =
+                 next_source.fetch_add(1, std::memory_order_relaxed);
+             i < sources.size();
+             i = next_source.fetch_add(1, std::memory_order_relaxed)) {
+          if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
+          w.out = &buffers[i];
+          search_source(w, sources[i]);
+        }
+        worker_stats[t] = std::move(w.stats);
+      });
+    }
+    pool.wait_idle();
+    for (const PathFinderStats& s : worker_stats) total += s;
+    if (sink) {
+      for (std::vector<TruePath>& buf : buffers) {
+        for (TruePath& p : buf) sink(p);
+      }
+    }
+  }
+  total.cpu_seconds = watch.elapsed_seconds();
   sink_ = nullptr;
-  return stats_;
+  return total;
 }
 
 std::vector<TruePath> PathFinder::find_all() {

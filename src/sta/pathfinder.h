@@ -8,11 +8,22 @@
 // gate's sensitization vector are reported as distinct paths, preserving
 // the vector-dependent delay information.  Logic incompatibilities are
 // detected early by forward implication with semi-undetermined values.
+//
+// Each primary input roots an independent search over its own assignment
+// state, so the enumeration is parallelized across sources: worker threads
+// pull source PIs from an atomic index, each carrying a private Worker
+// context (assignment state, implication engine, justifier, DFS stacks,
+// stats), while the netlist, characterized library, reachability,
+// PI-support bitsets, SCOAP guide and remaining-delay bounds are shared
+// read-only.  Recorded paths are buffered per source and merged in source
+// order after the join, so every thread count delivers the exact sequential
+// order (see PathFinderOptions::num_threads for the pruning caveat).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
-#include <unordered_map>
+#include <mutex>
 
 #include "charlib/charlibrary.h"
 #include "sta/delaycalc.h"
@@ -52,19 +63,20 @@ struct PathFinderOptions {
   /// Disable the SCOAP-guided cube ordering (ablation knob; the search
   /// stays complete either way).
   bool use_scoap_guide = true;
-};
 
-struct PathFinderStats {
-  long paths_recorded = 0;        ///< (course, vector combo, direction) count
-                                  ///< == Table 6 "input vectors"
-  long courses = 0;               ///< distinct (gate sequence, direction)
-  long multi_vector_courses = 0;  ///< courses with > 1 vector combination
-                                  ///< == Table 6 "MultiInput paths"
-  long backtracks = 0;
-  long vector_trials = 0;         ///< sensitization vectors attempted
-  long justify_limited = 0;       ///< solves dropped at the backtrack budget
-  double cpu_seconds = 0.0;
-  bool truncated = false;         ///< a limit fired before exhaustion
+  /// Worker threads for the source-parallel search: 0 = hardware
+  /// concurrency, 1 = the sequential reference implementation (identical to
+  /// the pre-parallel code path).  Without n_worst pruning, every thread
+  /// count delivers the same paths in the same order, bit for bit: each
+  /// source's DFS is deterministic and the per-source buffers are merged in
+  /// source-PI order.  With n_worst pruning the *recorded superset* may
+  /// vary with thread interleaving (the shared pruning floor tightens at
+  /// different times), but the top-N set itself is invariant — the floor is
+  /// always a lower bound on the final N-th worst delay, so no member of
+  /// the true top-N set is ever pruned.  Runs truncated by max_paths /
+  /// max_seconds keep a deterministic *count* but not a deterministic set
+  /// when threads > 1.
+  int num_threads = 1;
 };
 
 class PathFinder {
@@ -73,6 +85,9 @@ class PathFinder {
              const PathFinderOptions& options = {});
 
   /// Enumerates all true paths, invoking `sink` for each.  Returns stats.
+  /// The sink is always invoked from the calling thread: sequential runs
+  /// stream paths as they are found, parallel runs deliver the merged
+  /// per-source buffers after the workers join.
   PathFinderStats run(const std::function<void(const TruePath&)>& sink);
 
   /// Convenience: collect every path.
@@ -90,41 +105,55 @@ class PathFinder {
     spice::Edge edge = spice::Edge::kRise;
   };
 
-  void extend(netlist::NetId net, unsigned alive);
-  void record(netlist::NetId sink_net, unsigned alive);
-  bool limits_hit();
-  double heap_floor() const;  ///< N-th worst delay so far (-inf if not full)
+  /// Per-worker mutable search context; see pathfinder.cpp.  Everything a
+  /// single-source DFS touches lives here, so workers never share mutable
+  /// state except the explicit atomics/heap below.
+  struct Worker;
 
+  void search_source(Worker& w, netlist::NetId source);
+  void extend(Worker& w, netlist::NetId net, unsigned alive);
+  void record(Worker& w, netlist::NetId sink_net, unsigned alive);
+  /// Polls the shared wall-clock deadline; on expiry flags truncation and
+  /// raises the global stop.  The single deadline authority (bugfix: this
+  /// used to be polled only every 64 vector trials in extend()).
+  bool deadline_hit(Worker& w);
+  /// Reserves one slot of options.max_paths (exact across workers); on a
+  /// full quota flags truncation and raises the global stop.
+  bool claim_record_slot(Worker& w);
+  void deliver(Worker& w, TruePath&& p);
+  /// Publishes a recorded delay into the shared N-worst heap.
+  void note_recorded_delay(double delay);
+  /// Relaxed snapshot of the N-th worst delay so far (-1e30 until the heap
+  /// is full).  Monotonically non-decreasing, so a stale read only makes
+  /// pruning conservative, never wrong.
+  double prune_floor() const {
+    return prune_floor_.load(std::memory_order_relaxed);
+  }
+
+  // Shared read-only search artifacts (built once in the constructor).
   const netlist::Netlist& nl_;
   const charlib::CharLibrary& charlib_;
   PathFinderOptions opt_;
-
-  AssignmentState state_;
-  ImplicationEngine engine_;
   netlist::Controllability guide_;
-  Justifier justifier_;
   std::vector<std::vector<std::uint64_t>> supports_;
   std::vector<int> pi_bit_;
   std::vector<bool> reach_;
-  std::vector<PathStep> steps_;
-  /// Steady side-value requirements accumulated along the current DFS
-  /// prefix; re-solved jointly (per direction) at every extension.
-  std::vector<Goal> goal_stack_;
-  netlist::NetId current_source_ = netlist::kNoId;
 
+  // Run-scoped shared state.
   const std::function<void(const TruePath&)>* sink_ = nullptr;
-  PathFinderStats stats_;
-  std::unordered_map<std::string, int> course_counts_;
   double deadline_ = -1;
-  bool stop_ = false;
   util::Stopwatch run_watch_;
+  std::atomic<bool> stop_{false};
+  std::atomic<long> total_recorded_{0};
 
-  // N-worst pruning state.
+  // N-worst pruning state.  remaining_ub_ is read-only during run();
+  // worst_heap_ is the cross-worker pruning floor (mutex-guarded, with the
+  // floor value mirrored into a lock-free atomic for the hot read path).
   const DelayCalculator* prune_calc_ = nullptr;
   std::vector<double> remaining_ub_;       ///< per net, seconds
-  /// Per-DFS-depth (R, F) arrival tuples, parallel to steps_.
-  std::vector<std::array<Arrival, 2>> arrival_stack_;
+  std::mutex heap_mu_;
   std::vector<double> worst_heap_;         ///< min-heap of recorded delays
+  std::atomic<double> prune_floor_{-1e30};
 };
 
 }  // namespace sasta::sta

@@ -75,13 +75,20 @@ std::string format_path(const netlist::Netlist& nl,
 
 std::string format_timing_report(const netlist::Netlist& nl,
                                  const TimingReport& report) {
+  // Width-formatted fields only: tab characters sheared the columns as soon
+  // as an endpoint name passed 24 chars or a path count grew past one tab
+  // stop.  pad_* never truncates, so over-long names widen their own row
+  // without corrupting the neighbours.
   std::ostringstream os;
-  os << "endpoint                 paths    worst(ps)   slack(ps)\n";
+  os << util::pad_right("endpoint", 24) << " " << util::pad_left("paths", 7)
+     << " " << util::pad_left("worst(ps)", 11) << " "
+     << util::pad_left("slack(ps)", 11) << "\n";
   for (const auto& e : report.endpoints) {
-    std::string name = nl.net(e.endpoint).name;
-    if (name.size() < 24) name.resize(24, ' ');
-    os << name << " " << e.paths << "\t " << util::format_fixed(e.worst_delay * 1e12, 1)
-       << "\t     " << util::format_fixed(e.slack * 1e12, 1) << "\n";
+    os << util::pad_right(nl.net(e.endpoint).name, 24) << " "
+       << util::pad_left(std::to_string(e.paths), 7) << " "
+       << util::pad_left(util::format_fixed(e.worst_delay * 1e12, 1), 11)
+       << " " << util::pad_left(util::format_fixed(e.slack * 1e12, 1), 11)
+       << "\n";
   }
   os << "WNS " << util::format_fixed(report.wns * 1e12, 1) << " ps, TNS "
      << util::format_fixed(report.tns * 1e12, 1) << " ps, "

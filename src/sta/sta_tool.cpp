@@ -69,14 +69,17 @@ StaResult StaTool::run() {
       std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
     }
   });
-  std::sort(result.paths.begin(), result.paths.end(),
-            [](const TimedPath& a, const TimedPath& b) {
-              return a.delay > b.delay;
-            });
-  std::sort(result.fastest.begin(), result.fastest.end(),
-            [](const TimedPath& a, const TimedPath& b) {
-              return a.delay < b.delay;
-            });
+  // Stable sorts keep equal-delay paths in delivery order, which the finder
+  // guarantees is the sequential source-then-discovery order for every
+  // thread count — so the reported list is deterministic even under ties.
+  std::stable_sort(result.paths.begin(), result.paths.end(),
+                   [](const TimedPath& a, const TimedPath& b) {
+                     return a.delay > b.delay;
+                   });
+  std::stable_sort(result.fastest.begin(), result.fastest.end(),
+                   [](const TimedPath& a, const TimedPath& b) {
+                     return a.delay < b.delay;
+                   });
   return result;
 }
 

@@ -11,6 +11,11 @@
 namespace sasta::sta {
 
 struct StaToolOptions {
+  /// Search knobs, including finder.num_threads: 0 = all hardware threads,
+  /// 1 = sequential.  StaResult::paths is identical (order included) for
+  /// every thread count — parallel enumeration merges per-source buffers in
+  /// source order and the retained-path heaps below see the exact
+  /// sequential delivery sequence.
   PathFinderOptions finder;
   DelayCalcOptions delay;
   /// Keep only the N slowest timed paths (<0: keep everything).

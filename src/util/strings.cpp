@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 
@@ -48,6 +49,20 @@ std::string to_upper(std::string_view s) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out;
+  out.reserve(std::max(width, s.size()));
+  if (s.size() < width) out.append(width - s.size(), ' ');
+  out.append(s);
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
 }
 
 std::string format_fixed(double value, int decimals) {

@@ -22,6 +22,12 @@ std::string to_upper(std::string_view s);
 /// True if `s` starts with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// Space-pads `s` on the left/right to at least `width` characters (never
+/// truncates — an over-long field widens its row instead of corrupting the
+/// neighbours).  Table-report building blocks.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
 /// printf-style double formatting with fixed decimals, returning std::string.
 std::string format_fixed(double value, int decimals);
 

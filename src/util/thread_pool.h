@@ -1,0 +1,102 @@
+// Minimal fixed-size worker pool for the source-parallel path search.
+//
+// Deliberately tiny: a task queue, a condition variable, and a wait_idle()
+// barrier.  Tasks are opaque std::function<void()>; callers that need
+// dynamic load balancing pull work items through their own atomic index
+// (see PathFinder::run), which keeps the queue short-lived and the pool
+// reusable for any embarrassingly parallel stage.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sasta::util {
+
+class ThreadPool {
+ public:
+  /// Usable hardware concurrency (never 0, even when the runtime cannot
+  /// determine it).
+  static unsigned hardware_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Resolves a user-facing thread-count knob: 0 means "all hardware
+  /// threads", anything else is taken literally.
+  static unsigned resolve(int requested) {
+    return requested <= 0 ? hardware_threads()
+                          : static_cast<unsigned>(requested);
+  }
+
+  explicit ThreadPool(unsigned num_threads = 0) {
+    if (num_threads == 0) num_threads = hardware_threads();
+    threads_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues a task.  Tasks must not call wait_idle() themselves.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  /// Blocks until the queue is drained and every worker is idle.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        task_ready_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // only reachable when stopping
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sasta::util

@@ -77,6 +77,44 @@ TEST(BenchParser, RejectsMalformedLine) {
   EXPECT_THROW(parse_bench_string("z AND(a, b)\n"), util::Error);
 }
 
+// Regression: gate lines whose LHS merely *begins* with a port keyword
+// (common in MCNC/ISCAS89-derived names) used to be swallowed as port
+// declarations, registering the garbage signal "a, b" and failing later
+// with a misleading "undriven" error.
+TEST(BenchParser, GateLhsStartingWithPortKeywordParsesAsGate) {
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(OUTPUTX)
+OUTPUT(INPUTY)
+OUTPUTX = AND(a, b)
+INPUTY = NAND(a, OUTPUTX)
+)";
+  const PrimNetlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.inputs.size(), 2u);
+  EXPECT_EQ(nl.outputs.size(), 2u);
+  ASSERT_EQ(nl.gates.size(), 2u);
+  EXPECT_EQ(nl.gates[0].op, PrimOp::kAnd);
+  EXPECT_EQ(nl.gates[0].inputs.size(), 2u);
+  EXPECT_EQ(nl.gates[1].op, PrimOp::kNand);
+  // No garbage "a, b" signal was registered.
+  for (const auto& name : nl.signal_names) {
+    EXPECT_EQ(name.find(','), std::string::npos) << "garbage signal " << name;
+  }
+}
+
+// A truly malformed port declaration still fails with its line number.
+TEST(BenchParser, MalformedPortReportsLineNumber) {
+  try {
+    parse_bench_string("INPUT(a)\nOUTPUT(z\nz = BUF(a)\n");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("malformed port"), std::string::npos) << msg;
+  }
+}
+
 TEST(BenchWriter, RoundTrip) {
   const PrimNetlist original = parse_bench_string(c17_bench_text(), "c17");
   const std::string text = write_bench_string(original);

@@ -1,0 +1,222 @@
+// Determinism and equivalence guarantees of the source-parallel path
+// finder: every thread count must deliver the sequential result, and the
+// N-worst pruned search must return exactly the exhaustive top-N set.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+#include "util/thread_pool.h"
+
+namespace sasta::sta {
+namespace {
+
+netlist::Netlist generated_circuit(std::uint64_t seed, int pis = 12,
+                                   int gates = 60) {
+  netlist::GeneratorProfile p;
+  p.name = "par" + std::to_string(seed);
+  p.num_inputs = pis;
+  p.num_outputs = 6;
+  p.num_gates = gates;
+  p.depth = 7;
+  p.seed = seed;
+  return netlist::tech_map(netlist::generate_iscas_like(p),
+                           testing::test_library())
+      .netlist;
+}
+
+netlist::Netlist c17() {
+  return netlist::tech_map(
+             netlist::parse_bench_string(netlist::c17_bench_text(), "c17"),
+             testing::test_library())
+      .netlist;
+}
+
+std::string hex_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Full byte-level fingerprint of a timed path: identity, vectors, side
+/// assignment, and bit-exact delays.
+std::string fingerprint(const netlist::Netlist& nl, const TimedPath& tp) {
+  std::string s = tp.path.full_key(nl);
+  s += "|" + hex_double(tp.delay) + "|" + hex_double(tp.arrival_slew);
+  for (const auto& [net, val] : tp.path.pi_assignment) {
+    s += ";" + nl.net(net).name + "=" + (val ? "1" : "0");
+  }
+  for (double d : tp.stage_delays) s += "," + hex_double(d);
+  return s;
+}
+
+std::vector<std::string> run_sta(const netlist::Netlist& nl,
+                                 StaToolOptions opt) {
+  StaTool tool(nl, testing::test_charlib("90nm"), tech::technology("90nm"),
+               opt);
+  const StaResult res = tool.run();
+  std::vector<std::string> prints;
+  prints.reserve(res.paths.size());
+  for (const auto& tp : res.paths) prints.push_back(fingerprint(nl, tp));
+  return prints;
+}
+
+// Unpruned enumeration: StaResult::paths must be identical — order
+// included, delays bit-exact — for every thread count.
+TEST(ParallelPathFinder, ThreadCountsProduceIdenticalResults) {
+  const netlist::Netlist nl = generated_circuit(5);
+  ASSERT_GE(nl.primary_inputs().size(), 8u);
+
+  StaToolOptions opt;  // keep everything
+  const auto sequential = run_sta(nl, opt);
+  ASSERT_FALSE(sequential.empty());
+  for (const int threads : {2, 8}) {
+    StaToolOptions topt = opt;
+    topt.finder.num_threads = threads;
+    EXPECT_EQ(run_sta(nl, topt), sequential) << "threads=" << threads;
+  }
+}
+
+// Same guarantee at the raw finder level: find_all delivers the exact
+// sequential order (source PI index, then discovery order).
+TEST(ParallelPathFinder, FindAllOrderMatchesSequential) {
+  const netlist::Netlist nl = generated_circuit(21);
+  const auto& cl = testing::test_charlib("90nm");
+
+  PathFinderOptions seq_opt;
+  seq_opt.num_threads = 1;
+  PathFinder sequential(nl, cl, seq_opt);
+  const auto want = sequential.find_all();
+  ASSERT_FALSE(want.empty());
+
+  PathFinderOptions par_opt;
+  par_opt.num_threads = 4;
+  PathFinder parallel(nl, cl, par_opt);
+  const auto got = parallel.find_all();
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].full_key(nl), want[i].full_key(nl)) << "index " << i;
+    EXPECT_EQ(got[i].pi_assignment, want[i].pi_assignment) << "index " << i;
+  }
+}
+
+// Parallel workers must also agree on aggregate statistics for exhaustive
+// runs (per-source counters are exact regardless of which worker ran them).
+TEST(ParallelPathFinder, ExhaustiveStatsMatchSequential) {
+  const netlist::Netlist nl = generated_circuit(9);
+  const auto& cl = testing::test_charlib("90nm");
+
+  PathFinderOptions opt;
+  opt.num_threads = 1;
+  PathFinder sequential(nl, cl, opt);
+  const PathFinderStats want = sequential.run([](const TruePath&) {});
+
+  opt.num_threads = 8;
+  PathFinder parallel(nl, cl, opt);
+  const PathFinderStats got = parallel.run([](const TruePath&) {});
+
+  EXPECT_EQ(got.paths_recorded, want.paths_recorded);
+  EXPECT_EQ(got.courses, want.courses);
+  EXPECT_EQ(got.multi_vector_courses, want.multi_vector_courses);
+  EXPECT_EQ(got.vector_trials, want.vector_trials);
+  EXPECT_FALSE(got.truncated);
+}
+
+/// Top-N (course_key, vector, delay) set of an StaTool run.
+std::set<std::string> top_n_set(const netlist::Netlist& nl,
+                                const StaResult& res) {
+  std::set<std::string> keys;
+  for (const auto& tp : res.paths) {
+    keys.insert(tp.path.full_key(nl) + "|" + hex_double(tp.delay));
+  }
+  return keys;
+}
+
+class PrunedEquivalence : public ::testing::TestWithParam<int> {};
+
+// The branch-and-bound pruned search must return exactly the same top-N
+// (course_key, vector, delay) set as the unpruned exhaustive run — on c17
+// and a generated ISCAS-style circuit, at several thread counts.
+TEST_P(PrunedEquivalence, MatchesExhaustiveTopNSet) {
+  const int threads = GetParam();
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+  constexpr long kN = 8;
+
+  const netlist::Netlist circuits[] = {c17(), generated_circuit(13, 14, 70)};
+  for (const netlist::Netlist& nl : circuits) {
+    StaToolOptions exhaustive;
+    exhaustive.keep_worst = kN;
+    exhaustive.finder.num_threads = threads;
+    const StaResult full = StaTool(nl, cl, tech, exhaustive).run();
+    ASSERT_FALSE(full.paths.empty());
+
+    StaToolOptions pruned = exhaustive;
+    pruned.finder.n_worst = kN;
+    const StaResult res = StaTool(nl, cl, tech, pruned).run();
+
+    EXPECT_EQ(top_n_set(nl, res), top_n_set(nl, full))
+        << nl.name() << " threads=" << threads;
+    EXPECT_LE(res.stats.vector_trials, full.stats.vector_trials);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PrunedEquivalence,
+                         ::testing::Values(1, 2, 8));
+
+// max_paths is an exact global quota: the workers collectively record
+// exactly that many paths, never more.
+TEST(ParallelPathFinder, MaxPathsIsExactAcrossWorkers) {
+  const netlist::Netlist nl = generated_circuit(5);
+  const auto& cl = testing::test_charlib("90nm");
+
+  PathFinderOptions unlimited;
+  PathFinder all(nl, cl, unlimited);
+  const long total = all.run([](const TruePath&) {}).paths_recorded;
+  ASSERT_GT(total, 20);
+
+  PathFinderOptions capped;
+  capped.max_paths = 20;
+  capped.num_threads = 4;
+  PathFinder finder(nl, cl, capped);
+  std::atomic<long> delivered{0};
+  const PathFinderStats stats =
+      finder.run([&](const TruePath&) { ++delivered; });
+  EXPECT_EQ(stats.paths_recorded, 20);
+  EXPECT_EQ(delivered.load(), 20);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(ThreadPool, RunsAllTasksAndWaitsIdle) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+  // The pool is reusable after wait_idle.
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
+  EXPECT_EQ(util::ThreadPool::resolve(0),
+            util::ThreadPool::hardware_threads());
+  EXPECT_EQ(util::ThreadPool::resolve(3), 3u);
+}
+
+}  // namespace
+}  // namespace sasta::sta

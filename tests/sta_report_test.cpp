@@ -61,6 +61,40 @@ TEST(Report, PathRenderingContainsStagesAndVectors) {
   EXPECT_GE(lines, static_cast<int>(res.critical().path.steps.size()) + 3);
 }
 
+// Golden-string lock on the endpoint table layout.  Regression: the old
+// renderer mixed '\t' with fixed-width padding, so endpoint names >= 24
+// chars or multi-digit path counts sheared the columns.
+TEST(Report, TableGoldenLayout) {
+  netlist::Netlist nl("golden");
+  const netlist::NetId short_ep = nl.add_net("PO1");
+  const netlist::NetId long_ep =
+      nl.add_net("a_very_long_endpoint_name_exceeding_24");
+
+  TimingReport rep;
+  EndpointSummary worst;
+  worst.endpoint = long_ep;
+  worst.paths = 12345;
+  worst.worst_delay = 1234.5e-12;
+  worst.slack = -1234.5e-12;
+  EndpointSummary ok;
+  ok.endpoint = short_ep;
+  ok.paths = 7;
+  ok.worst_delay = 100.0e-12;
+  ok.slack = -100.0e-12;
+  rep.endpoints = {worst, ok};
+  rep.wns = -1234.5e-12;
+  rep.tns = -1334.5e-12;
+  rep.violating_endpoints = 2;
+
+  const std::string want =
+      "endpoint                   paths   worst(ps)   slack(ps)\n"
+      "a_very_long_endpoint_name_exceeding_24   12345      1234.5"
+      "     -1234.5\n"
+      "PO1                            7       100.0      -100.0\n"
+      "WNS -1234.5 ps, TNS -1334.5 ps, 2 violating endpoint(s)\n";
+  EXPECT_EQ(format_timing_report(nl, rep), want);
+}
+
 TEST(Report, TableRendering) {
   const auto fig4 = netlist::build_fig4_circuit(testing::test_library());
   const StaResult res = analyzed_fig4(fig4.nl);

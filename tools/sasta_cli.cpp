@@ -12,6 +12,9 @@
 //   --max-seconds S      exploration wall-clock budget  (default 60)
 //   --budget B           justification backtrack budget (default 2000,
 //                        -1 = exact)
+//   --threads N          worker threads for path enumeration (default 0 =
+//                        all hardware threads; 1 = sequential).  Reported
+//                        paths are identical for every thread count.
 //   --baseline           also run the two-step commercial-style baseline
 //   --golden             verify reported paths with transistor-level
 //                        simulation
@@ -57,6 +60,7 @@ struct Options {
   long paths = 10;
   double max_seconds = 60.0;
   int budget = 2000;
+  int threads = 0;  ///< 0 = all hardware threads
   bool baseline = false;
   bool golden = false;
   bool full_char = false;
@@ -76,7 +80,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--tech T] [--paths N] [--prune] [--max-seconds S]\n"
-               "       [--budget B] [--baseline] [--golden] [--full-char]\n"
+               "       [--budget B] [--threads N] [--baseline] [--golden]\n"
+               "       [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
                "       <netlist>\n";
@@ -99,6 +104,8 @@ Options parse_args(int argc, char** argv) {
       o.max_seconds = std::stod(value());
     } else if (a == "--budget") {
       o.budget = std::stoi(value());
+    } else if (a == "--threads") {
+      o.threads = std::stoi(value());
     } else if (a == "--baseline") {
       o.baseline = true;
     } else if (a == "--golden") {
@@ -199,6 +206,7 @@ int main(int argc, char** argv) {
     sopt.keep_worst = opt.paths;
     sopt.finder.max_seconds = opt.max_seconds;
     sopt.finder.justify_backtrack_budget = opt.budget;
+    sopt.finder.num_threads = opt.threads;
     sopt.delay.temperature_c = opt.temp_c;
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
