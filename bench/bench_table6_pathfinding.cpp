@@ -13,6 +13,14 @@
 // EXPERIMENTS.md).  Our baseline's complete justification engine never
 // *mislabels* a path false; the paper's "#False paths" column manifests
 // here as backtrack-limited aborts.
+//
+// Machine-readable telemetry: when SASTA_BENCH_METRICS_JSON names a file,
+// the developed-tool runs share one MetricsRegistry (per-circuit table6.*
+// aggregates, per-source/per-worker pathfinder counters, thread-scaling
+// gauges) and the merged JSON is written there, so BENCH trajectories can
+// be diffed mechanically across commits.
+#include <cstdlib>
+#include <fstream>
 #include <map>
 
 #include "baseline/baseline_tool.h"
@@ -21,6 +29,7 @@
 #include "netlist/iscas_gen.h"
 #include "netlist/techmap.h"
 #include "sta/sta_tool.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -50,12 +59,14 @@ std::string combo_key(const sta::TruePath& p) {
 
 DevelopedRun run_developed(const netlist::Netlist& nl,
                            const charlib::CharLibrary& cl,
-                           const tech::Technology& tech) {
+                           const tech::Technology& tech,
+                           util::MetricsRegistry* metrics) {
   DevelopedRun out;
   sta::DelayCalculator calc(nl, cl, tech);
   sta::PathFinderOptions opt;
   opt.max_seconds = fast_mode() ? 5.0 : 60.0;
   opt.max_paths = fast_mode() ? 200000 : 5000000;
+  opt.metrics = metrics;
   sta::PathFinder finder(nl, cl, opt);
   out.stats = finder.run([&](const sta::TruePath& p) {
     const double delay = calc.compute(p).delay;
@@ -73,6 +84,12 @@ int run() {
   const std::string tech_name = "90nm";
   const auto& tech = tech::technology(tech_name);
   const auto& cl = charlib_for(tech_name);
+
+  util::MetricsRegistry metrics_registry;
+  const char* metrics_path = std::getenv("SASTA_BENCH_METRICS_JSON");
+  util::MetricsRegistry* metrics =
+      (metrics_path != nullptr && metrics_path[0] != '\0') ? &metrics_registry
+                                                           : nullptr;
 
   print_title("Table 6: path identification, developed vs baseline (" +
               tech_name + (fast_mode() ? ", FAST mode)" : ")"));
@@ -94,7 +111,21 @@ int run() {
     const auto mapped = netlist::tech_map(prim, library());
     const netlist::Netlist& nl = mapped.netlist;
 
-    const DevelopedRun dev = run_developed(nl, cl, tech);
+    const DevelopedRun dev = run_developed(nl, cl, tech, metrics);
+    if (metrics != nullptr) {
+      const std::string base = "table6." + name;
+      const util::CounterId vecs = metrics->counter(base + ".paths_recorded");
+      const util::CounterId multi =
+          metrics->counter(base + ".multi_vector_courses");
+      const util::CounterId trials =
+          metrics->counter(base + ".vector_trials");
+      const util::GaugeId cpu = metrics->gauge(base + ".cpu_seconds");
+      util::MetricsShard& shard = metrics->create_shard();
+      shard.add(vecs, dev.stats.paths_recorded);
+      shard.add(multi, dev.stats.multi_vector_courses);
+      shard.add(trials, dev.stats.vector_trials);
+      shard.set(cpu, dev.stats.cpu_seconds);
+    }
 
     baseline::BaselineOptions bopt;
     bopt.path_limit = fast_mode() ? 200 : 1000;
@@ -199,12 +230,18 @@ int run() {
     for (const int threads : {1, 2, 4, 8}) {
       sta::PathFinderOptions opt;
       opt.num_threads = threads;
+      opt.metrics = metrics;
       sta::PathFinder finder(nl, cl, opt);
       std::vector<std::string> keys;
       util::Stopwatch watch;
       const sta::PathFinderStats stats = finder.run(
           [&](const sta::TruePath& p) { keys.push_back(p.full_key(nl)); });
       const double secs = watch.elapsed_seconds();
+      if (metrics != nullptr) {
+        const util::GaugeId scale = metrics->gauge(
+            "table6.scaling.threads" + std::to_string(threads) + ".seconds");
+        metrics->create_shard().set(scale, secs);
+      }
       if (threads == 1) {
         t1 = secs;
         reference_keys = keys;
@@ -219,6 +256,12 @@ int run() {
     std::cout << "(speedup needs that many hardware threads and >= 8 "
                  "reachable sources; delivered order is the sequential "
                  "order at every thread count)\n";
+  }
+
+  if (metrics != nullptr) {
+    std::ofstream os(metrics_path);
+    metrics->write_json(os);
+    std::cout << "\nwrote metrics JSON to " << metrics_path << "\n";
   }
 
   std::cout << "\n'*' = exploration truncated by the time/path budget.\n"

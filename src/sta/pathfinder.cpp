@@ -1,10 +1,14 @@
 #include "sta/pathfinder.h"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
 #include <unordered_map>
 
 #include "netlist/levelize.h"
 #include "util/check.h"
+#include "util/log.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace sasta::sta {
@@ -38,15 +42,18 @@ struct PathFinder::Worker {
   /// Parallel mode: per-source output buffer.  Null in sequential mode,
   /// where paths stream straight to the caller's sink.
   std::vector<TruePath>* out = nullptr;
+  /// Observability: this worker's private metrics shard (null = metrics
+  /// off) and its lane index for trace spans / per-worker metrics.
+  util::MetricsShard* metrics = nullptr;
+  int tid = 0;
 };
 
 PathFinder::PathFinder(const netlist::Netlist& nl,
                        const charlib::CharLibrary& charlib,
                        const PathFinderOptions& options)
-    : nl_(nl),
-      charlib_(charlib),
-      opt_(options),
-      guide_(netlist::compute_controllability(nl)) {
+    : nl_(nl), charlib_(charlib), opt_(options) {
+  util::TraceSpan span(opt_.trace, "pathfinder/prepare", 0);
+  guide_ = netlist::compute_controllability(nl);
   reach_ = netlist::reaches_output(nl);
 
   // Primary-input support bitsets per net, for the justifier's
@@ -188,6 +195,12 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
     w.state.rollback(mark);
     if (!claim_record_slot(w)) return;
     ++w.stats.paths_recorded;
+    if (w.metrics != nullptr) {
+      // "Justification depth" of the recorded path: how many accumulated
+      // side-value goals the final joint solve had to satisfy.
+      w.metrics->observe(justify_depth_hist_,
+                         static_cast<double>(w.goal_stack.size()));
+    }
     const int count = ++w.course_counts[p.course_key(nl_)];
     if (count == 1) ++w.stats.courses;
     if (count == 2) ++w.stats.multi_vector_courses;
@@ -204,7 +217,12 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
 
 void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
   if (stop_.load(std::memory_order_relaxed)) return;
-  if (w.stats.vector_trials % 64 == 0 && deadline_hit(w)) return;
+  if (w.stats.vector_trials % 64 == 0) {
+    if (deadline_hit(w)) return;
+    // Piggyback on the amortized poll so the heartbeat stays live even
+    // while one skewed source dominates the run.
+    maybe_heartbeat();
+  }
 
   if (nl_.net(net).is_primary_output) record(w, net, alive);
 
@@ -332,6 +350,97 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
   }
 }
 
+void PathFinder::prepare_observability(
+    const std::vector<netlist::NetId>& sources, unsigned n_workers) {
+  total_sources_ = sources.size();
+  sources_done_.store(0, std::memory_order_relaxed);
+  trials_flushed_.store(0, std::memory_order_relaxed);
+  next_heartbeat_ms_.store(
+      opt_.progress_interval_seconds > 0
+          ? static_cast<long>(opt_.progress_interval_seconds * 1000.0)
+          : std::numeric_limits<long>::max(),
+      std::memory_order_relaxed);
+  source_metric_ids_.clear();
+  worker_metric_ids_.clear();
+  if (opt_.metrics == nullptr) return;
+  // Registration happens here, before any worker shard exists, so every id
+  // is in range for every shard of this run.  The registration sequence
+  // depends only on the source list (plus the worker count for the worker
+  // lanes), keeping the metrics JSON key set deterministic.
+  justify_depth_hist_ = opt_.metrics->histogram(
+      "pathfinder.justify_depth", {1, 2, 4, 8, 16, 32, 64, 128});
+  source_metric_ids_.reserve(sources.size());
+  for (netlist::NetId src : sources) {
+    const std::string base = "pathfinder.source." + nl_.net(src).name;
+    source_metric_ids_.push_back(
+        {opt_.metrics->counter(base + ".vector_trials"),
+         opt_.metrics->counter(base + ".backtracks"),
+         opt_.metrics->counter(base + ".paths_recorded"),
+         opt_.metrics->counter(base + ".justify_limited"),
+         opt_.metrics->gauge(base + ".seconds")});
+  }
+  worker_metric_ids_.reserve(n_workers);
+  for (unsigned t = 0; t < n_workers; ++t) {
+    const std::string base = "pathfinder.worker." + std::to_string(t);
+    worker_metric_ids_.push_back(
+        {opt_.metrics->counter(base + ".sources"),
+         opt_.metrics->gauge(base + ".busy_seconds")});
+  }
+}
+
+void PathFinder::maybe_heartbeat() {
+  if (opt_.progress_interval_seconds <= 0) return;
+  const double elapsed = run_watch_.elapsed_seconds();
+  long due_ms = next_heartbeat_ms_.load(std::memory_order_relaxed);
+  if (elapsed * 1000.0 < static_cast<double>(due_ms)) return;
+  const long next_ms =
+      static_cast<long>((elapsed + opt_.progress_interval_seconds) * 1000.0);
+  if (!next_heartbeat_ms_.compare_exchange_strong(
+          due_ms, next_ms, std::memory_order_relaxed)) {
+    return;  // another worker claimed this heartbeat slot
+  }
+  const long done = sources_done_.load(std::memory_order_relaxed);
+  const long trials = trials_flushed_.load(std::memory_order_relaxed);
+  std::ostringstream msg;
+  msg << "progress: " << done << "/" << total_sources_ << " sources, "
+      << trials << " vector trials ("
+      << static_cast<long>(elapsed > 0 ? trials / elapsed : 0.0) << "/s), "
+      << util::format_fixed(elapsed, 1) << " s elapsed";
+  util::log_line(util::LogLevel::kInfo, msg.str());
+}
+
+void PathFinder::run_source(Worker& w, std::size_t source_index,
+                            netlist::NetId source) {
+  const PathFinderStats before = w.stats;
+  util::Stopwatch source_watch;
+  {
+    util::TraceSpan span(
+        opt_.trace,
+        opt_.trace != nullptr ? "source " + nl_.net(source).name
+                              : std::string(),
+        w.tid + 1);
+    search_source(w, source);
+  }
+  const double seconds = source_watch.elapsed_seconds();
+  const long trials = w.stats.vector_trials - before.vector_trials;
+  if (w.metrics != nullptr) {
+    const SourceMetricIds& ids = source_metric_ids_[source_index];
+    w.metrics->add(ids.vector_trials, trials);
+    w.metrics->add(ids.backtracks, w.stats.backtracks - before.backtracks);
+    w.metrics->add(ids.paths_recorded,
+                   w.stats.paths_recorded - before.paths_recorded);
+    w.metrics->add(ids.justify_limited,
+                   w.stats.justify_limited - before.justify_limited);
+    w.metrics->add(ids.seconds, seconds);
+    const WorkerMetricIds& wid = worker_metric_ids_[w.tid];
+    w.metrics->add(wid.sources, 1);
+    w.metrics->add(wid.busy_seconds, seconds);
+  }
+  sources_done_.fetch_add(1, std::memory_order_relaxed);
+  trials_flushed_.fetch_add(trials, std::memory_order_relaxed);
+  maybe_heartbeat();
+}
+
 void PathFinder::search_source(Worker& w, netlist::NetId source) {
   w.state.reset();
   w.goal_stack.clear();
@@ -375,15 +484,18 @@ PathFinderStats PathFinder::run(
   const unsigned n_workers = std::max<unsigned>(
       1, std::min<std::size_t>(util::ThreadPool::resolve(opt_.num_threads),
                                sources.size()));
+  prepare_observability(sources, n_workers);
+  util::TraceSpan run_span(opt_.trace, "pathfinder/run", 0);
 
   PathFinderStats total;
   if (n_workers == 1) {
     // Sequential reference implementation: paths stream to the sink in
     // discovery order.
     Worker w(*this);
-    for (netlist::NetId pi : sources) {
+    if (opt_.metrics != nullptr) w.metrics = &opt_.metrics->create_shard();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
       if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
-      search_source(w, pi);
+      run_source(w, i, sources[i]);
     }
     total = w.stats;
   } else {
@@ -398,13 +510,17 @@ PathFinderStats PathFinder::run(
       pool.submit([this, t, &sources, &buffers, &worker_stats,
                    &next_source] {
         Worker w(*this);
+        w.tid = static_cast<int>(t);
+        if (opt_.metrics != nullptr) {
+          w.metrics = &opt_.metrics->create_shard();
+        }
         for (std::size_t i =
                  next_source.fetch_add(1, std::memory_order_relaxed);
              i < sources.size();
              i = next_source.fetch_add(1, std::memory_order_relaxed)) {
           if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
           w.out = &buffers[i];
-          search_source(w, sources[i]);
+          run_source(w, i, sources[i]);
         }
         worker_stats[t] = std::move(w.stats);
       });
@@ -412,12 +528,25 @@ PathFinderStats PathFinder::run(
     pool.wait_idle();
     for (const PathFinderStats& s : worker_stats) total += s;
     if (sink) {
+      util::TraceSpan merge_span(opt_.trace, "pathfinder/merge", 0);
       for (std::vector<TruePath>& buf : buffers) {
         for (TruePath& p : buf) sink(p);
       }
     }
   }
   total.cpu_seconds = watch.elapsed_seconds();
+  if (opt_.metrics != nullptr) {
+    const util::GaugeId run_seconds =
+        opt_.metrics->gauge("pathfinder.run_seconds");
+    const util::CounterId sources_total =
+        opt_.metrics->counter("pathfinder.sources_total");
+    const util::CounterId workers =
+        opt_.metrics->counter("pathfinder.workers");
+    util::MetricsShard& shard = opt_.metrics->create_shard();
+    shard.add(run_seconds, total.cpu_seconds);
+    shard.add(sources_total, static_cast<long>(sources.size()));
+    shard.add(workers, static_cast<long>(n_workers));
+  }
   sink_ = nullptr;
   return total;
 }

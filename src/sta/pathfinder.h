@@ -29,7 +29,9 @@
 #include "sta/delaycalc.h"
 #include "sta/justify.h"
 #include "sta/path.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace sasta::sta {
 
@@ -77,6 +79,22 @@ struct PathFinderOptions {
   /// max_seconds keep a deterministic *count* but not a deterministic set
   /// when threads > 1.
   int num_threads = 1;
+
+  // --- Observability (all optional; null / <= 0 is a zero-overhead no-op).
+  // Metrics and traces record observed state only and are NEVER inputs to
+  // search decisions, so the enumerated paths are bit-identical with
+  // instrumentation on or off at every thread count.
+
+  /// Per-source and per-worker counters/gauges plus the justification-depth
+  /// histogram are recorded here (each worker writes its own shard).
+  util::MetricsRegistry* metrics = nullptr;
+  /// Chrome trace-event spans: the preparation phase, the run, and one span
+  /// per source-PI search on lane `tid = worker + 1`.
+  util::TraceCollector* trace = nullptr;
+  /// Heartbeat period in seconds for INFO-level progress lines from the
+  /// source-dispatch loop (sources done / total, vector trials and
+  /// trials/sec, elapsed wall clock).  <= 0: off.
+  double progress_interval_seconds = -1;
 };
 
 class PathFinder {
@@ -111,6 +129,17 @@ class PathFinder {
   struct Worker;
 
   void search_source(Worker& w, netlist::NetId source);
+  /// search_source wrapped with the per-source observability: a trace span
+  /// on the worker's lane, per-source counter deltas (exact — sources never
+  /// span workers), and the progress-heartbeat bookkeeping.
+  void run_source(Worker& w, std::size_t source_index, netlist::NetId source);
+  /// Registers the per-source / per-worker metric ids and resets the
+  /// heartbeat state.  Called once per run(), before any shard exists.
+  void prepare_observability(const std::vector<netlist::NetId>& sources,
+                             unsigned n_workers);
+  /// Emits an INFO progress line when the heartbeat interval elapsed (the
+  /// interval is claimed by CAS, so exactly one worker logs per period).
+  void maybe_heartbeat();
   void extend(Worker& w, netlist::NetId net, unsigned alive);
   void record(Worker& w, netlist::NetId sink_net, unsigned alive);
   /// Polls the shared wall-clock deadline; on expiry flags truncation and
@@ -145,6 +174,29 @@ class PathFinder {
   util::Stopwatch run_watch_;
   std::atomic<bool> stop_{false};
   std::atomic<long> total_recorded_{0};
+
+  // Observability state (ids registered per run; all recording is gated on
+  // opt_.metrics / opt_.trace being non-null).
+  struct SourceMetricIds {
+    util::CounterId vector_trials;
+    util::CounterId backtracks;
+    util::CounterId paths_recorded;
+    util::CounterId justify_limited;
+    util::GaugeId seconds;
+  };
+  struct WorkerMetricIds {
+    util::CounterId sources;
+    util::GaugeId busy_seconds;
+  };
+  std::vector<SourceMetricIds> source_metric_ids_;
+  std::vector<WorkerMetricIds> worker_metric_ids_;
+  util::HistogramId justify_depth_hist_;
+  // Heartbeat bookkeeping: cheap relaxed atomics updated once per finished
+  // source, read by whichever worker claims the next heartbeat slot.
+  std::size_t total_sources_ = 0;
+  std::atomic<long> sources_done_{0};
+  std::atomic<long> trials_flushed_{0};
+  std::atomic<long> next_heartbeat_ms_{0};
 
   // N-worst pruning state.  remaining_ub_ is read-only during run();
   // worst_heap_ is the cross-worker pruning floor (mutex-guarded, with the

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace sasta::sta {
 
@@ -27,6 +30,20 @@ StaTool::StaTool(const netlist::Netlist& nl,
 
 StaResult StaTool::run() {
   StaResult result;
+  util::TraceSpan run_span(opt_.finder.trace, "sta/run", 0);
+  // Delay-calculation observability: ids registered before the shard so the
+  // slots exist; timing accumulates in a plain local because the sink is
+  // always invoked from this thread.
+  util::MetricsShard* metrics_shard = nullptr;
+  util::CounterId paths_timed_id;
+  util::GaugeId delaycalc_seconds_id;
+  double delaycalc_seconds = 0.0;
+  long paths_timed = 0;
+  if (opt_.finder.metrics != nullptr) {
+    paths_timed_id = opt_.finder.metrics->counter("delaycalc.paths_timed");
+    delaycalc_seconds_id = opt_.finder.metrics->gauge("delaycalc.seconds");
+    metrics_shard = &opt_.finder.metrics->create_shard();
+  }
   PathFinder finder(nl_, charlib_, opt_.finder);
   if (opt_.finder.n_worst > 0) finder.enable_n_worst_pruning(calc_);
 
@@ -40,7 +57,15 @@ StaResult StaTool::run() {
     return a.delay < b.delay;
   };
   result.stats = finder.run([&](const TruePath& p) {
-    TimedPath timed = calc_.compute(p);
+    TimedPath timed;
+    if (metrics_shard != nullptr) {
+      util::Stopwatch timed_watch;
+      timed = calc_.compute(p);
+      delaycalc_seconds += timed_watch.elapsed_seconds();
+      ++paths_timed;
+    } else {
+      timed = calc_.compute(p);
+    }
     if (opt_.keep_fastest > 0) {
       auto& fast = result.fastest;
       if (static_cast<long>(fast.size()) < opt_.keep_fastest) {
@@ -69,9 +94,14 @@ StaResult StaTool::run() {
       std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
     }
   });
+  if (metrics_shard != nullptr) {
+    metrics_shard->add(paths_timed_id, paths_timed);
+    metrics_shard->add(delaycalc_seconds_id, delaycalc_seconds);
+  }
   // Stable sorts keep equal-delay paths in delivery order, which the finder
   // guarantees is the sequential source-then-discovery order for every
   // thread count — so the reported list is deterministic even under ties.
+  util::TraceSpan sort_span(opt_.finder.trace, "sta/sort", 0);
   std::stable_sort(result.paths.begin(), result.paths.end(),
                    [](const TimedPath& a, const TimedPath& b) {
                      return a.delay > b.delay;

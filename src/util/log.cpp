@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+
+#include "util/strings.h"
 
 namespace sasta::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_emit_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,9 +33,27 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "warn") || iequals(name, "warning"))
+    return LogLevel::kWarning;
+  if (iequals(name, "error")) return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[sasta " << level_name(level) << "] " << message << "\n";
+  // One pre-formatted string, one insertion, under a lock: interleaved
+  // worker-pool calls used to shear mid-line because the prefix and message
+  // were separate << insertions.
+  std::string line = "[sasta ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::cerr << line;
 }
 
 }  // namespace sasta::util

@@ -5,6 +5,7 @@
 // quiet; tools can raise verbosity with set_log_level().
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +17,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr if `level` >= the global level.
+/// Parses a user-facing level name ("debug" | "info" | "warn"/"warning" |
+/// "error", case-insensitive); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Emits one line to stderr if `level` >= the global level.  The prefix and
+/// message are formatted into a single string and written under a process
+/// lock, so concurrent workers never shear each other's lines.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,191 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace sasta::util {
+
+MetricsShard::MetricsShard(std::size_t num_counters, std::size_t num_gauges,
+                           const std::vector<std::vector<double>>& hist_bounds)
+    : counters_(num_counters),
+      gauges_(num_gauges),
+      histograms_(hist_bounds.size()) {
+  for (std::size_t h = 0; h < hist_bounds.size(); ++h) {
+    histograms_[h].bounds = hist_bounds[h];
+    histograms_[h].counts =
+        std::vector<std::atomic<long>>(hist_bounds[h].size() + 1);
+  }
+}
+
+void MetricsShard::observe(HistogramId id, double value) {
+  if (id.index < 0 || id.index >= static_cast<int>(histograms_.size()))
+    return;
+  HistogramCells& h = histograms_[id.index];
+  const std::size_t bucket =
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin();
+  h.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  h.observations.fetch_add(1, std::memory_order_relaxed);
+}
+
+CounterId MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return {it->second};
+  const int index = static_cast<int>(counter_names_.size());
+  counter_names_.push_back(name);
+  counter_index_.emplace(name, index);
+  return {index};
+}
+
+GaugeId MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return {it->second};
+  const int index = static_cast<int>(gauge_names_.size());
+  gauge_names_.push_back(name);
+  gauge_index_.emplace(name, index);
+  return {index};
+}
+
+HistogramId MetricsRegistry::histogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return {it->second};
+  SASTA_CHECK(!bounds.empty())
+      << " histogram '" << name << "' needs at least one bucket bound";
+  SASTA_CHECK(std::is_sorted(bounds.begin(), bounds.end()) &&
+              std::adjacent_find(bounds.begin(), bounds.end()) ==
+                  bounds.end())
+      << " histogram '" << name << "' bounds must be strictly increasing";
+  const int index = static_cast<int>(histogram_defs_.size());
+  histogram_defs_.push_back({name, std::move(bounds)});
+  histogram_index_.emplace(name, index);
+  return {index};
+}
+
+MetricsShard& MetricsRegistry::create_shard() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::vector<double>> hist_bounds;
+  hist_bounds.reserve(histogram_defs_.size());
+  for (const HistogramDef& def : histogram_defs_) {
+    hist_bounds.push_back(def.bounds);
+  }
+  shards_.push_back(std::unique_ptr<MetricsShard>(new MetricsShard(
+      counter_names_.size(), gauge_names_.size(), hist_bounds)));
+  return *shards_.back();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  for (const std::string& name : counter_names_) snap.counters[name] = 0;
+  for (const std::string& name : gauge_names_) snap.gauges[name] = 0.0;
+  for (const HistogramDef& def : histogram_defs_) {
+    MetricsSnapshot::Histogram& h = snap.histograms[def.name];
+    h.bounds = def.bounds;
+    h.counts.assign(def.bounds.size() + 1, 0);
+  }
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < shard->counters_.size(); ++i) {
+      snap.counters[counter_names_[i]] +=
+          shard->counters_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < shard->gauges_.size(); ++i) {
+      snap.gauges[gauge_names_[i]] +=
+          shard->gauges_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < shard->histograms_.size(); ++i) {
+      const MetricsShard::HistogramCells& cells = shard->histograms_[i];
+      MetricsSnapshot::Histogram& h = snap.histograms[histogram_defs_[i].name];
+      for (std::size_t b = 0; b < cells.counts.size(); ++b) {
+        h.counts[b] += cells.counts[b].load(std::memory_order_relaxed);
+      }
+      h.sum += cells.sum.load(std::memory_order_relaxed);
+      h.observations += cells.observations.load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  snapshot().write_json(os);
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, value] : counters) {
+    os << sep << "\n    " << json_quote(name) << ": " << value;
+    sep = ",";
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, value] : gauges) {
+    os << sep << "\n    " << json_quote(name) << ": " << json_number(value);
+    sep = ",";
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : histograms) {
+    os << sep << "\n    " << json_quote(name) << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i ? ", " : "") << json_number(h.bounds[i]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i ? ", " : "") << h.counts[i];
+    }
+    os << "], \"observations\": " << h.observations
+       << ", \"sum\": " << json_number(h.sum) << "}";
+    sep = ",";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace sasta::util

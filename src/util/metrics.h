@@ -1,0 +1,166 @@
+// Sharded metrics registry: named counters, gauges and fixed-bucket
+// histograms with JSON serialization.
+//
+// The design follows the per-worker search contexts of the parallel path
+// finder: every writer owns a private MetricsShard and records into plain
+// relaxed atomics with no locking, so the hot path is one indexed atomic
+// add.  Shards are merged only on read (snapshot / write_json), which is
+// also safe while writers are still running — the progress heartbeat reads
+// live shards mid-run.
+//
+// Instrumentation is observational only and optional: every consumer holds
+// a `MetricsRegistry*` that may be null, in which case no shard exists and
+// the recording sites reduce to a pointer test.  Metrics must never feed
+// back into algorithmic decisions — results are required to be
+// bit-identical with instrumentation on or off.
+//
+// Registration (by name, idempotent) is mutex-guarded and may continue
+// after shards exist: a shard only carries slots for the metrics known at
+// its creation, and ids past its capacity are silently ignored — callers
+// always register their ids *before* creating the shard they write them
+// through, so in practice nothing is dropped.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sasta::util {
+
+/// Typed handles into a shard's slot tables.  Default-constructed handles
+/// are invalid and ignored by every shard operation.
+struct CounterId {
+  int index = -1;
+};
+struct GaugeId {
+  int index = -1;
+};
+struct HistogramId {
+  int index = -1;
+};
+
+class MetricsRegistry;
+
+/// One writer's private slice of metric storage.  Created by
+/// MetricsRegistry::create_shard() and owned by the registry; writes are
+/// relaxed atomics so concurrent snapshot() readers see coherent values.
+class MetricsShard {
+ public:
+  void add(CounterId id, long delta = 1) {
+    if (id.index < 0 || id.index >= static_cast<int>(counters_.size()))
+      return;
+    counters_[id.index].fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(GaugeId id, double value) {
+    if (id.index < 0 || id.index >= static_cast<int>(gauges_.size())) return;
+    gauges_[id.index].store(value, std::memory_order_relaxed);
+  }
+  void add(GaugeId id, double delta) {
+    if (id.index < 0 || id.index >= static_cast<int>(gauges_.size())) return;
+    gauges_[id.index].fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Records one histogram observation: the first bucket whose upper bound
+  /// is >= value counts it (inclusive upper edges); values above the last
+  /// bound land in the overflow bucket.
+  void observe(HistogramId id, double value);
+
+ private:
+  friend class MetricsRegistry;
+
+  struct HistogramCells {
+    /// Inclusive upper bucket edges, copied from the registry at shard
+    /// creation so recording never touches registry state (registration of
+    /// further metrics may reallocate the registry's tables concurrently).
+    std::vector<double> bounds;
+    std::vector<std::atomic<long>> counts;  ///< bounds.size() + 1 (overflow)
+    std::atomic<double> sum{0.0};
+    std::atomic<long> observations{0};
+  };
+
+  MetricsShard(std::size_t num_counters, std::size_t num_gauges,
+               const std::vector<std::vector<double>>& hist_bounds);
+
+  std::vector<std::atomic<long>> counters_;
+  std::vector<std::atomic<double>> gauges_;
+  std::vector<HistogramCells> histograms_;
+};
+
+/// Merged cross-shard view.  Counters and gauges sum over shards (shards
+/// partition the quantity they measure); histograms sum per-bucket.  Keys
+/// are sorted, so serialization is deterministic given the same
+/// registration sequence.
+struct MetricsSnapshot {
+  struct Histogram {
+    std::vector<double> bounds;  ///< inclusive upper bucket edges
+    std::vector<long> counts;    ///< bounds.size() + 1, last = overflow
+    long observations = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Serializes as one JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"bounds": [...], "counts": [...],
+  /// "observations": N, "sum": S}}}.
+  void write_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up — registration is idempotent by name) a named
+  /// metric and returns its handle.  Thread-safe; cheap but not hot-path
+  /// cheap: resolve handles once, outside loops.
+  CounterId counter(const std::string& name);
+  GaugeId gauge(const std::string& name);
+  /// `bounds` are strictly increasing inclusive upper bucket edges; one
+  /// overflow bucket is added past the last bound.  Re-registering an
+  /// existing histogram name returns the original id (bounds unchanged).
+  HistogramId histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Creates a writer shard sized for every metric registered so far.  The
+  /// registry keeps ownership; the reference stays valid for the registry's
+  /// lifetime.  Metrics registered later are not recordable through this
+  /// shard (their ids are out of range and ignored).
+  MetricsShard& create_shard();
+
+  /// Merged snapshot across all shards.  Safe while writers are active:
+  /// relaxed reads may trail in-flight updates but never tear.
+  MetricsSnapshot snapshot() const;
+
+  /// snapshot() serialized with MetricsSnapshot::write_json.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct HistogramDef {
+    std::string name;
+    std::vector<double> bounds;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<HistogramDef> histogram_defs_;
+  std::map<std::string, int> counter_index_;
+  std::map<std::string, int> gauge_index_;
+  std::map<std::string, int> histogram_index_;
+  std::vector<std::unique_ptr<MetricsShard>> shards_;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string json_quote(const std::string& s);
+
+/// Formats a double as a valid JSON number (shortest round-trip form;
+/// non-finite values degrade to 0 — JSON has no inf/nan).
+std::string json_number(double v);
+
+}  // namespace sasta::util

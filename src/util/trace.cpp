@@ -1,0 +1,45 @@
+#include "util/trace.h"
+
+#include "util/metrics.h"
+
+namespace sasta::util {
+
+void TraceCollector::add_complete_event(std::string name, int tid,
+                                        double ts_us, double dur_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back({std::move(name), tid, ts_us, dur_us, 'X'});
+}
+
+void TraceCollector::add_instant_event(std::string name, int tid,
+                                       double ts_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back({std::move(name), tid, ts_us, 0.0, 'i'});
+}
+
+std::size_t TraceCollector::num_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+void TraceCollector::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"traceEvents\": [";
+  const char* sep = "";
+  for (const TraceEvent& e : events_) {
+    os << sep << "\n  {\"ph\": \"" << e.ph << "\", \"name\": "
+       << json_quote(e.name) << ", \"cat\": \"sasta\", \"pid\": 0, \"tid\": "
+       << e.tid << ", \"ts\": " << json_number(e.ts_us);
+    if (e.ph == 'X') os << ", \"dur\": " << json_number(e.dur_us);
+    if (e.ph == 'i') os << ", \"s\": \"t\"";
+    os << "}";
+    sep = ",";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace sasta::util

@@ -1,0 +1,94 @@
+// Phase/span tracer emitting Chrome trace-event JSON.
+//
+// The output loads directly into chrome://tracing, Perfetto
+// (ui.perfetto.dev) or speedscope: one complete event per span,
+// {"ph": "X", "name": ..., "ts": ..., "dur": ..., "tid": worker},
+// timestamps in microseconds since collector construction.  The `tid`
+// field is a caller-chosen lane — the path finder uses 0 for the
+// orchestrating thread and 1..N for its workers, so per-worker
+// utilization is visible as parallel lanes.
+//
+// Like the metrics registry, tracing is observational and optional: a
+// TraceSpan constructed with a null collector is a complete no-op, and
+// spans are only opened at coarse granularity (pipeline phases, one span
+// per source-PI search), never inside the per-vector hot loop.  Event
+// recording appends to a mutex-guarded buffer; at span granularity the
+// lock is uncontended noise.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace sasta::util {
+
+struct TraceEvent {
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  char ph = 'X';
+};
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Microseconds elapsed since construction (the trace epoch).
+  double now_us() const { return epoch_.elapsed_seconds() * 1e6; }
+
+  /// Appends one complete ("ph": "X") event.  Thread-safe.
+  void add_complete_event(std::string name, int tid, double ts_us,
+                          double dur_us);
+
+  /// Appends one instant ("ph": "i") event.  Thread-safe.
+  void add_instant_event(std::string name, int tid, double ts_us);
+
+  std::size_t num_events() const;
+
+  /// Snapshot of the recorded events (copy; safe while writers run).
+  std::vector<TraceEvent> events() const;
+
+  /// Serializes {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Stopwatch epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII scope: records one complete event covering its own lifetime.  With
+/// a null collector the constructor and destructor do nothing.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, std::string name, int tid = 0)
+      : collector_(collector), tid_(tid) {
+    if (collector_ == nullptr) return;
+    name_ = std::move(name);
+    start_us_ = collector_->now_us();
+  }
+
+  ~TraceSpan() {
+    if (collector_ == nullptr) return;
+    collector_->add_complete_event(std::move(name_), tid_, start_us_,
+                                   collector_->now_us() - start_us_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  std::string name_;
+  int tid_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace sasta::util

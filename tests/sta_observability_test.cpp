@@ -1,0 +1,240 @@
+// End-to-end guarantees of the observability layer: per-source metric
+// totals reconcile exactly with the aggregate PathFinderStats, the
+// enumerated paths are bit-identical with instrumentation on or off at
+// every thread count, the emitted trace is valid Chrome trace-event JSON
+// whose worker lanes match the per-worker metrics, and the --progress
+// heartbeat emits whole lines.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "netlist/bench_parser.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+#include "test_json.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace sasta::sta {
+namespace {
+
+netlist::Netlist c17() {
+  return netlist::tech_map(
+             netlist::parse_bench_string(netlist::c17_bench_text(), "c17"),
+             testing::test_library())
+      .netlist;
+}
+
+netlist::Netlist generated_circuit(std::uint64_t seed) {
+  netlist::GeneratorProfile p;
+  p.name = "obs" + std::to_string(seed);
+  p.num_inputs = 12;
+  p.num_outputs = 6;
+  p.num_gates = 60;
+  p.depth = 7;
+  p.seed = seed;
+  return netlist::tech_map(netlist::generate_iscas_like(p),
+                           testing::test_library())
+      .netlist;
+}
+
+std::string hex_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string fingerprint(const netlist::Netlist& nl, const TimedPath& tp) {
+  std::string s = tp.path.full_key(nl);
+  s += "|" + hex_double(tp.delay) + "|" + hex_double(tp.arrival_slew);
+  for (const auto& [net, val] : tp.path.pi_assignment) {
+    s += ";" + nl.net(net).name + "=" + (val ? "1" : "0");
+  }
+  return s;
+}
+
+/// Sum of every "pathfinder.source.<pi>.<field>" counter in the snapshot.
+long per_source_total(const util::MetricsSnapshot& snap,
+                      const std::string& field) {
+  long total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("pathfinder.source.", 0) == 0 &&
+        name.size() > field.size() &&
+        name.compare(name.size() - field.size(), field.size(), field) == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+class PerSourceReconciliation : public ::testing::TestWithParam<int> {};
+
+// The per-source counters, summed over all sources, must equal the
+// aggregate PathFinderStats bit for bit — at every thread count (sources
+// never span workers, so the per-source deltas are exact).
+TEST_P(PerSourceReconciliation, SumsEqualAggregateStats) {
+  const int threads = GetParam();
+  const netlist::Netlist circuits[] = {c17(), generated_circuit(17)};
+  for (const netlist::Netlist& nl : circuits) {
+    util::MetricsRegistry metrics;
+    PathFinderOptions opt;
+    opt.num_threads = threads;
+    opt.metrics = &metrics;
+    PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+    const PathFinderStats stats = finder.run([](const TruePath&) {});
+    ASSERT_GT(stats.paths_recorded, 0);
+
+    const util::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_EQ(per_source_total(snap, ".vector_trials"), stats.vector_trials)
+        << nl.name() << " threads=" << threads;
+    EXPECT_EQ(per_source_total(snap, ".backtracks"), stats.backtracks);
+    EXPECT_EQ(per_source_total(snap, ".paths_recorded"),
+              stats.paths_recorded);
+    EXPECT_EQ(per_source_total(snap, ".justify_limited"),
+              stats.justify_limited);
+    // The justification-depth histogram sees exactly one observation per
+    // recorded path.
+    EXPECT_EQ(snap.histograms.at("pathfinder.justify_depth").observations,
+              stats.paths_recorded);
+    // Worker lanes partition the sources.
+    long worker_sources = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("pathfinder.worker.", 0) == 0 &&
+          name.find(".sources") != std::string::npos) {
+        worker_sources += value;
+      }
+    }
+    EXPECT_EQ(worker_sources, snap.counters.at("pathfinder.sources_total"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PerSourceReconciliation,
+                         ::testing::Values(1, 8));
+
+// Acceptance criterion: StaResult::paths is bit-identical with
+// instrumentation on vs off, at 1 and 8 threads.
+TEST(Observability, InstrumentationDoesNotPerturbResults) {
+  const netlist::Netlist nl = generated_circuit(23);
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+
+  for (const int threads : {1, 8}) {
+    StaToolOptions plain;
+    plain.finder.num_threads = threads;
+    const StaResult want = StaTool(nl, cl, tech, plain).run();
+    ASSERT_FALSE(want.paths.empty());
+
+    util::MetricsRegistry metrics;
+    util::TraceCollector trace;
+    StaToolOptions instrumented = plain;
+    instrumented.finder.metrics = &metrics;
+    instrumented.finder.trace = &trace;
+    instrumented.finder.progress_interval_seconds = 1e-9;
+    const StaResult got = StaTool(nl, cl, tech, instrumented).run();
+
+    ASSERT_EQ(got.paths.size(), want.paths.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < want.paths.size(); ++i) {
+      EXPECT_EQ(fingerprint(nl, got.paths[i]), fingerprint(nl, want.paths[i]))
+          << "threads=" << threads << " index " << i;
+    }
+  }
+}
+
+// The emitted trace parses as JSON, carries one span per searched source,
+// and its worker-lane tid set matches exactly the workers whose metrics
+// show sources processed (lane = worker index + 1).
+TEST(Observability, TraceLanesMatchWorkerMetrics) {
+  const netlist::Netlist nl = generated_circuit(31);
+  util::MetricsRegistry metrics;
+  util::TraceCollector trace;
+  PathFinderOptions opt;
+  opt.num_threads = 4;
+  opt.metrics = &metrics;
+  opt.trace = &trace;
+  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+  finder.run([](const TruePath&) {});
+
+  const util::MetricsSnapshot snap = metrics.snapshot();
+  std::set<int> metric_lanes;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("pathfinder.worker.", 0) == 0 &&
+        name.find(".sources") != std::string::npos && value > 0) {
+      const int worker = std::stoi(name.substr(std::string(
+          "pathfinder.worker.").size()));
+      metric_lanes.insert(worker + 1);
+    }
+  }
+
+  std::set<int> trace_lanes;
+  long source_spans = 0;
+  for (const util::TraceEvent& e : trace.events()) {
+    if (e.name.rfind("source ", 0) == 0) {
+      trace_lanes.insert(e.tid);
+      ++source_spans;
+      EXPECT_GE(e.dur_us, 0.0);
+    }
+  }
+  EXPECT_EQ(trace_lanes, metric_lanes);
+  EXPECT_EQ(source_spans, snap.counters.at("pathfinder.sources_total"));
+
+  // Phase spans from the orchestrating thread sit on lane 0.
+  bool saw_run_span = false;
+  for (const util::TraceEvent& e : trace.events()) {
+    if (e.name == "pathfinder/run") {
+      saw_run_span = true;
+      EXPECT_EQ(e.tid, 0);
+    }
+  }
+  EXPECT_TRUE(saw_run_span);
+
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_TRUE(testing::is_valid_json(os.str()));
+}
+
+// The --progress heartbeat emits whole "[sasta INFO] progress: ..." lines
+// (single-write logging: no sheared fragments even under the worker pool).
+TEST(Observability, HeartbeatEmitsWholeProgressLines) {
+  const netlist::Netlist nl = generated_circuit(41);
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  const util::LogLevel old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+
+  PathFinderOptions opt;
+  opt.num_threads = 4;
+  opt.progress_interval_seconds = 1e-9;  // fire at the first opportunity
+  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+  finder.run([](const TruePath&) {});
+
+  util::set_log_level(old_level);
+  std::cerr.rdbuf(old_buf);
+
+  const std::string out = captured.str();
+  ASSERT_NE(out.find("progress: "), std::string::npos) << out;
+  // Every line is complete: prefix at the start, sources/total and elapsed
+  // fields present.
+  std::istringstream lines(out);
+  std::string line;
+  long progress_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.rfind("[sasta ", 0), 0u) << "sheared line: " << line;
+    if (line.find("progress: ") != std::string::npos) {
+      ++progress_lines;
+      EXPECT_NE(line.find(" sources, "), std::string::npos) << line;
+      EXPECT_NE(line.find(" s elapsed"), std::string::npos) << line;
+    }
+  }
+  EXPECT_GT(progress_lines, 0);
+}
+
+}  // namespace
+}  // namespace sasta::sta

@@ -1,0 +1,213 @@
+// Metrics registry (shard/merge model, histogram bucket edges, JSON) and
+// Chrome trace-event collector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "test_json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace sasta::util {
+namespace {
+
+TEST(Metrics, CountersMergeAcrossShards) {
+  MetricsRegistry reg;
+  const CounterId hits = reg.counter("hits");
+  const CounterId misses = reg.counter("misses");
+  MetricsShard& a = reg.create_shard();
+  MetricsShard& b = reg.create_shard();
+  a.add(hits, 3);
+  a.add(misses);
+  b.add(hits, 4);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("hits"), 7);
+  EXPECT_EQ(snap.counters.at("misses"), 1);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const CounterId first = reg.counter("n");
+  const CounterId again = reg.counter("n");
+  EXPECT_EQ(first.index, again.index);
+
+  MetricsShard& shard = reg.create_shard();
+  shard.add(first, 2);
+  shard.add(again, 3);
+  EXPECT_EQ(reg.snapshot().counters.at("n"), 5);
+}
+
+TEST(Metrics, GaugesSumAcrossShards) {
+  MetricsRegistry reg;
+  const GaugeId busy = reg.gauge("busy_seconds");
+  MetricsShard& a = reg.create_shard();
+  MetricsShard& b = reg.create_shard();
+  a.set(busy, 1.5);
+  b.set(busy, 2.0);
+  b.add(busy, 0.25);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauges.at("busy_seconds"), 3.75);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("depth", {1.0, 2.0, 4.0});
+  MetricsShard& shard = reg.create_shard();
+  // Bucket 0: <= 1, bucket 1: (1, 2], bucket 2: (2, 4], bucket 3: > 4.
+  for (const double v : {0.5, 1.0}) shard.observe(h, v);
+  for (const double v : {1.5, 2.0}) shard.observe(h, v);
+  shard.observe(h, 3.0);
+  for (const double v : {4.5, 100.0}) shard.observe(h, v);
+
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("depth");
+  EXPECT_EQ(snap.bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(snap.counts, (std::vector<long>{2, 2, 1, 2}));
+  EXPECT_EQ(snap.observations, 7);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.5 + 100.0);
+}
+
+TEST(Metrics, HistogramBucketsMergeAcrossShards) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", {10.0});
+  MetricsShard& a = reg.create_shard();
+  MetricsShard& b = reg.create_shard();
+  a.observe(h, 1.0);
+  b.observe(h, 2.0);
+  b.observe(h, 20.0);
+  const auto snap = reg.snapshot().histograms.at("h");
+  EXPECT_EQ(snap.counts, (std::vector<long>{2, 1}));
+  EXPECT_EQ(snap.observations, 3);
+}
+
+TEST(Metrics, LateRegistrationDoesNotCorruptOlderShards) {
+  MetricsRegistry reg;
+  const CounterId early = reg.counter("early");
+  MetricsShard& old_shard = reg.create_shard();
+  // Registered after old_shard exists: the old shard has no slot and must
+  // ignore the id; a new shard records it normally.
+  const CounterId late = reg.counter("late");
+  old_shard.add(late, 5);
+  MetricsShard& new_shard = reg.create_shard();
+  new_shard.add(late, 2);
+  old_shard.add(early, 1);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("early"), 1);
+  EXPECT_EQ(snap.counters.at("late"), 2);
+}
+
+TEST(Metrics, InvalidIdsAreIgnored) {
+  MetricsRegistry reg;
+  MetricsShard& shard = reg.create_shard();
+  shard.add(CounterId{}, 7);
+  shard.set(GaugeId{}, 1.0);
+  shard.observe(HistogramId{}, 1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(Metrics, ConcurrentShardWritesAreExact) {
+  MetricsRegistry reg;
+  const CounterId n = reg.counter("n");
+  const HistogramId h = reg.histogram("h", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<MetricsShard*> shards;
+  for (int t = 0; t < kThreads; ++t) shards.push_back(&reg.create_shard());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, shard = shards[t], n, h] {
+      for (int i = 0; i < kIncrements; ++i) {
+        shard->add(n);
+        shard->observe(h, 1.0);
+        // Concurrent snapshots must be safe while writers run.
+        if (i % 4096 == 0) (void)reg.snapshot();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("n"), long{kThreads} * kIncrements);
+  EXPECT_EQ(snap.histograms.at("h").observations, long{kThreads} * kIncrements);
+}
+
+TEST(Metrics, JsonOutputIsValidAndDeterministic) {
+  MetricsRegistry reg;
+  MetricsShard* shard = nullptr;
+  const CounterId c = reg.counter("count.with \"quotes\"\n");
+  const GaugeId g = reg.gauge("gauge");
+  const HistogramId h = reg.histogram("hist", {1.0, 8.0});
+  shard = &reg.create_shard();
+  shard->add(c, 42);
+  shard->set(g, 0.125);
+  shard->observe(h, 3.0);
+
+  std::ostringstream os1, os2;
+  reg.write_json(os1);
+  reg.write_json(os2);
+  EXPECT_EQ(os1.str(), os2.str());
+  EXPECT_TRUE(testing::is_valid_json(os1.str())) << os1.str();
+  EXPECT_NE(os1.str().find("\"gauge\": 0.125"), std::string::npos);
+  EXPECT_NE(os1.str().find("\"counts\": [0, 1, 0]"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryJsonIsValid) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(testing::is_valid_json(os.str())) << os.str();
+}
+
+TEST(Metrics, JsonNumberNeverEmitsNonFinite) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::nan("")), "0");
+  EXPECT_TRUE(testing::is_valid_json(json_number(1.5e-300)));
+  EXPECT_TRUE(testing::is_valid_json(json_number(-2.75)));
+}
+
+TEST(Trace, SpansRecordCompleteEventsWithDistinctTids) {
+  TraceCollector trace;
+  {
+    TraceSpan outer(&trace, "outer", 0);
+    TraceSpan worker(&trace, "source N1", 3);
+  }
+  EXPECT_EQ(trace.num_events(), 2u);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"source N1\""), std::string::npos);
+}
+
+TEST(Trace, NullCollectorSpanIsANoOp) {
+  TraceSpan span(nullptr, "ignored", 7);  // must not crash or allocate state
+}
+
+TEST(Trace, ConcurrentEventRecordingIsSafe) {
+  TraceCollector trace;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < 250; ++i) {
+        TraceSpan span(&trace, "work", t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.num_events(), 1000u);
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_TRUE(testing::is_valid_json(os.str()));
+}
+
+}  // namespace
+}  // namespace sasta::util

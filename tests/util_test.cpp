@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/check.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -86,6 +92,67 @@ TEST(Rng, SeedsDiffer) {
     if (a.next_u64() == b.next_u64()) ++same;
   }
   EXPECT_EQ(same, 0);
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Log, LevelFiltersBelowThreshold) {
+  const LogLevel old_level = log_level();
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  set_log_level(LogLevel::kWarning);
+  log_line(LogLevel::kInfo, "hidden");
+  log_line(LogLevel::kWarning, "shown");
+  std::cerr.rdbuf(old_buf);
+  set_log_level(old_level);
+  EXPECT_EQ(captured.str(), "[sasta WARN] shown\n");
+}
+
+// Concurrent log_line calls must never shear: each captured line carries
+// the full prefix and one intact message (satellite fix for the old
+// multi-insertion emit path).
+TEST(Log, ConcurrentLinesDoNotShear) {
+  const LogLevel old_level = log_level();
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  set_log_level(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        log_line(LogLevel::kInfo,
+                 "worker " + std::to_string(t) + " message " +
+                     std::to_string(i) + " end");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::cerr.rdbuf(old_buf);
+  set_log_level(old_level);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind("[sasta INFO] worker ", 0), 0u)
+        << "sheared line: " << line;
+    EXPECT_EQ(line.compare(line.size() - 4, 4, " end"), 0)
+        << "sheared line: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST(Rng, GaussianMomentsAndRange) {

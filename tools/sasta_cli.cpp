@@ -30,6 +30,14 @@
 //   --erc                max-slew / max-cap electrical rule checks
 //   --write-verilog F    dump the mapped netlist to F
 //   --write-sdf F        SDF annotation (min:typ:max = vector spread)
+//   --metrics-json F     write run metrics (per-source/per-worker counters,
+//                        histograms, phase timings) as JSON to F
+//   --trace-out F        write a Chrome trace-event / Perfetto JSON timeline
+//                        (load in chrome://tracing or ui.perfetto.dev)
+//   --progress [every 2s] heartbeat: sources done/total, trials/sec, elapsed
+//   --log-level L        debug | info | warn | error    (default warn;
+//                        -q wins, --log-level wins over the implicit info)
+//   -v                   shorthand for --log-level debug
 //   -q                   quiet (suppress progress logging)
 #include <cstring>
 #include <filesystem>
@@ -50,7 +58,9 @@
 #include "sta/sdf_writer.h"
 #include "sta/sta_tool.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -75,6 +85,11 @@ struct Options {
   bool erc = false;           ///< max-slew / max-cap electrical rule checks
   long fastest = 0;           ///< also report the N fastest (hold) paths
   std::string write_sdf;      ///< SDF annotation output file
+  std::string metrics_json;   ///< run-metrics JSON output file
+  std::string trace_out;      ///< Chrome trace-event JSON output file
+  bool progress = false;      ///< periodic search-progress heartbeat
+  /// Explicit --log-level / -v choice; unset = infer from -q.
+  std::optional<sasta::util::LogLevel> log_level;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -84,6 +99,8 @@ struct Options {
                "       [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
+               "       [--metrics-json F] [--trace-out F] [--progress]\n"
+               "       [--log-level debug|info|warn|error] [-v]\n"
                "       <netlist>\n";
   std::exit(2);
 }
@@ -134,6 +151,21 @@ Options parse_args(int argc, char** argv) {
       o.fastest = std::stol(value());
     } else if (a == "--write-sdf") {
       o.write_sdf = value();
+    } else if (a == "--metrics-json") {
+      o.metrics_json = value();
+    } else if (a == "--trace-out") {
+      o.trace_out = value();
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--log-level") {
+      const std::string name = value();
+      o.log_level = sasta::util::parse_log_level(name);
+      if (!o.log_level) {
+        std::cerr << "unknown log level '" << name << "'\n";
+        usage(argv[0]);
+      }
+    } else if (a == "-v") {
+      o.log_level = sasta::util::LogLevel::kDebug;
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
     } else if (!a.empty() && a[0] == '-') {
@@ -147,12 +179,47 @@ Options parse_args(int argc, char** argv) {
   return o;
 }
 
+/// RAII pipeline-phase scope: a cli/<name> trace span plus a
+/// cli.<name>_seconds gauge (both no-ops when the corresponding output was
+/// not requested).
+struct Phase {
+  Phase(sasta::util::MetricsRegistry* m, sasta::util::TraceCollector* t,
+        std::string phase_name)
+      : metrics(m), name(std::move(phase_name)), span(t, "cli/" + name, 0) {}
+  ~Phase() {
+    if (metrics == nullptr) return;
+    const sasta::util::GaugeId id = metrics->gauge("cli." + name + "_seconds");
+    metrics->create_shard().set(id, watch.elapsed_seconds());
+  }
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+  sasta::util::MetricsRegistry* metrics;
+  std::string name;
+  sasta::util::TraceSpan span;
+  sasta::util::Stopwatch watch;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sasta;
   const Options opt = parse_args(argc, argv);
-  if (!opt.quiet) util::set_log_level(util::LogLevel::kInfo);
+  if (opt.log_level) {
+    util::set_log_level(*opt.log_level);
+  } else if (!opt.quiet) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+
+  // Observability sinks: enabled by their output flags, shared by every
+  // pipeline phase below.  --progress only needs the heartbeat, which runs
+  // without either sink.
+  util::MetricsRegistry metrics_registry;
+  util::TraceCollector trace_collector;
+  util::MetricsRegistry* metrics =
+      opt.metrics_json.empty() ? nullptr : &metrics_registry;
+  util::TraceCollector* trace = opt.trace_out.empty() ? nullptr
+                                                      : &trace_collector;
 
   try {
     const cell::Library lib = cell::build_standard_library();
@@ -161,25 +228,30 @@ int main(int argc, char** argv) {
     // --- Load / generate and map the netlist -------------------------------
     netlist::Netlist mapped_storage;
     const netlist::Netlist* nlp = nullptr;
-    if (std::filesystem::exists(opt.netlist) &&
-        (opt.netlist.ends_with(".v") || opt.netlist.ends_with(".verilog"))) {
-      mapped_storage = netlist::parse_verilog_file(opt.netlist, lib);
-      nlp = &mapped_storage;
-    } else {
-      netlist::PrimNetlist prim;
-      if (opt.netlist == "c17") {
-        prim = netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
-      } else if (std::filesystem::exists(opt.netlist)) {
-        prim = netlist::parse_bench_file(opt.netlist);
+    {
+      Phase load_phase(metrics, trace, "load_netlist");
+      if (std::filesystem::exists(opt.netlist) &&
+          (opt.netlist.ends_with(".v") ||
+           opt.netlist.ends_with(".verilog"))) {
+        mapped_storage = netlist::parse_verilog_file(opt.netlist, lib);
+        nlp = &mapped_storage;
       } else {
-        prim = netlist::generate_iscas_like(
-            netlist::iscas_profile(opt.netlist));
-        std::cerr << "note: '" << opt.netlist
-                  << "' is a synthetic ISCAS-like profile circuit\n";
+        netlist::PrimNetlist prim;
+        if (opt.netlist == "c17") {
+          prim =
+              netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+        } else if (std::filesystem::exists(opt.netlist)) {
+          prim = netlist::parse_bench_file(opt.netlist);
+        } else {
+          prim = netlist::generate_iscas_like(
+              netlist::iscas_profile(opt.netlist));
+          std::cerr << "note: '" << opt.netlist
+                    << "' is a synthetic ISCAS-like profile circuit\n";
+        }
+        auto mapped = netlist::tech_map(prim, lib);
+        mapped_storage = std::move(mapped.netlist);
+        nlp = &mapped_storage;
       }
-      auto mapped = netlist::tech_map(prim, lib);
-      mapped_storage = std::move(mapped.netlist);
-      nlp = &mapped_storage;
     }
     const netlist::Netlist& nl = *nlp;
     std::cout << "circuit " << nl.name() << ": " << nl.num_instances()
@@ -198,8 +270,11 @@ int main(int argc, char** argv) {
     copt.profile = opt.full_char
                        ? charlib::CharacterizeOptions::Profile::kFull
                        : charlib::CharacterizeOptions::Profile::kFast;
-    const charlib::CharLibrary cl = charlib::load_or_characterize(
-        lib, tech, copt, charlib::default_cache_dir());
+    const charlib::CharLibrary cl = [&] {
+      Phase phase(metrics, trace, "characterize");
+      return charlib::load_or_characterize(lib, tech, copt,
+                                           charlib::default_cache_dir());
+    }();
 
     // --- Developed tool -----------------------------------------------------
     sta::StaToolOptions sopt;
@@ -211,6 +286,9 @@ int main(int argc, char** argv) {
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
     sopt.keep_fastest = opt.fastest;
+    sopt.finder.metrics = metrics;
+    sopt.finder.trace = trace;
+    if (opt.progress) sopt.finder.progress_interval_seconds = 2.0;
     sta::StaTool tool(nl, cl, tech, sopt);
     const sta::StaResult res = tool.run();
 
@@ -290,6 +368,7 @@ int main(int argc, char** argv) {
     }
 
     if (opt.report && !res.paths.empty()) {
+      Phase phase(metrics, trace, "report");
       std::cout << "\n" << sta::format_path(nl, cl, res.critical());
       const sta::TimingReport rep =
           sta::build_timing_report(nl, res, opt.required_ns * 1e-9);
@@ -298,6 +377,7 @@ int main(int argc, char** argv) {
 
     // --- Optional baseline ---------------------------------------------------
     if (opt.baseline) {
+      Phase phase(metrics, trace, "baseline");
       baseline::BaselineOptions bopt;
       bopt.delay.temperature_c = opt.temp_c;
       bopt.delay.vdd = opt.vdd;
@@ -309,6 +389,17 @@ int main(int argc, char** argv) {
                 << " false, " << bres.backtrack_limited
                 << " aborted (no-vector ratio "
                 << util::format_percent(bres.no_vector_ratio(), 1) << ")\n";
+    }
+
+    if (metrics != nullptr) {
+      std::ofstream os(opt.metrics_json);
+      metrics->write_json(os);
+      std::cout << "wrote " << opt.metrics_json << "\n";
+    }
+    if (trace != nullptr) {
+      std::ofstream os(opt.trace_out);
+      trace->write_json(os);
+      std::cout << "wrote " << opt.trace_out << "\n";
     }
     return 0;
   } catch (const util::Error& e) {
