@@ -17,8 +17,9 @@
 // Machine-readable telemetry: when SASTA_BENCH_METRICS_JSON names a file,
 // the developed-tool runs share one MetricsRegistry (per-circuit table6.*
 // aggregates, per-source/per-worker pathfinder counters, thread-scaling
-// gauges) and the merged JSON is written there, so BENCH trajectories can
-// be diffed mechanically across commits.
+// gauges, justification memo-cache hit-rate/prune counters) and the merged
+// JSON is written there, so BENCH trajectories can be diffed mechanically
+// across commits.
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -28,6 +29,7 @@
 #include "netlist/bench_parser.h"
 #include "netlist/iscas_gen.h"
 #include "netlist/techmap.h"
+#include "sta/justify_cache.h"
 #include "sta/sta_tool.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
@@ -256,6 +258,105 @@ int run() {
     std::cout << "(speedup needs that many hardware threads and >= 8 "
                  "reachable sources; delivered order is the sequential "
                  "order at every thread count)\n";
+  }
+
+  // Cross-thread justification memo cache: the same exhaustive enumeration
+  // at 8 threads, --justify-cache off vs shared.  The cache may only change
+  // how much work is done, never what is found: the delivered path list must
+  // be byte-identical (full keys, order included) and vector_trials must not
+  // increase.  Runs are budget-free so both sides are exhaustive and
+  // deterministic.
+  {
+    print_title("Justification memo cache (off vs shared, 8 threads)");
+    const std::vector<int> cwidths{9, 8, 8, 8, 9, 8, 7, 10};
+    print_row({"circuit", "mode", "cpu_s", "paths", "trials", "pruned",
+               "hit%", "identical"},
+              cwidths);
+
+    struct CacheRun {
+      sta::PathFinderStats stats;
+      std::vector<std::string> keys;
+    };
+    const auto enumerate = [&](const netlist::Netlist& nl,
+                               sta::JustifyCacheMode mode) {
+      CacheRun run;
+      sta::PathFinderOptions opt;
+      opt.num_threads = 8;
+      opt.justify_cache = mode;
+      sta::PathFinder finder(nl, cl, opt);
+      run.stats = finder.run(
+          [&](const sta::TruePath& p) { run.keys.push_back(p.full_key(nl)); });
+      return run;
+    };
+
+    std::vector<std::string> cache_circuits{"c17", "memo16"};
+    if (!fast_mode()) cache_circuits.push_back("c432");
+    for (const auto& name : cache_circuits) {
+      netlist::PrimNetlist prim;
+      if (name == "c17") {
+        prim = netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+      } else if (name == "memo16") {
+        netlist::GeneratorProfile prof;
+        prof.name = "memo16";
+        prof.num_inputs = 16;
+        prof.num_outputs = 8;
+        prof.num_gates = fast_mode() ? 80 : 140;
+        prof.depth = 8;
+        prof.seed = 42;
+        prim = netlist::generate_iscas_like(prof);
+      } else {
+        prim = netlist::generate_iscas_like(netlist::iscas_profile(name));
+      }
+      const auto mapped = netlist::tech_map(prim, library());
+      const netlist::Netlist& nl = mapped.netlist;
+
+      const CacheRun off = enumerate(nl, sta::JustifyCacheMode::kOff);
+      const CacheRun shared = enumerate(nl, sta::JustifyCacheMode::kShared);
+      const long probes =
+          shared.stats.cache_hits + shared.stats.cache_misses;
+      const double hit_rate =
+          probes == 0 ? 0.0
+                      : static_cast<double>(shared.stats.cache_hits) /
+                            static_cast<double>(probes);
+      const bool identical = shared.keys == off.keys;
+
+      if (metrics != nullptr) {
+        // Register every id before creating the shard: a shard ignores ids
+        // registered after it exists (see util/metrics.h).
+        const std::string base = "table6." + name + ".justify_cache";
+        const util::CounterId hits = metrics->counter(base + ".hits");
+        const util::CounterId misses = metrics->counter(base + ".misses");
+        const util::CounterId prunes = metrics->counter(base + ".prunes");
+        const util::CounterId trials_off =
+            metrics->counter(base + ".trials_off");
+        const util::CounterId trials_shared =
+            metrics->counter(base + ".trials_shared");
+        const util::GaugeId rate = metrics->gauge(base + ".hit_rate");
+        util::MetricsShard& shard = metrics->create_shard();
+        shard.add(hits, shared.stats.cache_hits);
+        shard.add(misses, shared.stats.cache_misses);
+        shard.add(prunes, shared.stats.cache_prunes);
+        shard.add(trials_off, off.stats.vector_trials);
+        shard.add(trials_shared, shared.stats.vector_trials);
+        shard.set(rate, hit_rate);
+      }
+
+      print_row({name, "off", util::format_fixed(off.stats.cpu_seconds, 2),
+                 std::to_string(off.stats.paths_recorded),
+                 std::to_string(off.stats.vector_trials), "-", "-", "-"},
+                cwidths);
+      print_row({name, "shared",
+                 util::format_fixed(shared.stats.cpu_seconds, 2),
+                 std::to_string(shared.stats.paths_recorded),
+                 std::to_string(shared.stats.vector_trials),
+                 std::to_string(shared.stats.cache_prunes),
+                 util::format_percent(hit_rate, 1),
+                 identical ? "yes" : "NO (BUG)"},
+                cwidths);
+    }
+    std::cout << "(shared-cache trials <= off trials by construction; the "
+                 "pruned column counts\nvector trials preempted by memoized "
+                 "CONFLICT verdicts)\n";
   }
 
   if (metrics != nullptr) {

@@ -1,0 +1,181 @@
+#include "sta/justify_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sasta::sta {
+
+namespace {
+
+constexpr std::uint64_t kLo48Mask = (std::uint64_t{1} << 48) - 1;
+constexpr std::uint64_t kVerdictMask = 0x3;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+GoalSetKey canonicalize_goals(std::span<const Goal> goals) {
+  std::vector<std::uint64_t> scratch;
+  return canonicalize_goals(goals, scratch);
+}
+
+GoalSetKey canonicalize_goals(std::span<const Goal> goals,
+                              std::vector<std::uint64_t>& scratch) {
+  GoalSetKey key;
+  if (goals.empty()) {
+    key.empty = true;
+    return key;
+  }
+  // Pack each goal as (net << 1) | value: sorting these composites sorts
+  // by net id first (the circuit's levelized ids) and value second, so
+  // the canonical order — and therefore the hash — is permutation- and
+  // duplicate-insensitive.
+  std::vector<std::uint64_t>& packed = scratch;
+  packed.clear();
+  packed.reserve(goals.size());
+  for (const Goal& g : goals) {
+    packed.push_back((static_cast<std::uint64_t>(g.net) << 1) |
+                     (g.value ? 1u : 0u));
+  }
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  for (std::size_t i = 0; i + 1 < packed.size(); ++i) {
+    if ((packed[i] >> 1) == (packed[i + 1] >> 1)) {
+      // Same net at both values: trivially infeasible, never hashed into
+      // the table (callers prune such trials outright).
+      key.contradictory = true;
+      return key;
+    }
+  }
+  // Two independently seeded chains over the canonical sequence give a
+  // 128-bit fingerprint; 110 bits of it are verified on every table hit.
+  std::uint64_t lo = 0x243f6a8885a308d3ULL;
+  std::uint64_t hi = 0x13198a2e03707344ULL ^ packed.size();
+  for (const std::uint64_t p : packed) {
+    lo = splitmix64(lo ^ p);
+    hi = splitmix64(hi ^ splitmix64(p ^ 0xa4093822299f31d0ULL));
+  }
+  key.lo = lo;
+  key.hi = hi;
+  return key;
+}
+
+JustifyCache::JustifyCache() : JustifyCache(Config()) {}
+
+JustifyCache::JustifyCache(const Config& config) {
+  const std::size_t capacity =
+      round_up_pow2(std::max<std::size_t>(config.capacity, 2));
+  shards_ = static_cast<unsigned>(std::min<std::size_t>(
+      round_up_pow2(std::max<unsigned>(config.shards, 1)), capacity));
+  shard_slots_ = capacity / shards_;
+  max_probe_ = std::max(1u, std::min<unsigned>(
+                                config.max_probe,
+                                static_cast<unsigned>(shard_slots_)));
+  slots_ = std::vector<Slot>(capacity);
+}
+
+std::uint64_t JustifyCache::tag_for(const GoalSetKey& key) const {
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed) & 0xFFFF;
+  return (e << 48) | (key.lo & kLo48Mask);
+}
+
+std::uint64_t JustifyCache::payload_for(const GoalSetKey& key,
+                                        JustifyVerdict verdict) {
+  return (key.hi & ~kVerdictMask) |
+         static_cast<std::uint64_t>(verdict);
+}
+
+std::size_t JustifyCache::slot_base(const GoalSetKey& key) const {
+  // Index bits are drawn from a mix of both fingerprint words; the tag and
+  // payload still verify lo48 / hi62 in full, so using them for placement
+  // costs no verification strength.
+  const std::uint64_t m = splitmix64(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ULL));
+  const std::size_t shard = static_cast<std::size_t>(m) & (shards_ - 1);
+  const std::size_t start =
+      static_cast<std::size_t>(m >> 24) & (shard_slots_ - 1);
+  return shard * shard_slots_ + start;
+}
+
+JustifyVerdict JustifyCache::probe(const GoalSetKey& key) const {
+  SASTA_CHECK(!key.contradictory && !key.empty)
+      << " probe of a degenerate goal-set key";
+  const std::uint64_t tag = tag_for(key);
+  const std::uint64_t want = key.hi & ~kVerdictMask;
+  const std::size_t shard_begin = slot_base(key) & ~(shard_slots_ - 1);
+  std::size_t idx = slot_base(key) - shard_begin;
+  for (unsigned i = 0; i < max_probe_; ++i) {
+    const Slot& slot = slots_[shard_begin + ((idx + i) & (shard_slots_ - 1))];
+    const std::uint64_t t = slot.tag.load(std::memory_order_acquire);
+    if (t == 0) return JustifyVerdict::kUnknown;  // never-used slot ends run
+    if (t != tag) continue;  // other key, or a stale epoch: keep scanning
+    const std::uint64_t p = slot.payload.load(std::memory_order_acquire);
+    if (p == 0) return JustifyVerdict::kUnknown;  // claim pending
+    if ((p & ~kVerdictMask) != want) continue;    // lo48 alias, wrong key
+    return static_cast<JustifyVerdict>(p & kVerdictMask);
+  }
+  return JustifyVerdict::kUnknown;
+}
+
+JustifyCache::InsertOutcome JustifyCache::insert(const GoalSetKey& key,
+                                                 JustifyVerdict verdict) {
+  SASTA_CHECK(verdict != JustifyVerdict::kUnknown)
+      << " kUnknown is the miss sentinel, not a storable verdict";
+  SASTA_CHECK(!key.contradictory && !key.empty)
+      << " insert of a degenerate goal-set key";
+  const std::uint64_t tag = tag_for(key);
+  const std::uint64_t payload = payload_for(key, verdict);
+  const std::uint64_t current_epoch =
+      epoch_.load(std::memory_order_relaxed) & 0xFFFF;
+  const std::size_t shard_begin = slot_base(key) & ~(shard_slots_ - 1);
+  std::size_t idx = slot_base(key) - shard_begin;
+  for (unsigned i = 0; i < max_probe_; ++i) {
+    Slot& slot = slots_[shard_begin + ((idx + i) & (shard_slots_ - 1))];
+    std::uint64_t t = slot.tag.load(std::memory_order_acquire);
+    if (t == 0 || (t >> 48) != current_epoch) {
+      // Empty or stale: claim it.  On a lost race, fall through and
+      // re-examine whatever the winner wrote.
+      if (slot.tag.compare_exchange_strong(t, tag,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        slot.payload.store(payload, std::memory_order_release);
+        return InsertOutcome::kInserted;
+      }
+    }
+    if (t == tag) {
+      const std::uint64_t p = slot.payload.load(std::memory_order_acquire);
+      if (p == 0 || p == payload) {
+        // Another thread holds this key (published or mid-publish).
+        // Verdicts are pure functions of the key, so its value equals
+        // ours — nothing to do.
+        return InsertOutcome::kRaced;
+      }
+      // lo48 alias of a different key: leave the resident entry alone and
+      // keep probing.
+    }
+  }
+  return InsertOutcome::kFull;
+}
+
+void JustifyCache::clear() {
+  std::uint32_t e = epoch_.load(std::memory_order_relaxed);
+  std::uint32_t next;
+  do {
+    next = (e >= 0xFFFF) ? 1 : e + 1;
+  } while (!epoch_.compare_exchange_weak(e, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed));
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,166 @@
+// Lock-free cross-thread justification memo cache (ROADMAP: "share
+// justification results across threads").
+//
+// The parallel path finder's workers repeatedly ask the goal solver the
+// same question from different sources and path prefixes: "is this
+// conjunction of steady side-value requirements realizable from the
+// primary inputs at all?"  This table memoizes the answer for the
+// *fresh-state* form of that question, keyed on the canonicalized goal set
+// (sorted, deduplicated `(net, value)` pairs over the netlist's levelized
+// net ids).
+//
+// Soundness of reuse — why a cached verdict is context-free:
+//
+//   * The fresh-state solve starts from an all-unknown assignment, so its
+//     verdict depends only on (netlist, goal set, backtrack budget, cube
+//     ordering guide) — all fixed for a PathFinder run.  Whichever worker
+//     computes it, at whatever time, the verdict is identical: the cache
+//     can be shared across threads without any effect on results.
+//   * A CONFLICT verdict is an exhaustive refutation: no primary-input
+//     assignment realizes the conjunction.  Mid-search the DFS state only
+//     *adds* constraints (narrowed values from the launched transition and
+//     earlier side assignments), and constraints never create witnesses,
+//     so a fresh-state CONFLICT implies in-context infeasibility for every
+//     source, every prefix, and both transition directions.  Any vector
+//     trial whose side-goal conjunction (or whose accumulated prefix
+//     conjunction — a subset of what record() must later justify) is
+//     fresh-CONFLICT can therefore be skipped outright: its subtree can
+//     never record a path, and the enumerated path set is bit-identical
+//     with the cache on or off.
+//   * JUSTIFIABLE and UNKNOWN (budget-limited) verdicts authorize nothing:
+//     the caller proceeds exactly as without the cache.  Likewise a miss,
+//     a mid-insert ("pending") entry, or a capacity-full drop all read as
+//     UNKNOWN, so overflow degrades to the uncached search, never to a
+//     wrong answer.
+//
+// Table design: open-addressed, sharded, fixed capacity, no locks and no
+// blocking anywhere.  An entry is two 64-bit atomics:
+//
+//   tag     = [epoch:16 | key.lo:48]   claimed by CAS (0 = never used)
+//   payload = [key.hi:62 | verdict:2]  published with release order after
+//                                      the claim (0 = claim pending)
+//
+// Readers verify 48 + 62 = 110 bits of the 128-bit goal-set fingerprint,
+// so a wrong-verdict aliasing requires a 110-bit collision between two
+// canonical goal sets probed in one run — negligible against the test
+// battery's differential checks, and an *eviction-like* miss (not a wrong
+// answer) in every partial-collision case.  clear() bumps the epoch, an
+// O(1) invalidation of all entries that never touches slot memory and is
+// safe against concurrent probes (stale-epoch entries read as empty and
+// are reclaimed by later inserts).  Epochs wrap at 2^16 - 1 generations;
+// verdicts are pure per netlist/budget, so even an ABA'd survivor would
+// still be correct for the same PathFinder instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sta/justify.h"
+
+namespace sasta::sta {
+
+/// Where the path finder keeps its justification memo table.
+enum class JustifyCacheMode {
+  kOff,       ///< no cache: the pre-cache search, trial for trial
+  kShared,    ///< one lock-free table read/written by all workers
+  kPerWorker  ///< a private table per worker (no cross-thread sharing)
+};
+
+/// Fresh-state verdict for a canonical goal set.  Values 1..3 are the
+/// stored tri-state; kUnknown doubles as "not cached".
+enum class JustifyVerdict : std::uint8_t {
+  kUnknown = 0,       ///< not in the table (miss / pending / overflow)
+  kJustifiable = 1,   ///< a witness exists from a fresh state
+  kConflict = 2,      ///< exhaustively refuted — infeasible in any context
+  kBudgetLimited = 3  ///< the solve gave up on its backtrack budget
+};
+
+/// Canonical identity of a goal conjunction: the 128-bit fingerprint of
+/// the sorted, deduplicated `(net, value)` pairs.  Permutations and exact
+/// duplicates of the input hash identically; a net required at both
+/// values is flagged instead of hashed (the conjunction is trivially
+/// infeasible and must never enter the table).
+struct GoalSetKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool contradictory = false;  ///< some net required steady-0 AND steady-1
+  bool empty = false;          ///< no goals survived deduplication
+
+  bool operator==(const GoalSetKey&) const = default;
+};
+
+/// Builds the canonical key for `goals` (any order, duplicates allowed).
+/// `scratch` is caller-owned working memory, reused so the hot path never
+/// allocates; its contents on return are unspecified.
+GoalSetKey canonicalize_goals(std::span<const Goal> goals,
+                              std::vector<std::uint64_t>& scratch);
+/// Allocating convenience overload (tests, cold paths).
+GoalSetKey canonicalize_goals(std::span<const Goal> goals);
+
+class JustifyCache {
+ public:
+  struct Config {
+    /// Total entry slots; rounded up to a power of two.  16 bytes/slot.
+    std::size_t capacity = std::size_t{1} << 16;
+    /// Shard count (power of two, clamped to <= capacity).  Probes touch a
+    /// single shard, so unrelated keys never contend on the same lines.
+    unsigned shards = 16;
+    /// Linear-probe window per shard; a full window fails the operation
+    /// (UNKNOWN / kFull) rather than ever scanning further or blocking.
+    unsigned max_probe = 16;
+  };
+
+  JustifyCache();  ///< default Config (defined out of line: C++ forbids
+                   ///< nested default member initializers in a default
+                   ///< argument before the enclosing class is complete)
+  explicit JustifyCache(const Config& config);
+  JustifyCache(const JustifyCache&) = delete;
+  JustifyCache& operator=(const JustifyCache&) = delete;
+
+  /// Looks up a key.  kUnknown on miss, on a mid-insert entry, or after
+  /// the probe window — never blocks, never waits.
+  JustifyVerdict probe(const GoalSetKey& key) const;
+
+  enum class InsertOutcome {
+    kInserted,  ///< this call claimed the slot and published the verdict
+    kRaced,     ///< another thread already holds (or is publishing) the key
+    kFull       ///< probe window exhausted — verdict dropped, table intact
+  };
+
+  /// Publishes a verdict (must not be kUnknown; key must be hashable —
+  /// neither contradictory nor empty).  Wait-free: one CAS attempt per
+  /// probed slot, losers re-check and move on.
+  InsertOutcome insert(const GoalSetKey& key, JustifyVerdict verdict);
+
+  /// O(1) invalidation of every entry by bumping the epoch; concurrent
+  /// probes and inserts stay safe (old-epoch entries read as empty).
+  void clear();
+
+  std::size_t capacity() const { return slots_.size(); }
+  unsigned shard_count() const { return shards_; }
+  std::uint32_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> tag{0};
+    std::atomic<std::uint64_t> payload{0};
+  };
+
+  std::uint64_t tag_for(const GoalSetKey& key) const;
+  static std::uint64_t payload_for(const GoalSetKey& key,
+                                   JustifyVerdict verdict);
+  /// First slot index of the key's probe sequence (within its shard).
+  std::size_t slot_base(const GoalSetKey& key) const;
+
+  std::vector<Slot> slots_;
+  unsigned shards_ = 1;
+  std::size_t shard_slots_ = 0;  ///< slots per shard (power of two)
+  unsigned max_probe_ = 16;
+  std::atomic<std::uint32_t> epoch_{1};  ///< 1..0xFFFF, never 0
+};
+
+}  // namespace sasta::sta

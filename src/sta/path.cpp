@@ -11,6 +11,12 @@ PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
   backtracks += other.backtracks;
   vector_trials += other.vector_trials;
   justify_limited += other.justify_limited;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_prunes += other.cache_prunes;
+  cache_inserts += other.cache_inserts;
+  cache_insert_races += other.cache_insert_races;
+  cache_full_drops += other.cache_full_drops;
   cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
   truncated = truncated || other.truncated;
   return *this;

@@ -54,6 +54,21 @@ struct PathFinderStats {
   long backtracks = 0;
   long vector_trials = 0;         ///< sensitization vectors attempted
   long justify_limited = 0;       ///< solves dropped at the backtrack budget
+
+  // Justification memo cache (zero when PathFinderOptions::justify_cache
+  // is kOff).  cache_prunes counts vector trials skipped outright because
+  // the trial's goal conjunction is known infeasible from a fresh state
+  // (pruned trials are skipped before being counted).  Pruning can only
+  // shrink the trial count: vector_trials + cache_prunes <= the uncached
+  // run's vector_trials, with strict inequality when a pruned trial's
+  // subtree would itself have attempted further trials.
+  long cache_hits = 0;          ///< probes answered from the table
+  long cache_misses = 0;        ///< probes that fell back to a fresh solve
+  long cache_prunes = 0;        ///< vector trials skipped via CONFLICT
+  long cache_inserts = 0;       ///< verdicts published to the table
+  long cache_insert_races = 0;  ///< inserts that lost to a concurrent twin
+  long cache_full_drops = 0;    ///< verdicts dropped on a full probe window
+
   double cpu_seconds = 0.0;       ///< wall clock of run(); on merge, the max
   bool truncated = false;         ///< a limit fired before exhaustion
 

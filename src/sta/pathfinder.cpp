@@ -24,7 +24,28 @@ struct PathFinder::Worker {
         state(owner.nl_.num_nets()),
         engine(owner.nl_, state),
         justifier(owner.nl_, state, engine,
-                  owner.opt_.use_scoap_guide ? &owner.guide_ : nullptr) {}
+                  owner.opt_.use_scoap_guide ? &owner.guide_ : nullptr) {
+    if (owner.opt_.justify_cache == JustifyCacheMode::kOff) return;
+    if (owner.opt_.justify_cache == JustifyCacheMode::kPerWorker) {
+      JustifyCache::Config cfg;
+      cfg.capacity = owner.opt_.justify_cache_capacity;
+      own_cache = std::make_unique<JustifyCache>(cfg);
+      cache = own_cache.get();
+    } else {
+      cache = owner.shared_cache_.get();
+    }
+    // Scratch solver for fresh-state memo solves: same netlist, guide and
+    // budget as the search solver, but its own assignment state so a memo
+    // solve never perturbs the DFS trail.  No excluded support bit — the
+    // fresh-state question has no launching source, which is exactly what
+    // makes its verdicts shareable across sources and threads.
+    memo_state = std::make_unique<AssignmentState>(owner.nl_.num_nets());
+    memo_engine = std::make_unique<ImplicationEngine>(owner.nl_, *memo_state);
+    memo_justifier = std::make_unique<Justifier>(
+        owner.nl_, *memo_state, *memo_engine,
+        owner.opt_.use_scoap_guide ? &owner.guide_ : nullptr);
+    memo_justifier->set_supports(&owner.supports_, -1);
+  }
 
   PathFinder& pf;
   AssignmentState state;
@@ -46,7 +67,25 @@ struct PathFinder::Worker {
   /// off) and its lane index for trace spans / per-worker metrics.
   util::MetricsShard* metrics = nullptr;
   int tid = 0;
+
+  /// Justification memo cache (null = kOff): the table this worker probes
+  /// (shared or private), plus the scratch solver context for fresh-state
+  /// verdict computation and reusable goal buffers for key building.
+  JustifyCache* cache = nullptr;
+  std::unique_ptr<JustifyCache> own_cache;
+  std::unique_ptr<AssignmentState> memo_state;
+  std::unique_ptr<ImplicationEngine> memo_engine;
+  std::unique_ptr<Justifier> memo_justifier;
+  std::vector<Goal> trial_goals;
+  std::vector<Goal> acc_goals;
+  std::vector<std::uint64_t> key_scratch;
 };
+
+/// Accumulated-prefix conjunctions above this size are not memoized (the
+/// per-gate side-set check still applies).  Deep prefixes recur rarely and
+/// their fresh solves are the costly ones; the earliest — and therefore
+/// smallest — infeasible prefix is the one that prunes anyway.
+constexpr std::size_t kMaxCachedGoalSet = 64;
 
 PathFinder::PathFinder(const netlist::Netlist& nl,
                        const charlib::CharLibrary& charlib,
@@ -55,6 +94,11 @@ PathFinder::PathFinder(const netlist::Netlist& nl,
   util::TraceSpan span(opt_.trace, "pathfinder/prepare", 0);
   guide_ = netlist::compute_controllability(nl);
   reach_ = netlist::reaches_output(nl);
+  if (opt_.justify_cache == JustifyCacheMode::kShared) {
+    JustifyCache::Config cfg;
+    cfg.capacity = opt_.justify_cache_capacity;
+    shared_cache_ = std::make_unique<JustifyCache>(cfg);
+  }
 
   // Primary-input support bitsets per net, for the justifier's
   // support-disjoint goal partitioning.
@@ -215,6 +259,91 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
   }
 }
 
+JustifyVerdict PathFinder::fresh_goal_verdict(Worker& w,
+                                              std::span<const Goal> goals) {
+  // One span per miss-solve (not per probe): the probe itself is a few
+  // atomic loads in the per-vector hot loop, the solve is where the time
+  // goes — and it is bounded to one per unique conjunction per table.
+  util::TraceSpan span(
+      opt_.trace,
+      opt_.trace != nullptr ? "justify_cache/solve" : std::string(),
+      w.tid + 1);
+  w.memo_state->reset();
+  const int budget = opt_.justify_cache_budget >= 0
+                         ? opt_.justify_cache_budget
+                         : opt_.justify_backtrack_budget;
+  const Justifier::Result r = w.memo_justifier->justify_all(
+      goals, kScenarioBoth, budget);
+  if (r.alive != kScenarioNone) return JustifyVerdict::kJustifiable;
+  return r.backtrack_limited ? JustifyVerdict::kBudgetLimited
+                             : JustifyVerdict::kConflict;
+}
+
+JustifyVerdict PathFinder::cached_verdict(Worker& w, const GoalSetKey& key,
+                                          std::span<const Goal> goals) {
+  JustifyVerdict v = w.cache->probe(key);
+  if (v != JustifyVerdict::kUnknown) {
+    ++w.stats.cache_hits;
+    return v;
+  }
+  ++w.stats.cache_misses;
+  v = fresh_goal_verdict(w, goals);
+  switch (w.cache->insert(key, v)) {
+    case JustifyCache::InsertOutcome::kInserted:
+      ++w.stats.cache_inserts;
+      break;
+    case JustifyCache::InsertOutcome::kRaced:
+      ++w.stats.cache_insert_races;
+      break;
+    case JustifyCache::InsertOutcome::kFull:
+      ++w.stats.cache_full_drops;
+      break;
+  }
+  return v;
+}
+
+bool PathFinder::trial_cached_infeasible(
+    Worker& w, const netlist::Instance& inst, int pin,
+    const charlib::SensitizationVector& vec) {
+  w.trial_goals.clear();
+  for (int q = 0; q < inst.cell->num_inputs(); ++q) {
+    if (q == pin) continue;
+    w.trial_goals.push_back({inst.inputs[q], vec.side_value(q)});
+  }
+  if (w.trial_goals.empty()) return false;
+
+  // Per-gate check: this vector's side-value conjunction on its own.  The
+  // same conjunction recurs from every source and prefix that traverses
+  // this (gate, pin, vector), so after warm-up nearly every probe hits and
+  // the check costs a hash plus a handful of atomic loads.
+  const GoalSetKey gate_key = canonicalize_goals(w.trial_goals, w.key_scratch);
+  if (gate_key.contradictory) return true;  // same net at 0 and 1
+  if (cached_verdict(w, gate_key, w.trial_goals) ==
+      JustifyVerdict::kConflict) {
+    return true;
+  }
+
+  // Joint prefix check: the accumulated side goals of the whole DFS prefix
+  // plus this gate's.  The uncached search rejects such a trial too — but
+  // through an in-context solve under the full backtrack budget, paid
+  // again by every source that reaches the same doomed conjunction.  Here
+  // the refutation is paid once (under the smaller memo budget) and every
+  // later encounter — any source, any thread — prunes on a probe hit.
+  if (w.goal_stack.empty()) return false;  // identical to gate_key
+  if (w.goal_stack.size() + w.trial_goals.size() > kMaxCachedGoalSet) {
+    return false;
+  }
+  w.acc_goals.assign(w.goal_stack.begin(), w.goal_stack.end());
+  w.acc_goals.insert(w.acc_goals.end(), w.trial_goals.begin(),
+                     w.trial_goals.end());
+  const GoalSetKey acc_key = canonicalize_goals(w.acc_goals, w.key_scratch);
+  // A contradiction against the prefix conflicts on assignment in every
+  // scenario; an uncached run records nothing from this trial either.
+  if (acc_key.contradictory) return true;
+  if (acc_key == gate_key) return false;  // prefix goals were duplicates
+  return cached_verdict(w, acc_key, w.acc_goals) == JustifyVerdict::kConflict;
+}
+
 void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
   if (stop_.load(std::memory_order_relaxed)) return;
   if (w.stats.vector_trials % 64 == 0) {
@@ -234,6 +363,15 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
     const auto& vectors = timing.vectors.at(f.pin);
     for (const charlib::SensitizationVector& vec : vectors) {
       if (stop_.load(std::memory_order_relaxed)) return;
+      // Memo-cache gate (before the trial is counted, so vector_trials
+      // reflects trials actually attempted): a fresh-state CONFLICT on the
+      // side-value conjunction means no source, prefix or direction can
+      // ever complete this trial — the whole subtree is skipped.
+      if (w.cache != nullptr && inst.cell->num_inputs() > 1 &&
+          trial_cached_infeasible(w, inst, f.pin, vec)) {
+        ++w.stats.cache_prunes;
+        continue;
+      }
       ++w.stats.vector_trials;
       const AssignmentState::Mark mark = w.state.mark();
       const std::size_t saved_goals = w.goal_stack.size();
@@ -542,10 +680,35 @@ PathFinderStats PathFinder::run(
         opt_.metrics->counter("pathfinder.sources_total");
     const util::CounterId workers =
         opt_.metrics->counter("pathfinder.workers");
+    // Cache counters are registered (and emitted, even when zero) whenever
+    // the cache is on, keeping the JSON key set a function of the options
+    // alone.  All ids are registered before the shard is created.
+    struct CacheMetricIds {
+      util::CounterId hits, misses, prunes, inserts, insert_races, full_drops;
+    };
+    CacheMetricIds cache_ids{};
+    const bool cache_on = opt_.justify_cache != JustifyCacheMode::kOff;
+    if (cache_on) {
+      cache_ids = {
+          opt_.metrics->counter("pathfinder.justify_cache.hits"),
+          opt_.metrics->counter("pathfinder.justify_cache.misses"),
+          opt_.metrics->counter("pathfinder.justify_cache.prunes"),
+          opt_.metrics->counter("pathfinder.justify_cache.inserts"),
+          opt_.metrics->counter("pathfinder.justify_cache.insert_races"),
+          opt_.metrics->counter("pathfinder.justify_cache.full_drops")};
+    }
     util::MetricsShard& shard = opt_.metrics->create_shard();
     shard.add(run_seconds, total.cpu_seconds);
     shard.add(sources_total, static_cast<long>(sources.size()));
     shard.add(workers, static_cast<long>(n_workers));
+    if (cache_on) {
+      shard.add(cache_ids.hits, total.cache_hits);
+      shard.add(cache_ids.misses, total.cache_misses);
+      shard.add(cache_ids.prunes, total.cache_prunes);
+      shard.add(cache_ids.inserts, total.cache_inserts);
+      shard.add(cache_ids.insert_races, total.cache_insert_races);
+      shard.add(cache_ids.full_drops, total.cache_full_drops);
+    }
   }
   sink_ = nullptr;
   return total;

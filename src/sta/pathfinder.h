@@ -23,11 +23,13 @@
 #include <array>
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 
 #include "charlib/charlibrary.h"
 #include "sta/delaycalc.h"
 #include "sta/justify.h"
+#include "sta/justify_cache.h"
 #include "sta/path.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
@@ -79,6 +81,29 @@ struct PathFinderOptions {
   /// max_seconds keep a deterministic *count* but not a deterministic set
   /// when threads > 1.
   int num_threads = 1;
+
+  /// Justification memo cache (see justify_cache.h).  Caching is strictly
+  /// result-neutral: only exhaustive fresh-state CONFLICT verdicts prune,
+  /// and those trials could never have recorded a path, so the enumerated
+  /// path set is bit-identical across kOff / kShared / kPerWorker at every
+  /// thread count.  Verdicts are pure functions of (netlist, goal set,
+  /// budget), so vector_trials is also identical between kShared and
+  /// kPerWorker and deterministic at any thread count — only less than or
+  /// equal to the kOff count (pruned trials are not counted as attempted).
+  JustifyCacheMode justify_cache = JustifyCacheMode::kOff;
+  /// Total slots of the memo table (16 bytes each; per worker in
+  /// kPerWorker mode).  Overflow degrades gracefully: verdicts that do not
+  /// fit are recomputed on demand, never invented.
+  std::size_t justify_cache_capacity = std::size_t{1} << 16;
+  /// Backtrack budget for the cache's fresh-state solves, deliberately far
+  /// below justify_backtrack_budget: a CONFLICT proven under any budget is
+  /// a complete refutation (the limit was not hit), while conjunctions too
+  /// hard to refute this cheaply are cached as kBudgetLimited and never
+  /// re-solved — bounding the worst-case cost a miss can add to the
+  /// search.  Purely a work/benefit knob: it never changes enumerated
+  /// paths, only which trials get pruned early.  < 0: use
+  /// justify_backtrack_budget.
+  int justify_cache_budget = 256;
 
   // --- Observability (all optional; null / <= 0 is a zero-overhead no-op).
   // Metrics and traces record observed state only and are NEVER inputs to
@@ -142,6 +167,22 @@ class PathFinder {
   void maybe_heartbeat();
   void extend(Worker& w, netlist::NetId net, unsigned alive);
   void record(Worker& w, netlist::NetId sink_net, unsigned alive);
+  /// Memo-cache gate for one (instance, entered pin, vector) trial: true
+  /// iff the trial's side-value conjunction — alone or joined with the
+  /// accumulated prefix goals — is known infeasible from a fresh state, in
+  /// which case the whole trial is skipped (it could never record a path).
+  /// Cache misses are resolved on the spot with a fresh-state solve on the
+  /// worker's scratch solver, so the decision is a pure function of the
+  /// goal set and identical for every cache mode and thread count.
+  bool trial_cached_infeasible(Worker& w, const netlist::Instance& inst,
+                               int pin,
+                               const charlib::SensitizationVector& vec);
+  /// probe → (on miss) fresh-state solve → publish.  `goals` must be the
+  /// conjunction `key` canonicalizes.
+  JustifyVerdict cached_verdict(Worker& w, const GoalSetKey& key,
+                                std::span<const Goal> goals);
+  /// Fresh-state joint solve of `goals` on the worker's scratch context.
+  JustifyVerdict fresh_goal_verdict(Worker& w, std::span<const Goal> goals);
   /// Polls the shared wall-clock deadline; on expiry flags truncation and
   /// raises the global stop.  The single deadline authority (bugfix: this
   /// used to be polled only every 64 vector trials in extend()).
@@ -167,6 +208,10 @@ class PathFinder {
   std::vector<std::vector<std::uint64_t>> supports_;
   std::vector<int> pi_bit_;
   std::vector<bool> reach_;
+  /// The cross-worker memo table (kShared mode only; workers own their
+  /// tables in kPerWorker mode).  Lives for the PathFinder's lifetime —
+  /// verdicts stay valid across run() calls of the same instance.
+  std::unique_ptr<JustifyCache> shared_cache_;
 
   // Run-scoped shared state.
   const std::function<void(const TruePath&)>* sink_ = nullptr;

@@ -4,7 +4,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cstdio>
 #include <set>
 #include <string>
 
@@ -14,6 +13,7 @@
 #include "sta/sta_tool.h"
 #include "tech/technology.h"
 #include "test_charlib.h"
+#include "test_paths.h"
 #include "util/thread_pool.h"
 
 namespace sasta::sta {
@@ -40,23 +40,7 @@ netlist::Netlist c17() {
       .netlist;
 }
 
-std::string hex_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
-
-/// Full byte-level fingerprint of a timed path: identity, vectors, side
-/// assignment, and bit-exact delays.
-std::string fingerprint(const netlist::Netlist& nl, const TimedPath& tp) {
-  std::string s = tp.path.full_key(nl);
-  s += "|" + hex_double(tp.delay) + "|" + hex_double(tp.arrival_slew);
-  for (const auto& [net, val] : tp.path.pi_assignment) {
-    s += ";" + nl.net(net).name + "=" + (val ? "1" : "0");
-  }
-  for (double d : tp.stage_delays) s += "," + hex_double(d);
-  return s;
-}
+using testing::hex_double;
 
 std::vector<std::string> run_sta(const netlist::Netlist& nl,
                                  StaToolOptions opt) {
@@ -65,7 +49,9 @@ std::vector<std::string> run_sta(const netlist::Netlist& nl,
   const StaResult res = tool.run();
   std::vector<std::string> prints;
   prints.reserve(res.paths.size());
-  for (const auto& tp : res.paths) prints.push_back(fingerprint(nl, tp));
+  for (const auto& tp : res.paths) {
+    prints.push_back(testing::timed_fingerprint(nl, tp));
+  }
   return prints;
 }
 
@@ -110,7 +96,9 @@ TEST(ParallelPathFinder, FindAllOrderMatchesSequential) {
 }
 
 // Parallel workers must also agree on aggregate statistics for exhaustive
-// runs (per-source counters are exact regardless of which worker ran them).
+// runs (per-source counters are exact regardless of which worker ran them)
+// — and on the paths themselves, down to every gate step, sensitization
+// vector, and side-input PI assignment, not just the counts.
 TEST(ParallelPathFinder, ExhaustiveStatsMatchSequential) {
   const netlist::Netlist nl = generated_circuit(9);
   const auto& cl = testing::test_charlib("90nm");
@@ -118,17 +106,24 @@ TEST(ParallelPathFinder, ExhaustiveStatsMatchSequential) {
   PathFinderOptions opt;
   opt.num_threads = 1;
   PathFinder sequential(nl, cl, opt);
-  const PathFinderStats want = sequential.run([](const TruePath&) {});
+  std::vector<TruePath> want_paths;
+  const PathFinderStats want =
+      sequential.run([&](const TruePath& p) { want_paths.push_back(p); });
 
   opt.num_threads = 8;
   PathFinder parallel(nl, cl, opt);
-  const PathFinderStats got = parallel.run([](const TruePath&) {});
+  std::vector<TruePath> got_paths;
+  const PathFinderStats got =
+      parallel.run([&](const TruePath& p) { got_paths.push_back(p); });
 
   EXPECT_EQ(got.paths_recorded, want.paths_recorded);
   EXPECT_EQ(got.courses, want.courses);
   EXPECT_EQ(got.multi_vector_courses, want.multi_vector_courses);
   EXPECT_EQ(got.vector_trials, want.vector_trials);
   EXPECT_FALSE(got.truncated);
+  ASSERT_FALSE(want_paths.empty());
+  EXPECT_EQ(testing::path_fingerprints(nl, got_paths),
+            testing::path_fingerprints(nl, want_paths));
 }
 
 /// Top-N (course_key, vector, delay) set of an StaTool run.

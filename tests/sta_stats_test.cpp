@@ -17,6 +17,12 @@ PathFinderStats sample(long base) {
   s.backtracks = base + 4;
   s.vector_trials = base + 5;
   s.justify_limited = base + 6;
+  s.cache_hits = base + 7;
+  s.cache_misses = base + 8;
+  s.cache_prunes = base + 9;
+  s.cache_inserts = base + 10;
+  s.cache_insert_races = base + 11;
+  s.cache_full_drops = base + 12;
   s.cpu_seconds = static_cast<double>(base);
   return s;
 }
@@ -30,6 +36,12 @@ TEST(PathFinderStats, CounterFieldsSum) {
   EXPECT_EQ(total.backtracks, 14 + 104);
   EXPECT_EQ(total.vector_trials, 15 + 105);
   EXPECT_EQ(total.justify_limited, 16 + 106);
+  EXPECT_EQ(total.cache_hits, 17 + 107);
+  EXPECT_EQ(total.cache_misses, 18 + 108);
+  EXPECT_EQ(total.cache_prunes, 19 + 109);
+  EXPECT_EQ(total.cache_inserts, 20 + 110);
+  EXPECT_EQ(total.cache_insert_races, 21 + 111);
+  EXPECT_EQ(total.cache_full_drops, 22 + 112);
 }
 
 TEST(PathFinderStats, CpuSecondsMergesAsMax) {

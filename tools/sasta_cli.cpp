@@ -15,6 +15,13 @@
 //   --threads N          worker threads for path enumeration (default 0 =
 //                        all hardware threads; 1 = sequential).  Reported
 //                        paths are identical for every thread count.
+//   --justify-cache M    off | shared | per-worker  (default shared):
+//                        memoize fresh-state justification verdicts so
+//                        infeasible sensitization conjunctions are refuted
+//                        once instead of per source/thread.  Results are
+//                        bit-identical in every mode; "shared" is one
+//                        lock-free table across all worker threads.
+//   --justify-cache-slots N  memo table capacity in entries (default 65536)
 //   --baseline           also run the two-step commercial-style baseline
 //   --golden             verify reported paths with transistor-level
 //                        simulation
@@ -71,6 +78,11 @@ struct Options {
   double max_seconds = 60.0;
   int budget = 2000;
   int threads = 0;  ///< 0 = all hardware threads
+  /// CLI default is the shared cache (the library default stays kOff so
+  /// programmatic users opt in explicitly).
+  sasta::sta::JustifyCacheMode justify_cache =
+      sasta::sta::JustifyCacheMode::kShared;
+  std::size_t justify_cache_slots = std::size_t{1} << 16;
   bool baseline = false;
   bool golden = false;
   bool full_char = false;
@@ -96,6 +108,8 @@ struct Options {
   std::cerr << "usage: " << argv0
             << " [--tech T] [--paths N] [--prune] [--max-seconds S]\n"
                "       [--budget B] [--threads N] [--baseline] [--golden]\n"
+               "       [--justify-cache off|shared|per-worker]\n"
+               "       [--justify-cache-slots N]\n"
                "       [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
@@ -123,6 +137,21 @@ Options parse_args(int argc, char** argv) {
       o.budget = std::stoi(value());
     } else if (a == "--threads") {
       o.threads = std::stoi(value());
+    } else if (a == "--justify-cache") {
+      const std::string mode = value();
+      if (mode == "off") {
+        o.justify_cache = sasta::sta::JustifyCacheMode::kOff;
+      } else if (mode == "shared") {
+        o.justify_cache = sasta::sta::JustifyCacheMode::kShared;
+      } else if (mode == "per-worker") {
+        o.justify_cache = sasta::sta::JustifyCacheMode::kPerWorker;
+      } else {
+        std::cerr << "unknown --justify-cache mode '" << mode
+                  << "' (off | shared | per-worker)\n";
+        usage(argv[0]);
+      }
+    } else if (a == "--justify-cache-slots") {
+      o.justify_cache_slots = std::stoul(value());
     } else if (a == "--baseline") {
       o.baseline = true;
     } else if (a == "--golden") {
@@ -282,6 +311,8 @@ int main(int argc, char** argv) {
     sopt.finder.max_seconds = opt.max_seconds;
     sopt.finder.justify_backtrack_budget = opt.budget;
     sopt.finder.num_threads = opt.threads;
+    sopt.finder.justify_cache = opt.justify_cache;
+    sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
     sopt.delay.temperature_c = opt.temp_c;
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
@@ -299,6 +330,20 @@ int main(int argc, char** argv) {
               << res.stats.multi_vector_courses << " multi-vector, "
               << res.stats.justify_limited << " budget drops"
               << (res.stats.truncated ? ", TRUNCATED" : "") << ")\n";
+    if (opt.justify_cache != sta::JustifyCacheMode::kOff) {
+      const long probes = res.stats.cache_hits + res.stats.cache_misses;
+      std::cout << "justify cache: " << res.stats.cache_prunes
+                << " trials pruned, " << res.stats.cache_hits << "/" << probes
+                << " probes hit ("
+                << util::format_percent(
+                       probes > 0
+                           ? static_cast<double>(res.stats.cache_hits) / probes
+                           : 0.0,
+                       1)
+                << "), " << res.stats.cache_inserts << " inserts, "
+                << res.stats.cache_insert_races << " races, "
+                << res.stats.cache_full_drops << " drops\n";
+    }
     std::cout << "worst true paths:\n";
     for (const auto& tp : res.paths) {
       std::cout << "  " << util::format_fixed(tp.delay * 1e12, 1) << " ps  "
