@@ -261,16 +261,18 @@ int run() {
   }
 
   // Cross-thread justification memo cache: the same exhaustive enumeration
-  // at 8 threads, --justify-cache off vs shared.  The cache may only change
-  // how much work is done, never what is found: the delivered path list must
-  // be byte-identical (full keys, order included) and vector_trials must not
-  // increase.  Runs are budget-free so both sides are exhaustive and
-  // deterministic.
+  // at 8 threads, --justify-cache off vs shared, the latter at each
+  // refutation tier (implication-only / solver-only / both).  The cache and
+  // the tier choice may only change how much work is done, never what is
+  // found: the delivered path list must be byte-identical (full keys, order
+  // included) at every tier and vector_trials must not increase.  Runs are
+  // budget-free so every side is exhaustive and deterministic.
   {
-    print_title("Justification memo cache (off vs shared, 8 threads)");
-    const std::vector<int> cwidths{9, 8, 8, 8, 9, 8, 7, 10};
+    print_title(
+        "Justification memo cache (off vs shared x tier, 8 threads)");
+    const std::vector<int> cwidths{9, 12, 8, 8, 9, 8, 7, 8, 8, 8, 10};
     print_row({"circuit", "mode", "cpu_s", "paths", "trials", "pruned",
-               "hit%", "identical"},
+               "hit%", "impRef", "escal", "subset", "identical"},
               cwidths);
 
     struct CacheRun {
@@ -278,11 +280,13 @@ int run() {
       std::vector<std::string> keys;
     };
     const auto enumerate = [&](const netlist::Netlist& nl,
-                               sta::JustifyCacheMode mode) {
+                               sta::JustifyCacheMode mode,
+                               sta::JustifyTier tier) {
       CacheRun run;
       sta::PathFinderOptions opt;
       opt.num_threads = 8;
       opt.justify_cache = mode;
+      opt.justify_tier = tier;
       sta::PathFinder finder(nl, cl, opt);
       run.stats = finder.run(
           [&](const sta::TruePath& p) { run.keys.push_back(p.full_key(nl)); });
@@ -310,53 +314,85 @@ int run() {
       const auto mapped = netlist::tech_map(prim, library());
       const netlist::Netlist& nl = mapped.netlist;
 
-      const CacheRun off = enumerate(nl, sta::JustifyCacheMode::kOff);
-      const CacheRun shared = enumerate(nl, sta::JustifyCacheMode::kShared);
-      const long probes =
-          shared.stats.cache_hits + shared.stats.cache_misses;
-      const double hit_rate =
-          probes == 0 ? 0.0
-                      : static_cast<double>(shared.stats.cache_hits) /
-                            static_cast<double>(probes);
-      const bool identical = shared.keys == off.keys;
-
-      if (metrics != nullptr) {
-        // Register every id before creating the shard: a shard ignores ids
-        // registered after it exists (see util/metrics.h).
-        const std::string base = "table6." + name + ".justify_cache";
-        const util::CounterId hits = metrics->counter(base + ".hits");
-        const util::CounterId misses = metrics->counter(base + ".misses");
-        const util::CounterId prunes = metrics->counter(base + ".prunes");
-        const util::CounterId trials_off =
-            metrics->counter(base + ".trials_off");
-        const util::CounterId trials_shared =
-            metrics->counter(base + ".trials_shared");
-        const util::GaugeId rate = metrics->gauge(base + ".hit_rate");
-        util::MetricsShard& shard = metrics->create_shard();
-        shard.add(hits, shared.stats.cache_hits);
-        shard.add(misses, shared.stats.cache_misses);
-        shard.add(prunes, shared.stats.cache_prunes);
-        shard.add(trials_off, off.stats.vector_trials);
-        shard.add(trials_shared, shared.stats.vector_trials);
-        shard.set(rate, hit_rate);
-      }
-
+      const CacheRun off = enumerate(nl, sta::JustifyCacheMode::kOff,
+                                     sta::JustifyTier::kBoth);
       print_row({name, "off", util::format_fixed(off.stats.cpu_seconds, 2),
                  std::to_string(off.stats.paths_recorded),
-                 std::to_string(off.stats.vector_trials), "-", "-", "-"},
+                 std::to_string(off.stats.vector_trials), "-", "-", "-", "-",
+                 "-", "-"},
                 cwidths);
-      print_row({name, "shared",
-                 util::format_fixed(shared.stats.cpu_seconds, 2),
-                 std::to_string(shared.stats.paths_recorded),
-                 std::to_string(shared.stats.vector_trials),
-                 std::to_string(shared.stats.cache_prunes),
-                 util::format_percent(hit_rate, 1),
-                 identical ? "yes" : "NO (BUG)"},
-                cwidths);
+
+      const struct {
+        const char* label;
+        sta::JustifyTier tier;
+      } tiers[] = {{"implication", sta::JustifyTier::kImplication},
+                   {"solver", sta::JustifyTier::kSolver},
+                   {"both", sta::JustifyTier::kBoth}};
+      for (const auto& [tier_label, tier] : tiers) {
+        const CacheRun shared =
+            enumerate(nl, sta::JustifyCacheMode::kShared, tier);
+        const long probes =
+            shared.stats.cache_hits + shared.stats.cache_misses;
+        const double hit_rate =
+            probes == 0 ? 0.0
+                        : static_cast<double>(shared.stats.cache_hits) /
+                              static_cast<double>(probes);
+        const bool identical = shared.keys == off.keys;
+
+        if (metrics != nullptr) {
+          // Register every id before creating the shard: a shard ignores
+          // ids registered after it exists (see util/metrics.h).
+          const std::string base = "table6." + name + ".justify_cache." +
+                                   tier_label;
+          const util::CounterId hits = metrics->counter(base + ".hits");
+          const util::CounterId misses = metrics->counter(base + ".misses");
+          const util::CounterId prunes = metrics->counter(base + ".prunes");
+          const util::CounterId trials_off =
+              metrics->counter(base + ".trials_off");
+          const util::CounterId trials_shared =
+              metrics->counter(base + ".trials_shared");
+          const util::CounterId implication_refutes =
+              metrics->counter(base + ".implication_refutes");
+          const util::CounterId solver_escalations =
+              metrics->counter(base + ".solver_escalations");
+          const util::CounterId subset_hits =
+              metrics->counter(base + ".subset_hits");
+          const util::CounterId negative_hits =
+              metrics->counter(base + ".negative_hits");
+          const util::GaugeId rate = metrics->gauge(base + ".hit_rate");
+          const util::GaugeId seconds = metrics->gauge(base + ".seconds");
+          util::MetricsShard& shard = metrics->create_shard();
+          shard.add(hits, shared.stats.cache_hits);
+          shard.add(misses, shared.stats.cache_misses);
+          shard.add(prunes, shared.stats.cache_prunes);
+          shard.add(trials_off, off.stats.vector_trials);
+          shard.add(trials_shared, shared.stats.vector_trials);
+          shard.add(implication_refutes, shared.stats.implication_refutes);
+          shard.add(solver_escalations, shared.stats.solver_escalations);
+          shard.add(subset_hits, shared.stats.subset_hits);
+          shard.add(negative_hits, shared.stats.negative_hits);
+          shard.set(rate, hit_rate);
+          shard.set(seconds, shared.stats.cpu_seconds);
+        }
+
+        print_row({name, std::string("shared/") + tier_label,
+                   util::format_fixed(shared.stats.cpu_seconds, 2),
+                   std::to_string(shared.stats.paths_recorded),
+                   std::to_string(shared.stats.vector_trials),
+                   std::to_string(shared.stats.cache_prunes),
+                   util::format_percent(hit_rate, 1),
+                   std::to_string(shared.stats.implication_refutes),
+                   std::to_string(shared.stats.solver_escalations),
+                   std::to_string(shared.stats.subset_hits),
+                   identical ? "yes" : "NO (BUG)"},
+                  cwidths);
+      }
     }
     std::cout << "(shared-cache trials <= off trials by construction; the "
                  "pruned column counts\nvector trials preempted by memoized "
-                 "CONFLICT verdicts)\n";
+                 "CONFLICT verdicts.  impRef / escal split each miss by the\n"
+                 "tier that settled it; subset counts multi-component misses "
+                 "refuted by a memoized\ncomponent CONFLICT)\n";
   }
 
   if (metrics != nullptr) {

@@ -27,11 +27,21 @@
 
 namespace sasta::sta {
 
-/// One steady-line requirement.
-struct Goal {
-  netlist::NetId net = netlist::kNoId;
-  bool value = false;
-};
+// struct Goal lives in implication.h (shared with the closure refuter).
+
+/// Partitions `goals` into support-disjoint components: goals whose cones
+/// share no free primary input cannot interact, so each component is an
+/// independent satisfiability problem.  `excluded_bit` removes one PI (a
+/// fixed transition source) from the overlap test; -1 excludes nothing.
+/// Deterministic: goals are ordered canonically (by net, then value)
+/// before the union-find, components are emitted in order of their
+/// smallest member, and each component's goals come out sorted — so the
+/// output is a pure function of the goal *set*, independent of input
+/// order and duplicates (duplicates stay within their component).
+std::vector<std::vector<Goal>> partition_support_disjoint(
+    std::span<const Goal> goals,
+    const std::vector<std::vector<std::uint64_t>>& supports,
+    int excluded_bit = -1);
 
 class Justifier {
  public:

@@ -9,7 +9,7 @@ namespace sasta::sta {
 namespace {
 
 constexpr std::uint64_t kLo48Mask = (std::uint64_t{1} << 48) - 1;
-constexpr std::uint64_t kVerdictMask = 0x3;
+constexpr std::uint64_t kVerdictMask = 0x7;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -60,7 +60,7 @@ GoalSetKey canonicalize_goals(std::span<const Goal> goals,
     }
   }
   // Two independently seeded chains over the canonical sequence give a
-  // 128-bit fingerprint; 110 bits of it are verified on every table hit.
+  // 128-bit fingerprint; 109 bits of it are verified on every table hit.
   std::uint64_t lo = 0x243f6a8885a308d3ULL;
   std::uint64_t hi = 0x13198a2e03707344ULL ^ packed.size();
   for (const std::uint64_t p : packed) {

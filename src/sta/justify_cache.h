@@ -37,19 +37,19 @@
 // blocking anywhere.  An entry is two 64-bit atomics:
 //
 //   tag     = [epoch:16 | key.lo:48]   claimed by CAS (0 = never used)
-//   payload = [key.hi:62 | verdict:2]  published with release order after
+//   payload = [key.hi:61 | verdict:3]  published with release order after
 //                                      the claim (0 = claim pending)
 //
-// Readers verify 48 + 62 = 110 bits of the 128-bit goal-set fingerprint,
-// so a wrong-verdict aliasing requires a 110-bit collision between two
+// Readers verify 48 + 61 = 109 bits of the 128-bit goal-set fingerprint,
+// so a wrong-verdict aliasing requires a 109-bit collision between two
 // canonical goal sets probed in one run — negligible against the test
 // battery's differential checks, and an *eviction-like* miss (not a wrong
 // answer) in every partial-collision case.  clear() bumps the epoch, an
 // O(1) invalidation of all entries that never touches slot memory and is
 // safe against concurrent probes (stale-epoch entries read as empty and
 // are reclaimed by later inserts).  Epochs wrap at 2^16 - 1 generations;
-// verdicts are pure per netlist/budget, so even an ABA'd survivor would
-// still be correct for the same PathFinder instance.
+// verdicts are pure per netlist/tier/budget, so even an ABA'd survivor
+// would still be correct for the same PathFinder instance.
 #pragma once
 
 #include <atomic>
@@ -68,13 +68,26 @@ enum class JustifyCacheMode {
   kPerWorker  ///< a private table per worker (no cross-thread sharing)
 };
 
-/// Fresh-state verdict for a canonical goal set.  Values 1..3 are the
-/// stored tri-state; kUnknown doubles as "not cached".
+/// Refutation tiers for resolving a memo-cache miss (see pathfinder.h).
+enum class JustifyTier {
+  kImplication,  ///< closure-only: CONFLICT or give up (ablation)
+  kSolver,       ///< budgeted backtracking solver only (the PR3 pipeline)
+  kBoth          ///< closure first, escalate to the solver (default)
+};
+
+/// Fresh-state verdict for a canonical goal set.  Values 1..5 are stored;
+/// kUnknown doubles as "not cached".  Only kConflict authorizes pruning —
+/// every other verdict is either positive-but-context-bound
+/// (kJustifiable) or a *negative memo* (kBudgetLimited, kInconclusive)
+/// whose whole point is to stop repeat misses from re-running the tier
+/// that already gave up on this conjunction.
 enum class JustifyVerdict : std::uint8_t {
-  kUnknown = 0,       ///< not in the table (miss / pending / overflow)
-  kJustifiable = 1,   ///< a witness exists from a fresh state
-  kConflict = 2,      ///< exhaustively refuted — infeasible in any context
-  kBudgetLimited = 3  ///< the solve gave up on its backtrack budget
+  kUnknown = 0,        ///< not in the table (miss / pending / overflow)
+  kJustifiable = 1,    ///< a witness exists from a fresh state
+  kConflict = 2,       ///< exhaustively refuted — infeasible in any context
+  kBudgetLimited = 3,  ///< the full solver gave up on its backtrack budget
+  kInconclusive = 4    ///< implication-only tier could not refute (the
+                       ///< solver was not consulted; kImplication ablation)
 };
 
 /// Canonical identity of a goal conjunction: the 128-bit fingerprint of

@@ -17,6 +17,10 @@ PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
   cache_inserts += other.cache_inserts;
   cache_insert_races += other.cache_insert_races;
   cache_full_drops += other.cache_full_drops;
+  implication_refutes += other.implication_refutes;
+  solver_escalations += other.solver_escalations;
+  subset_hits += other.subset_hits;
+  negative_hits += other.negative_hits;
   cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
   truncated = truncated || other.truncated;
   return *this;

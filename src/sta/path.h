@@ -63,11 +63,25 @@ struct PathFinderStats {
   // run's vector_trials, with strict inequality when a pruned trial's
   // subtree would itself have attempted further trials.
   long cache_hits = 0;          ///< probes answered from the table
-  long cache_misses = 0;        ///< probes that fell back to a fresh solve
+  long cache_misses = 0;        ///< probes that fell back to a fresh refute
   long cache_prunes = 0;        ///< vector trials skipped via CONFLICT
   long cache_inserts = 0;       ///< verdicts published to the table
   long cache_insert_races = 0;  ///< inserts that lost to a concurrent twin
   long cache_full_drops = 0;    ///< verdicts dropped on a full probe window
+
+  // Tiered refutation (see PathFinderOptions::justify_tier).  Misses are
+  // resolved per support-disjoint component: the implication-closure tier
+  // first (zero backtracking), the budgeted solver only on escalation.
+  long implication_refutes = 0;  ///< component misses refuted by closure
+                                 ///< alone — no solver involved
+  long solver_escalations = 0;   ///< component misses that ran the full
+                                 ///< budgeted backtracking solver
+  long subset_hits = 0;          ///< multi-component miss refuted by an
+                                 ///< already-cached component CONFLICT —
+                                 ///< the learned subset spared the solve
+  long negative_hits = 0;        ///< probe hits on a negative memo
+                                 ///< (kBudgetLimited / kInconclusive):
+                                 ///< repeat misses that skipped re-solving
 
   double cpu_seconds = 0.0;       ///< wall clock of run(); on merge, the max
   bool truncated = false;         ///< a limit fired before exhaustion

@@ -259,16 +259,41 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
   }
 }
 
-JustifyVerdict PathFinder::fresh_goal_verdict(Worker& w,
-                                              std::span<const Goal> goals) {
-  // One span per miss-solve (not per probe): the probe itself is a few
-  // atomic loads in the per-vector hot loop, the solve is where the time
-  // goes — and it is bounded to one per unique conjunction per table.
+JustifyVerdict PathFinder::refute_component(Worker& w,
+                                            std::span<const Goal> goals) {
+  // Tier 1 — implication closure: assert the conjunction on the scratch
+  // state and propagate to the fixpoint.  Zero backtracking, O(cone), and
+  // a closure contradiction is already a complete refutation (implication
+  // derives only consequences), so most infeasible conjunctions never
+  // reach the solver at all.
+  w.memo_state->reset();
+  if (opt_.justify_tier != JustifyTier::kSolver) {
+    if (w.memo_engine->assign_steady_goals(goals, kScenarioBoth) ==
+        kScenarioNone) {
+      ++w.stats.implication_refutes;
+      return JustifyVerdict::kConflict;
+    }
+    if (opt_.justify_tier == JustifyTier::kImplication) {
+      // Closure-only ablation: negatively memoize "could not refute" so
+      // repeat misses on this conjunction skip even the closure pass.
+      return JustifyVerdict::kInconclusive;
+    }
+  }
+
+  // Tier 2 — the budgeted backtracking solver, run directly on the
+  // closure-propagated state (no re-reset: the closure derived only
+  // consequences the solver's own assign_steady calls would re-derive, so
+  // escalation costs one solve, not closure + solve).  The state is still
+  // a pure function of the canonical goal sequence, so verdicts stay
+  // deterministic across threads, cache modes and call sites.  One span
+  // per escalation (not per probe or closure pass): escalations are where
+  // the miss time goes, and each unique conjunction escalates at most once
+  // per table.
+  ++w.stats.solver_escalations;
   util::TraceSpan span(
       opt_.trace,
       opt_.trace != nullptr ? "justify_cache/solve" : std::string(),
       w.tid + 1);
-  w.memo_state->reset();
   const int budget = opt_.justify_cache_budget >= 0
                          ? opt_.justify_cache_budget
                          : opt_.justify_backtrack_budget;
@@ -279,15 +304,101 @@ JustifyVerdict PathFinder::fresh_goal_verdict(Worker& w,
                              : JustifyVerdict::kConflict;
 }
 
+JustifyVerdict PathFinder::component_verdict(Worker& w,
+                                             std::span<const Goal> goals,
+                                             bool& was_hit) {
+  const GoalSetKey key = canonicalize_goals(goals, w.key_scratch);
+  JustifyVerdict v = w.cache->probe(key);
+  if (v != JustifyVerdict::kUnknown) {
+    was_hit = true;
+    ++w.stats.cache_hits;
+    if (v == JustifyVerdict::kBudgetLimited ||
+        v == JustifyVerdict::kInconclusive) {
+      ++w.stats.negative_hits;
+    }
+    return v;
+  }
+  was_hit = false;
+  ++w.stats.cache_misses;
+  v = refute_component(w, goals);
+  switch (w.cache->insert(key, v)) {
+    case JustifyCache::InsertOutcome::kInserted:
+      ++w.stats.cache_inserts;
+      break;
+    case JustifyCache::InsertOutcome::kRaced:
+      ++w.stats.cache_insert_races;
+      break;
+    case JustifyCache::InsertOutcome::kFull:
+      ++w.stats.cache_full_drops;
+      break;
+  }
+  return v;
+}
+
 JustifyVerdict PathFinder::cached_verdict(Worker& w, const GoalSetKey& key,
                                           std::span<const Goal> goals) {
   JustifyVerdict v = w.cache->probe(key);
   if (v != JustifyVerdict::kUnknown) {
     ++w.stats.cache_hits;
+    if (v == JustifyVerdict::kBudgetLimited ||
+        v == JustifyVerdict::kInconclusive) {
+      ++w.stats.negative_hits;
+    }
     return v;
   }
   ++w.stats.cache_misses;
-  v = fresh_goal_verdict(w, goals);
+
+  if (goals.size() < 2) {
+    // A single goal is its own component: skip the partition allocation.
+    v = refute_component(w, goals);
+    switch (w.cache->insert(key, v)) {
+      case JustifyCache::InsertOutcome::kInserted:
+        ++w.stats.cache_inserts;
+        break;
+      case JustifyCache::InsertOutcome::kRaced:
+        ++w.stats.cache_insert_races;
+        break;
+      case JustifyCache::InsertOutcome::kFull:
+        ++w.stats.cache_full_drops;
+        break;
+    }
+    return v;
+  }
+
+  // Resolve the miss support-disjoint component by component.  Components
+  // cannot interact, so one component's CONFLICT refutes the whole
+  // conjunction, per-component budgets match what justify_all would grant,
+  // and a joint witness exists iff every component has one.  Caching each
+  // component under its own key is the conflict-subset learning: a refuted
+  // component re-refutes every future superset by a probe, and — unlike
+  // learning from a whole-set solve — keeps the verdict a pure function of
+  // the goal set (the partition is canonical, so neither caller goal order
+  // nor cache warm-up can change any verdict, which is what keeps
+  // vector_trials deterministic across threads and cache modes).
+  const std::vector<std::vector<Goal>> components =
+      partition_support_disjoint(goals, supports_, -1);
+  if (components.size() == 1) {
+    v = refute_component(w, components.front());
+  } else {
+    v = JustifyVerdict::kJustifiable;
+    for (const std::vector<Goal>& component : components) {
+      bool sub_hit = false;
+      const JustifyVerdict sub = component_verdict(w, component, sub_hit);
+      if (sub == JustifyVerdict::kConflict) {
+        if (sub_hit) ++w.stats.subset_hits;
+        v = JustifyVerdict::kConflict;
+        break;  // deterministic: components come in canonical order
+      }
+      // No conflict anywhere: the weakest component verdict stands (a
+      // budget-limited or inconclusive part leaves the whole set unproven
+      // either way; none of these verdicts ever authorizes a prune).
+      if (sub == JustifyVerdict::kBudgetLimited ||
+          (sub == JustifyVerdict::kInconclusive &&
+           v == JustifyVerdict::kJustifiable)) {
+        v = sub;
+      }
+    }
+  }
   switch (w.cache->insert(key, v)) {
     case JustifyCache::InsertOutcome::kInserted:
       ++w.stats.cache_inserts;
@@ -685,6 +796,8 @@ PathFinderStats PathFinder::run(
     // alone.  All ids are registered before the shard is created.
     struct CacheMetricIds {
       util::CounterId hits, misses, prunes, inserts, insert_races, full_drops;
+      util::CounterId implication_refutes, solver_escalations, subset_hits,
+          negative_hits;
     };
     CacheMetricIds cache_ids{};
     const bool cache_on = opt_.justify_cache != JustifyCacheMode::kOff;
@@ -695,7 +808,13 @@ PathFinderStats PathFinder::run(
           opt_.metrics->counter("pathfinder.justify_cache.prunes"),
           opt_.metrics->counter("pathfinder.justify_cache.inserts"),
           opt_.metrics->counter("pathfinder.justify_cache.insert_races"),
-          opt_.metrics->counter("pathfinder.justify_cache.full_drops")};
+          opt_.metrics->counter("pathfinder.justify_cache.full_drops"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.implication_refutes"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.solver_escalations"),
+          opt_.metrics->counter("pathfinder.justify_cache.subset_hits"),
+          opt_.metrics->counter("pathfinder.justify_cache.negative_hits")};
     }
     util::MetricsShard& shard = opt_.metrics->create_shard();
     shard.add(run_seconds, total.cpu_seconds);
@@ -708,6 +827,10 @@ PathFinderStats PathFinder::run(
       shard.add(cache_ids.inserts, total.cache_inserts);
       shard.add(cache_ids.insert_races, total.cache_insert_races);
       shard.add(cache_ids.full_drops, total.cache_full_drops);
+      shard.add(cache_ids.implication_refutes, total.implication_refutes);
+      shard.add(cache_ids.solver_escalations, total.solver_escalations);
+      shard.add(cache_ids.subset_hits, total.subset_hits);
+      shard.add(cache_ids.negative_hits, total.negative_hits);
     }
   }
   sink_ = nullptr;

@@ -95,6 +95,17 @@ struct PathFinderOptions {
   /// kPerWorker mode).  Overflow degrades gracefully: verdicts that do not
   /// fit are recomputed on demand, never invented.
   std::size_t justify_cache_capacity = std::size_t{1} << 16;
+  /// How a memo-cache miss is refuted.  Misses resolve per
+  /// support-disjoint component of the goal conjunction: kBoth (default)
+  /// runs the zero-backtracking implication-closure refuter first and
+  /// escalates to the budgeted solver only when closure is inconclusive;
+  /// kImplication stops after closure (cheapest misses, fewest CONFLICT
+  /// verdicts); kSolver skips closure (the pre-tier pipeline).  Purely a
+  /// work/benefit ablation knob: every tier's CONFLICT is a sound
+  /// exhaustive refutation, so enumerated paths are bit-identical across
+  /// tiers — and because verdicts stay pure functions of the goal set,
+  /// vector_trials is deterministic per tier at every thread count.
+  JustifyTier justify_tier = JustifyTier::kBoth;
   /// Backtrack budget for the cache's fresh-state solves, deliberately far
   /// below justify_backtrack_budget: a CONFLICT proven under any budget is
   /// a complete refutation (the limit was not hit), while conjunctions too
@@ -177,12 +188,22 @@ class PathFinder {
   bool trial_cached_infeasible(Worker& w, const netlist::Instance& inst,
                                int pin,
                                const charlib::SensitizationVector& vec);
-  /// probe → (on miss) fresh-state solve → publish.  `goals` must be the
-  /// conjunction `key` canonicalizes.
+  /// probe → (on miss) per-component tiered refutation → publish.
+  /// `goals` must be the conjunction `key` canonicalizes.  A miss is
+  /// resolved support-disjoint component by component, each verdict cached
+  /// under its own key: one component's CONFLICT refutes the whole
+  /// conjunction, and because refuted components are (re-)inserted
+  /// standalone, every future superset containing one is refuted by a
+  /// probe instead of a solve (conflict-subset learning).
   JustifyVerdict cached_verdict(Worker& w, const GoalSetKey& key,
                                 std::span<const Goal> goals);
-  /// Fresh-state joint solve of `goals` on the worker's scratch context.
-  JustifyVerdict fresh_goal_verdict(Worker& w, std::span<const Goal> goals);
+  /// probe → (on miss) tiered refutation → publish for one
+  /// support-disjoint component.  `was_hit` reports a table hit.
+  JustifyVerdict component_verdict(Worker& w, std::span<const Goal> goals,
+                                   bool& was_hit);
+  /// Tier dispatch for one component on the worker's scratch context:
+  /// implication closure, then (tier permitting) the budgeted solver.
+  JustifyVerdict refute_component(Worker& w, std::span<const Goal> goals);
   /// Polls the shared wall-clock deadline; on expiry flags truncation and
   /// raises the global stop.  The single deadline authority (bugfix: this
   /// used to be polled only every 64 vector trials in extend()).

@@ -21,6 +21,9 @@
 #include "netlist/bench_parser.h"
 #include "netlist/iscas_gen.h"
 #include "netlist/techmap.h"
+#include "sta/assignment.h"
+#include "sta/implication.h"
+#include "sta/justify.h"
 #include "sta/justify_cache.h"
 #include "sta/pathfinder.h"
 #include "sta/report.h"
@@ -60,11 +63,13 @@ struct EnumRun {
 };
 
 EnumRun enumerate(const netlist::Netlist& nl, JustifyCacheMode mode,
-                  int threads, std::size_t capacity = std::size_t{1} << 16) {
+                  int threads, std::size_t capacity = std::size_t{1} << 16,
+                  JustifyTier tier = JustifyTier::kBoth) {
   PathFinderOptions opt;
   opt.num_threads = threads;
   opt.justify_cache = mode;
   opt.justify_cache_capacity = capacity;
+  opt.justify_tier = tier;
   PathFinder finder(nl, testing::test_charlib("90nm"), opt);
   EnumRun run;
   std::vector<TruePath> paths;
@@ -120,17 +125,20 @@ TEST(JustifyCacheDifferential, ModesAndThreadsAreResultIdentical) {
 }
 
 // Full-pipeline differential: the StaTool timing report — the actual user
-// artifact, slacks included — is byte-identical across cache modes.
+// artifact, slacks included — is byte-identical across every cache mode,
+// refutation tier, and thread count (the --justify-tier x --justify-cache
+// x threads result-neutrality matrix).
 TEST(JustifyCacheDifferential, TimingReportBytesIdenticalAcrossModes) {
   const netlist::Netlist nl = generated_circuit(7, 12, 70);
   const auto& cl = testing::test_charlib("90nm");
   const auto& tech = tech::technology("90nm");
 
-  auto render = [&](JustifyCacheMode mode, int threads) {
+  auto render = [&](JustifyCacheMode mode, JustifyTier tier, int threads) {
     StaToolOptions opt;
     opt.keep_worst = 10;
     opt.finder.num_threads = threads;
     opt.finder.justify_cache = mode;
+    opt.finder.justify_tier = tier;
     const StaResult res = StaTool(nl, cl, tech, opt).run();
     std::ostringstream os;
     for (const auto& tp : res.paths) {
@@ -144,13 +152,19 @@ TEST(JustifyCacheDifferential, TimingReportBytesIdenticalAcrossModes) {
     return os.str();
   };
 
-  const std::string base = render(JustifyCacheMode::kOff, 1);
+  const std::string base =
+      render(JustifyCacheMode::kOff, JustifyTier::kBoth, 1);
   ASSERT_FALSE(base.empty());
   for (const JustifyCacheMode mode :
        {JustifyCacheMode::kShared, JustifyCacheMode::kPerWorker}) {
-    for (const int threads : {1, 8}) {
-      EXPECT_EQ(render(mode, threads), base)
-          << "mode " << static_cast<int>(mode) << " threads " << threads;
+    for (const JustifyTier tier :
+         {JustifyTier::kImplication, JustifyTier::kSolver,
+          JustifyTier::kBoth}) {
+      for (const int threads : {1, 4, 8}) {
+        EXPECT_EQ(render(mode, tier, threads), base)
+            << "mode " << static_cast<int>(mode) << " tier "
+            << static_cast<int>(tier) << " threads " << threads;
+      }
     }
   }
 }
@@ -200,6 +214,133 @@ TEST(JustifyCacheDifferential, TinyCapacityOnlyCostsPrunes) {
       << "64 slots should overflow on this circuit";
 }
 
+// --- Tiered refutation ------------------------------------------------------
+
+// The tier ablation knob must be invisible in the results: every tier
+// enumerates byte-identical paths, and within one tier the trial count is
+// identical across cache modes and thread counts (verdict purity).  The
+// tiers differ only in which counter absorbs each miss: the implication
+// tier never runs the solver, the solver tier never refutes by closure.
+TEST(JustifyTierDifferential, TiersAreResultIdentical) {
+  for (const std::uint64_t seed : {3u, 27u}) {
+    const netlist::Netlist nl = generated_circuit(seed);
+    const EnumRun base = enumerate(nl, JustifyCacheMode::kOff, 1);
+    ASSERT_FALSE(base.fingerprints.empty()) << "seed " << seed;
+
+    for (const JustifyTier tier :
+         {JustifyTier::kImplication, JustifyTier::kSolver,
+          JustifyTier::kBoth}) {
+      long tier_trials = -1;
+      for (const JustifyCacheMode mode :
+           {JustifyCacheMode::kShared, JustifyCacheMode::kPerWorker}) {
+        for (const int threads : {1, 8}) {
+          const EnumRun run = enumerate(nl, mode, threads,
+                                        std::size_t{1} << 16, tier);
+          EXPECT_EQ(run.fingerprints, base.fingerprints)
+              << "seed " << seed << " tier " << static_cast<int>(tier)
+              << " mode " << static_cast<int>(mode) << " threads "
+              << threads;
+          EXPECT_LE(run.stats.vector_trials + run.stats.cache_prunes,
+                    base.stats.vector_trials);
+          if (tier_trials < 0) tier_trials = run.stats.vector_trials;
+          EXPECT_EQ(run.stats.vector_trials, tier_trials)
+              << "per-tier verdict purity keeps prune decisions mode- and "
+                 "thread-count-independent";
+          if (tier == JustifyTier::kImplication) {
+            EXPECT_EQ(run.stats.solver_escalations, 0)
+                << "closure-only tier must never run the solver";
+          }
+          if (tier == JustifyTier::kSolver) {
+            EXPECT_EQ(run.stats.implication_refutes, 0)
+                << "solver-only tier must never refute by closure";
+          }
+          EXPECT_EQ(run.stats.cache_inserts + run.stats.cache_insert_races +
+                        run.stats.cache_full_drops,
+                    run.stats.cache_misses)
+              << "every miss resolves to exactly one insert outcome in "
+                 "every tier";
+        }
+      }
+    }
+  }
+}
+
+// The soundness core of the implication-first tier, checked differentially
+// on seeded random netlists and goal sets: whenever the zero-backtracking
+// implication closure refutes a conjunction, the exact (budget-free)
+// backtracking solver refutes it too.  Closure conflicts are complete
+// refutations — the closure derives only logical consequences — so the
+// fast tier may never disagree with the ground truth.
+TEST(JustifyTierDifferential, ImplicationConflictImpliesSolverConflict) {
+  util::Rng rng(0x71E2);
+  int closure_refutes = 0;
+  for (const std::uint64_t seed : {2u, 5u, 8u, 21u}) {
+    const netlist::Netlist nl = generated_circuit(seed, 10, 40, 6);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<Goal> goals;
+      const int k = 1 + static_cast<int>(rng.next_below(5));
+      for (int g = 0; g < k; ++g) {
+        goals.push_back({static_cast<netlist::NetId>(
+                             rng.next_below(nl.num_nets())),
+                         rng.next_bool()});
+      }
+
+      AssignmentState closure_state(nl.num_nets());
+      ImplicationEngine closure_engine(nl, closure_state);
+      const unsigned closure_alive =
+          closure_engine.assign_steady_goals(goals, kScenarioBoth);
+      if (closure_alive != kScenarioNone) continue;  // not refuted
+      ++closure_refutes;
+
+      AssignmentState solver_state(nl.num_nets());
+      ImplicationEngine solver_engine(nl, solver_state);
+      Justifier solver(nl, solver_state, solver_engine);
+      const Justifier::Result exact =
+          solver.justify_all(goals, kScenarioBoth, /*backtrack_budget=*/-1);
+      EXPECT_EQ(exact.alive, kScenarioNone)
+          << "seed " << seed << " trial " << trial
+          << ": closure refuted a conjunction the exact solver satisfies";
+      EXPECT_FALSE(exact.backtrack_limited);
+    }
+  }
+  EXPECT_GT(closure_refutes, 20)
+      << "the fuzz should actually exercise closure refutations";
+}
+
+// Conflict-subset learning: misses are resolved per support-disjoint
+// component and each component verdict is cached under its own key, so a
+// refuted component re-refutes every future superset via a probe.  On a
+// circuit whose prefixes recombine refuted components, that must surface
+// as subset_hits; tiering must also strictly reduce solver escalations
+// relative to the solver-only pipeline.
+TEST(JustifyTierDifferential, SubsetLearningAndClosureAbsorbEscalations) {
+  // Same profile shape as the bench's memo16 circuit: deep enough that
+  // accumulated prefix conjunctions split into multiple components.
+  const netlist::Netlist nl = generated_circuit(42, 16, 80, 8);
+  const EnumRun both = enumerate(nl, JustifyCacheMode::kShared, 4,
+                                 std::size_t{1} << 16, JustifyTier::kBoth);
+  const EnumRun solver_only =
+      enumerate(nl, JustifyCacheMode::kShared, 4, std::size_t{1} << 16,
+                JustifyTier::kSolver);
+  const EnumRun closure_only =
+      enumerate(nl, JustifyCacheMode::kShared, 4, std::size_t{1} << 16,
+                JustifyTier::kImplication);
+
+  EXPECT_GT(both.stats.subset_hits, 0)
+      << "multi-component misses should re-refute via cached components";
+  EXPECT_GT(both.stats.implication_refutes, 0);
+  EXPECT_LT(both.stats.solver_escalations, solver_only.stats.solver_escalations)
+      << "the closure tier must absorb some escalations";
+  // The closure-only tier negatively memoizes what it cannot refute, and
+  // those entries answer repeat misses (negative hits).
+  EXPECT_GT(closure_only.stats.negative_hits, 0);
+  // Conflicts found by closure are a subset of the solver's, so the
+  // closure-only tier can only lose prunes relative to the full pipeline.
+  EXPECT_LE(closure_only.stats.cache_prunes, both.stats.cache_prunes);
+  EXPECT_EQ(closure_only.fingerprints, both.fingerprints);
+  EXPECT_EQ(solver_only.fingerprints, both.fingerprints);
+}
+
 // --- Lock-free table unit tests -------------------------------------------
 
 GoalSetKey key_of(std::uint32_t a, bool va, std::uint32_t b, bool vb) {
@@ -212,8 +353,9 @@ TEST(JustifyCacheTable, InsertThenProbeRoundTripsEveryVerdict) {
   JustifyCache cache;
   const JustifyVerdict verdicts[] = {JustifyVerdict::kJustifiable,
                                      JustifyVerdict::kConflict,
-                                     JustifyVerdict::kBudgetLimited};
-  for (std::uint32_t i = 0; i < 3; ++i) {
+                                     JustifyVerdict::kBudgetLimited,
+                                     JustifyVerdict::kInconclusive};
+  for (std::uint32_t i = 0; i < 4; ++i) {
     const GoalSetKey key = key_of(2 * i, false, 2 * i + 1, true);
     EXPECT_EQ(cache.probe(key), JustifyVerdict::kUnknown);
     EXPECT_EQ(cache.insert(key, verdicts[i]),
@@ -341,6 +483,33 @@ TEST(JustifyCacheTable, ClearInvalidatesByEpochBump) {
   EXPECT_LE(cache.epoch(), 0xFFFFu);
 }
 
+// Negative memos (kBudgetLimited from a budget abort, kInconclusive from
+// the closure-only tier) are cached verdicts like any other: probes hit
+// them until an epoch bump, after which the conjunction is re-evaluated —
+// a stale "could not refute" must not outlive a clear() any more than a
+// stale CONFLICT may.
+TEST(JustifyCacheTable, NegativeMemosInvalidatedByEpochBump) {
+  JustifyCache cache;
+  const GoalSetKey limited = key_of(10, true, 21, false);
+  const GoalSetKey inconclusive = key_of(12, false, 33, true);
+  ASSERT_EQ(cache.insert(limited, JustifyVerdict::kBudgetLimited),
+            JustifyCache::InsertOutcome::kInserted);
+  ASSERT_EQ(cache.insert(inconclusive, JustifyVerdict::kInconclusive),
+            JustifyCache::InsertOutcome::kInserted);
+  ASSERT_EQ(cache.probe(limited), JustifyVerdict::kBudgetLimited);
+  ASSERT_EQ(cache.probe(inconclusive), JustifyVerdict::kInconclusive);
+
+  cache.clear();
+  EXPECT_EQ(cache.probe(limited), JustifyVerdict::kUnknown);
+  EXPECT_EQ(cache.probe(inconclusive), JustifyVerdict::kUnknown);
+
+  // Post-bump the slots are reclaimable and a re-solve can upgrade the
+  // verdict (e.g. a larger budget now refutes the conjunction).
+  EXPECT_EQ(cache.insert(limited, JustifyVerdict::kConflict),
+            JustifyCache::InsertOutcome::kInserted);
+  EXPECT_EQ(cache.probe(limited), JustifyVerdict::kConflict);
+}
+
 // --- Canonicalization ------------------------------------------------------
 
 TEST(GoalCanonicalization, OrderAndDuplicateInsensitive) {
@@ -453,7 +622,11 @@ TEST(JustifyCacheStats, CountersArePlumbedIntoStatsAndMetrics) {
         "pathfinder.justify_cache.prunes",
         "pathfinder.justify_cache.inserts",
         "pathfinder.justify_cache.insert_races",
-        "pathfinder.justify_cache.full_drops"}) {
+        "pathfinder.justify_cache.full_drops",
+        "pathfinder.justify_cache.implication_refutes",
+        "pathfinder.justify_cache.solver_escalations",
+        "pathfinder.justify_cache.subset_hits",
+        "pathfinder.justify_cache.negative_hits"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }

@@ -22,6 +22,13 @@
 //                        bit-identical in every mode; "shared" is one
 //                        lock-free table across all worker threads.
 //   --justify-cache-slots N  memo table capacity in entries (default 65536)
+//   --justify-tier T     implication | solver | both  (default both):
+//                        how memo-cache misses are refuted.  "implication"
+//                        runs only the zero-backtracking implication
+//                        closure; "solver" only the budgeted backtracking
+//                        solver; "both" tries the closure first and
+//                        escalates the survivors.  Ablation knob: reported
+//                        paths are bit-identical at every tier.
 //   --baseline           also run the two-step commercial-style baseline
 //   --golden             verify reported paths with transistor-level
 //                        simulation
@@ -83,6 +90,7 @@ struct Options {
   sasta::sta::JustifyCacheMode justify_cache =
       sasta::sta::JustifyCacheMode::kShared;
   std::size_t justify_cache_slots = std::size_t{1} << 16;
+  sasta::sta::JustifyTier justify_tier = sasta::sta::JustifyTier::kBoth;
   bool baseline = false;
   bool golden = false;
   bool full_char = false;
@@ -110,6 +118,7 @@ struct Options {
                "       [--budget B] [--threads N] [--baseline] [--golden]\n"
                "       [--justify-cache off|shared|per-worker]\n"
                "       [--justify-cache-slots N]\n"
+               "       [--justify-tier implication|solver|both]\n"
                "       [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
@@ -152,6 +161,19 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (a == "--justify-cache-slots") {
       o.justify_cache_slots = std::stoul(value());
+    } else if (a == "--justify-tier") {
+      const std::string tier = value();
+      if (tier == "implication") {
+        o.justify_tier = sasta::sta::JustifyTier::kImplication;
+      } else if (tier == "solver") {
+        o.justify_tier = sasta::sta::JustifyTier::kSolver;
+      } else if (tier == "both") {
+        o.justify_tier = sasta::sta::JustifyTier::kBoth;
+      } else {
+        std::cerr << "unknown --justify-tier '" << tier
+                  << "' (implication | solver | both)\n";
+        usage(argv[0]);
+      }
     } else if (a == "--baseline") {
       o.baseline = true;
     } else if (a == "--golden") {
@@ -313,6 +335,7 @@ int main(int argc, char** argv) {
     sopt.finder.num_threads = opt.threads;
     sopt.finder.justify_cache = opt.justify_cache;
     sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
+    sopt.finder.justify_tier = opt.justify_tier;
     sopt.delay.temperature_c = opt.temp_c;
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
@@ -343,6 +366,11 @@ int main(int argc, char** argv) {
                 << "), " << res.stats.cache_inserts << " inserts, "
                 << res.stats.cache_insert_races << " races, "
                 << res.stats.cache_full_drops << " drops\n";
+      std::cout << "justify tiers: " << res.stats.implication_refutes
+                << " implication refutes, " << res.stats.solver_escalations
+                << " solver escalations, " << res.stats.subset_hits
+                << " subset hits, " << res.stats.negative_hits
+                << " negative hits\n";
     }
     std::cout << "worst true paths:\n";
     for (const auto& tp : res.paths) {
