@@ -92,6 +92,7 @@ int run() {
   util::MetricsRegistry* metrics =
       (metrics_path != nullptr && metrics_path[0] != '\0') ? &metrics_registry
                                                            : nullptr;
+  BenchJson bench_json("table6_pathfinding");
 
   print_title("Table 6: path identification, developed vs baseline (" +
               tech_name + (fast_mode() ? ", FAST mode)" : ")"));
@@ -114,6 +115,8 @@ int run() {
     const netlist::Netlist& nl = mapped.netlist;
 
     const DevelopedRun dev = run_developed(nl, cl, tech, metrics);
+    bench_json.add({name, dev.stats.cpu_seconds, dev.stats.vector_trials,
+                    "off", "both", 1});
     if (metrics != nullptr) {
       const std::string base = "table6." + name;
       const util::CounterId vecs = metrics->counter(base + ".paths_recorded");
@@ -239,6 +242,8 @@ int run() {
       const sta::PathFinderStats stats = finder.run(
           [&](const sta::TruePath& p) { keys.push_back(p.full_key(nl)); });
       const double secs = watch.elapsed_seconds();
+      bench_json.add({prof.name, secs, stats.vector_trials, "off", "both",
+                      threads});
       if (metrics != nullptr) {
         const util::GaugeId scale = metrics->gauge(
             "table6.scaling.threads" + std::to_string(threads) + ".seconds");
@@ -262,11 +267,13 @@ int run() {
 
   // Cross-thread justification memo cache: the same exhaustive enumeration
   // at 8 threads, --justify-cache off vs shared, the latter at each
-  // refutation tier (implication-only / solver-only / both).  The cache and
-  // the tier choice may only change how much work is done, never what is
-  // found: the delivered path list must be byte-identical (full keys, order
-  // included) at every tier and vector_trials must not increase.  Runs are
-  // budget-free so every side is exhaustive and deterministic.
+  // refutation tier (implication-only / solver-only / both / adaptive).
+  // The cache and the tier choice may only change how much work is done,
+  // never what is found: the delivered path list must be byte-identical
+  // (full keys, order included) at every tier and vector_trials must not
+  // increase.  Runs are budget-free so every side is exhaustive and
+  // deterministic; adaptive's *cost* counters are additionally
+  // timing-dependent at 8 threads (controller state), its results are not.
   {
     print_title(
         "Justification memo cache (off vs shared x tier, 8 threads)");
@@ -316,6 +323,8 @@ int run() {
 
       const CacheRun off = enumerate(nl, sta::JustifyCacheMode::kOff,
                                      sta::JustifyTier::kBoth);
+      bench_json.add({name, off.stats.cpu_seconds, off.stats.vector_trials,
+                      "off", "both", 8});
       print_row({name, "off", util::format_fixed(off.stats.cpu_seconds, 2),
                  std::to_string(off.stats.paths_recorded),
                  std::to_string(off.stats.vector_trials), "-", "-", "-", "-",
@@ -327,10 +336,13 @@ int run() {
         sta::JustifyTier tier;
       } tiers[] = {{"implication", sta::JustifyTier::kImplication},
                    {"solver", sta::JustifyTier::kSolver},
-                   {"both", sta::JustifyTier::kBoth}};
+                   {"both", sta::JustifyTier::kBoth},
+                   {"adaptive", sta::JustifyTier::kAdaptive}};
       for (const auto& [tier_label, tier] : tiers) {
         const CacheRun shared =
             enumerate(nl, sta::JustifyCacheMode::kShared, tier);
+        bench_json.add({name, shared.stats.cpu_seconds,
+                        shared.stats.vector_trials, "shared", tier_label, 8});
         const long probes =
             shared.stats.cache_hits + shared.stats.cache_misses;
         const double hit_rate =
@@ -400,6 +412,7 @@ int run() {
     metrics->write_json(os);
     std::cout << "\nwrote metrics JSON to " << metrics_path << "\n";
   }
+  bench_json.write();
 
   std::cout << "\n'*' = exploration truncated by the time/path budget.\n"
                "Paper shape: the developed tool reports every sensitization "

@@ -67,6 +67,15 @@ std::vector<std::vector<Goal>> partition_support_disjoint(
 Justifier::Result Justifier::justify_all(std::span<const Goal> goals,
                                          unsigned alive,
                                          int backtrack_budget) {
+  const long entry_backtracks = backtracks_;
+  Result res = justify_all_inner(goals, alive, backtrack_budget);
+  res.backtracks_used = backtracks_ - entry_backtracks;
+  return res;
+}
+
+Justifier::Result Justifier::justify_all_inner(std::span<const Goal> goals,
+                                               unsigned alive,
+                                               int backtrack_budget) {
   if (supports_ == nullptr || goals.size() < 2) {
     budget_ = backtrack_budget;
     budget_start_ = backtracks_;

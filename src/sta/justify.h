@@ -57,6 +57,9 @@ class Justifier {
   struct Result {
     unsigned alive = kScenarioNone;  ///< scenarios with a found witness
     bool backtrack_limited = false;  ///< gave up due to the budget
+    long backtracks_used = 0;        ///< backtracks this call consumed —
+                                     ///< the search-cost profiler's
+                                     ///< per-solve attribution unit
   };
 
   /// Attempts to satisfy all `goals` simultaneously for the scenarios in
@@ -91,6 +94,8 @@ class Justifier {
   }
 
  private:
+  Result justify_all_inner(std::span<const Goal> goals, unsigned alive,
+                           int backtrack_budget);
   Result solve(std::vector<Goal>& goals, std::size_t idx, unsigned alive);
   Result solve_component(std::span<const Goal> goals, unsigned alive);
 

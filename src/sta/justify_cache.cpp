@@ -178,4 +178,77 @@ void JustifyCache::clear() {
                                          std::memory_order_relaxed));
 }
 
+std::vector<std::size_t> JustifyCache::shard_occupancy() const {
+  const std::uint64_t current_epoch =
+      epoch_.load(std::memory_order_relaxed) & 0xFFFF;
+  std::vector<std::size_t> occupancy(shards_, 0);
+  for (unsigned s = 0; s < shards_; ++s) {
+    const std::size_t begin = std::size_t{s} * shard_slots_;
+    for (std::size_t i = 0; i < shard_slots_; ++i) {
+      const Slot& slot = slots_[begin + i];
+      if ((slot.tag.load(std::memory_order_acquire) >> 48) != current_epoch)
+        continue;
+      if (slot.payload.load(std::memory_order_acquire) == 0) continue;
+      ++occupancy[s];
+    }
+  }
+  return occupancy;
+}
+
+EscalationController::EscalationController(const Config& config)
+    : cfg_(config) {
+  cfg_.window = std::max(1, cfg_.window);
+  cfg_.probe_interval = std::max(1, cfg_.probe_interval);
+  cfg_.decay = std::clamp(cfg_.decay, 0.0, 0.999);
+  cfg_.payoff_threshold = std::max(0.0, cfg_.payoff_threshold);
+}
+
+bool EscalationController::should_escalate() {
+  if (enabled_.load(std::memory_order_relaxed)) return true;
+  // Disabled: admit a sparse probe stream so the payoff estimate keeps
+  // tracking the live search instead of freezing at the disabling window.
+  const long tick = probe_ticks_.fetch_add(1, std::memory_order_relaxed);
+  return tick % cfg_.probe_interval == 0;
+}
+
+void EscalationController::record_outcome(bool refuted) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_escalations_;
+  ++window_escalations_;
+  if (refuted) {
+    ++total_refutes_;
+    ++window_refutes_;
+  }
+  if (window_escalations_ < cfg_.window) return;
+  const double ratio = static_cast<double>(window_refutes_) /
+                       static_cast<double>(window_escalations_);
+  payoff_ = payoff_ < 0.0 ? ratio
+                          : cfg_.decay * payoff_ + (1.0 - cfg_.decay) * ratio;
+  window_escalations_ = 0;
+  window_refutes_ = 0;
+  ++windows_;
+  // A payoff exactly at the threshold stays enabled, so --escalation-payoff
+  // 0 makes kAdaptive behave as kBoth (every candidate admitted).
+  const bool enable = payoff_ >= cfg_.payoff_threshold;
+  if (!enable && enabled_.load(std::memory_order_relaxed)) ++disables_;
+  enabled_.store(enable, std::memory_order_relaxed);
+}
+
+void EscalationController::record_veto() {
+  vetoes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+EscalationController::Snapshot EscalationController::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  snap.escalations = total_escalations_;
+  snap.refutes = total_refutes_;
+  snap.vetoes = vetoes_.load(std::memory_order_relaxed);
+  snap.windows = windows_;
+  snap.disables = disables_;
+  snap.payoff = payoff_;
+  snap.enabled = enabled_.load(std::memory_order_relaxed);
+  return snap;
+}
+
 }  // namespace sasta::sta

@@ -54,6 +54,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -72,7 +73,9 @@ enum class JustifyCacheMode {
 enum class JustifyTier {
   kImplication,  ///< closure-only: CONFLICT or give up (ablation)
   kSolver,       ///< budgeted backtracking solver only (the PR3 pipeline)
-  kBoth          ///< closure first, escalate to the solver (default)
+  kBoth,         ///< closure first, escalate to the solver (default)
+  kAdaptive      ///< kBoth, but an EscalationController may veto the solver
+                 ///< when escalations stop paying for themselves
 };
 
 /// Fresh-state verdict for a canonical goal set.  Values 1..5 are stored;
@@ -157,6 +160,12 @@ class JustifyCache {
     return epoch_.load(std::memory_order_relaxed);
   }
 
+  /// Published current-epoch entries resident per shard, in shard order.
+  /// A linear scan over the table — diagnostics and run reports only,
+  /// never the hot path.  Safe against concurrent writers (relaxed counts
+  /// may trail in-flight inserts but never tear).
+  std::vector<std::size_t> shard_occupancy() const;
+
  private:
   struct Slot {
     std::atomic<std::uint64_t> tag{0};
@@ -174,6 +183,84 @@ class JustifyCache {
   std::size_t shard_slots_ = 0;  ///< slots per shard (power of two)
   unsigned max_probe_ = 16;
   std::atomic<std::uint32_t> epoch_{1};  ///< 1..0xFFFF, never 0
+};
+
+/// Online payoff controller for JustifyTier::kAdaptive (ROADMAP: "adaptive
+/// solver escalation").
+///
+/// The solver tier only pays for itself when its escalations refute
+/// conjunctions the implication closure could not — each such CONFLICT is
+/// a permanent memo that prunes every later trial carrying the same
+/// conjunction.  The controller measures refutes-per-escalation online in
+/// fixed-size windows, smooths the ratio with an exponentially decaying
+/// average, and *disables* escalation when the smoothed payoff drops below
+/// a threshold, degrading the `both` pipeline to closure-only cost on
+/// circuits where the solver tier loses.  While disabled, a sparse probe
+/// stream (1 in probe_interval candidates) still escalates so the payoff
+/// estimate stays live and escalation can re-enable if the search moves
+/// into a region where the solver wins again.
+///
+/// Soundness is free — the controller only decides whether the solver runs
+/// on a memo miss.  A vetoed candidate is negatively memoized as
+/// kInconclusive, exactly the closure-only tier's verdict, and no tier
+/// choice can ever change the enumerated paths (only CONFLICTs authorize
+/// pruning, and every tier's CONFLICT is a sound exhaustive refutation).
+/// Only the run's *cost* — vector_trials, escalations, wall clock — may
+/// move.  This is the one sanctioned exception to the "telemetry is never
+/// load-bearing" rule: the telemetry here steers effort, never results.
+class EscalationController {
+ public:
+  struct Config {
+    /// Minimum smoothed refutes-per-escalation to keep the solver enabled.
+    double payoff_threshold = 0.1;
+    /// Escalations per payoff-evaluation window.
+    int window = 64;
+    /// Weight of the previous smoothed payoff when a window closes
+    /// (payoff = decay * payoff + (1 - decay) * window_ratio); [0, 1).
+    double decay = 0.5;
+    /// While disabled, escalate 1 in this many candidates as probes.
+    int probe_interval = 32;
+  };
+
+  explicit EscalationController(const Config& config);
+
+  /// Whether the next escalation candidate may run the solver.  Lock-free;
+  /// called on every memo miss that survives the closure tier.
+  bool should_escalate();
+  /// Reports one admitted escalation's outcome (refuted = the solver
+  /// returned CONFLICT).  Takes a mutex — escalations are bounded solver
+  /// runs, so the lock is noise against the work it accounts for.
+  void record_outcome(bool refuted);
+  /// Reports one vetoed candidate (bookkeeping only).
+  void record_veto();
+
+  struct Snapshot {
+    long escalations = 0;  ///< candidates admitted to the solver
+    long refutes = 0;      ///< admitted escalations returning CONFLICT
+    long vetoes = 0;       ///< candidates denied the solver
+    long windows = 0;      ///< payoff windows completed
+    long disables = 0;     ///< enabled -> disabled transitions
+    double payoff = -1.0;  ///< smoothed refutes-per-escalation (-1: no
+                           ///< window has completed yet)
+    bool enabled = true;   ///< current gate state
+  };
+  Snapshot snapshot() const;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  Config cfg_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<long> probe_ticks_{0};
+  std::atomic<long> vetoes_{0};
+  mutable std::mutex mu_;  ///< guards the window accumulators below
+  long window_escalations_ = 0;
+  long window_refutes_ = 0;
+  long total_escalations_ = 0;
+  long total_refutes_ = 0;
+  long windows_ = 0;
+  long disables_ = 0;
+  double payoff_ = -1.0;
 };
 
 }  // namespace sasta::sta

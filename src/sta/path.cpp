@@ -21,6 +21,8 @@ PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
   solver_escalations += other.solver_escalations;
   subset_hits += other.subset_hits;
   negative_hits += other.negative_hits;
+  escalation_refutes += other.escalation_refutes;
+  escalations_vetoed += other.escalations_vetoed;
   cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
   truncated = truncated || other.truncated;
   return *this;

@@ -82,6 +82,12 @@ struct PathFinderStats {
   long negative_hits = 0;        ///< probe hits on a negative memo
                                  ///< (kBudgetLimited / kInconclusive):
                                  ///< repeat misses that skipped re-solving
+  long escalation_refutes = 0;   ///< solver escalations that returned
+                                 ///< CONFLICT — the numerator of the
+                                 ///< refutes-per-escalation payoff ratio
+  long escalations_vetoed = 0;   ///< kAdaptive only: escalation candidates
+                                 ///< the payoff controller denied (memoized
+                                 ///< kInconclusive instead of solved)
 
   double cpu_seconds = 0.0;       ///< wall clock of run(); on merge, the max
   bool truncated = false;         ///< a limit fired before exhaustion

@@ -47,6 +47,15 @@ struct PathFinder::Worker {
     memo_justifier->set_supports(&owner.supports_, -1);
   }
 
+  /// Lazily arms the per-gate attribution tallies (no-op when the caller
+  /// did not request attribution, so the hot path stays a .empty() test).
+  void arm_attribution(std::size_t num_instances) {
+    gate_trials.assign(num_instances, 0);
+    gate_prunes.assign(num_instances, 0);
+    gate_escalations.assign(num_instances, 0);
+    gate_escalation_backtracks.assign(num_instances, 0);
+  }
+
   PathFinder& pf;
   AssignmentState state;
   ImplicationEngine engine;
@@ -79,6 +88,17 @@ struct PathFinder::Worker {
   std::vector<Goal> trial_goals;
   std::vector<Goal> acc_goals;
   std::vector<std::uint64_t> key_scratch;
+
+  /// Search-cost attribution scratch (empty unless the run requested
+  /// attribution): per-instance tallies of trials, prunes and solver
+  /// escalations, merged into the caller's SearchAttribution after the
+  /// join.  attrib_inst names the gate currently being charged for
+  /// memo-cache work (the one whose trial raised the miss).
+  std::vector<long> gate_trials;
+  std::vector<long> gate_prunes;
+  std::vector<long> gate_escalations;
+  std::vector<long> gate_escalation_backtracks;
+  netlist::InstId attrib_inst = netlist::kNoId;
 };
 
 /// Accumulated-prefix conjunctions above this size are not memoized (the
@@ -98,6 +118,11 @@ PathFinder::PathFinder(const netlist::Netlist& nl,
     JustifyCache::Config cfg;
     cfg.capacity = opt_.justify_cache_capacity;
     shared_cache_ = std::make_unique<JustifyCache>(cfg);
+  }
+  if (opt_.justify_tier == JustifyTier::kAdaptive) {
+    EscalationController::Config cc;
+    cc.payoff_threshold = opt_.escalation_payoff;
+    controller_ = std::make_unique<EscalationController>(cc);
   }
 
   // Primary-input support bitsets per net, for the justifier's
@@ -280,6 +305,17 @@ JustifyVerdict PathFinder::refute_component(Worker& w,
     }
   }
 
+  // Adaptive gate: consult the payoff controller before paying for the
+  // solver.  A vetoed candidate gets the closure-only tier's verdict —
+  // negatively memoized, so this conjunction never re-escalates (the same
+  // permanence kImplication accepts for every miss).  Soundness is
+  // untouched: no verdict is invented, only the solver's effort withheld.
+  if (controller_ != nullptr && !controller_->should_escalate()) {
+    controller_->record_veto();
+    ++w.stats.escalations_vetoed;
+    return JustifyVerdict::kInconclusive;
+  }
+
   // Tier 2 — the budgeted backtracking solver, run directly on the
   // closure-propagated state (no re-reset: the closure derived only
   // consequences the solver's own assign_steady calls would re-derive, so
@@ -299,9 +335,20 @@ JustifyVerdict PathFinder::refute_component(Worker& w,
                          : opt_.justify_backtrack_budget;
   const Justifier::Result r = w.memo_justifier->justify_all(
       goals, kScenarioBoth, budget);
-  if (r.alive != kScenarioNone) return JustifyVerdict::kJustifiable;
-  return r.backtrack_limited ? JustifyVerdict::kBudgetLimited
-                             : JustifyVerdict::kConflict;
+  if (!w.gate_escalations.empty() && w.attrib_inst != netlist::kNoId) {
+    ++w.gate_escalations[w.attrib_inst];
+    w.gate_escalation_backtracks[w.attrib_inst] += r.backtracks_used;
+  }
+  const JustifyVerdict v =
+      r.alive != kScenarioNone
+          ? JustifyVerdict::kJustifiable
+          : (r.backtrack_limited ? JustifyVerdict::kBudgetLimited
+                                 : JustifyVerdict::kConflict);
+  if (v == JustifyVerdict::kConflict) ++w.stats.escalation_refutes;
+  if (controller_ != nullptr) {
+    controller_->record_outcome(v == JustifyVerdict::kConflict);
+  }
+  return v;
 }
 
 JustifyVerdict PathFinder::component_verdict(Worker& w,
@@ -478,12 +525,15 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
       // reflects trials actually attempted): a fresh-state CONFLICT on the
       // side-value conjunction means no source, prefix or direction can
       // ever complete this trial — the whole subtree is skipped.
+      w.attrib_inst = f.inst;  // escalations below charge to this gate
       if (w.cache != nullptr && inst.cell->num_inputs() > 1 &&
           trial_cached_infeasible(w, inst, f.pin, vec)) {
         ++w.stats.cache_prunes;
+        if (!w.gate_prunes.empty()) ++w.gate_prunes[f.inst];
         continue;
       }
       ++w.stats.vector_trials;
+      if (!w.gate_trials.empty()) ++w.gate_trials[f.inst];
       const AssignmentState::Mark mark = w.state.mark();
       const std::size_t saved_goals = w.goal_stack.size();
 
@@ -672,6 +722,18 @@ void PathFinder::run_source(Worker& w, std::size_t source_index,
   }
   const double seconds = source_watch.elapsed_seconds();
   const long trials = w.stats.vector_trials - before.vector_trials;
+  if (opt_.attribution != nullptr) {
+    // Each source is processed by exactly one worker, and the rows were
+    // sized before the pool started, so this write is contention-free and
+    // the deltas are exact.
+    SearchAttribution::SourceCost& row = opt_.attribution->sources[source_index];
+    row.source = source;
+    row.vector_trials = trials;
+    row.backtracks = w.stats.backtracks - before.backtracks;
+    row.paths_recorded = w.stats.paths_recorded - before.paths_recorded;
+    row.justify_limited = w.stats.justify_limited - before.justify_limited;
+    row.seconds = seconds;
+  }
   if (w.metrics != nullptr) {
     const SourceMetricIds& ids = source_metric_ids_[source_index];
     w.metrics->add(ids.vector_trials, trials);
@@ -736,16 +798,46 @@ PathFinderStats PathFinder::run(
   prepare_observability(sources, n_workers);
   util::TraceSpan run_span(opt_.trace, "pathfinder/run", 0);
 
+  // Search-cost attribution: the per-source rows are pre-sized so workers
+  // can write them index-addressed without coordination; the per-gate
+  // tallies are worker-private vectors folded in here (integer sums, so
+  // the fold order cannot change the result).
+  const bool attribution_on = opt_.attribution != nullptr;
+  std::vector<long> gate_trials, gate_prunes, gate_escalations,
+      gate_escalation_backtracks;
+  std::mutex gate_merge_mu;
+  if (attribution_on) {
+    *opt_.attribution = SearchAttribution{};
+    opt_.attribution->sources.assign(sources.size(),
+                                     SearchAttribution::SourceCost{});
+    gate_trials.assign(nl_.num_instances(), 0);
+    gate_prunes.assign(nl_.num_instances(), 0);
+    gate_escalations.assign(nl_.num_instances(), 0);
+    gate_escalation_backtracks.assign(nl_.num_instances(), 0);
+  }
+  const auto fold_gate_tallies = [&](const Worker& w) {
+    if (!attribution_on) return;
+    std::lock_guard<std::mutex> lk(gate_merge_mu);
+    for (std::size_t i = 0; i < gate_trials.size(); ++i) {
+      gate_trials[i] += w.gate_trials[i];
+      gate_prunes[i] += w.gate_prunes[i];
+      gate_escalations[i] += w.gate_escalations[i];
+      gate_escalation_backtracks[i] += w.gate_escalation_backtracks[i];
+    }
+  };
+
   PathFinderStats total;
   if (n_workers == 1) {
     // Sequential reference implementation: paths stream to the sink in
     // discovery order.
     Worker w(*this);
     if (opt_.metrics != nullptr) w.metrics = &opt_.metrics->create_shard();
+    if (attribution_on) w.arm_attribution(nl_.num_instances());
     for (std::size_t i = 0; i < sources.size(); ++i) {
       if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
       run_source(w, i, sources[i]);
     }
+    fold_gate_tallies(w);
     total = w.stats;
   } else {
     // Source-parallel: workers pull sources from an atomic index into
@@ -756,13 +848,14 @@ PathFinderStats PathFinder::run(
     std::atomic<std::size_t> next_source{0};
     util::ThreadPool pool(n_workers);
     for (unsigned t = 0; t < n_workers; ++t) {
-      pool.submit([this, t, &sources, &buffers, &worker_stats,
-                   &next_source] {
+      pool.submit([this, t, attribution_on, &fold_gate_tallies, &sources,
+                   &buffers, &worker_stats, &next_source] {
         Worker w(*this);
         w.tid = static_cast<int>(t);
         if (opt_.metrics != nullptr) {
           w.metrics = &opt_.metrics->create_shard();
         }
+        if (attribution_on) w.arm_attribution(nl_.num_instances());
         for (std::size_t i =
                  next_source.fetch_add(1, std::memory_order_relaxed);
              i < sources.size();
@@ -771,6 +864,7 @@ PathFinderStats PathFinder::run(
           w.out = &buffers[i];
           run_source(w, i, sources[i]);
         }
+        fold_gate_tallies(w);
         worker_stats[t] = std::move(w.stats);
       });
     }
@@ -784,6 +878,24 @@ PathFinderStats PathFinder::run(
     }
   }
   total.cpu_seconds = watch.elapsed_seconds();
+  if (attribution_on) {
+    for (std::size_t i = 0; i < gate_trials.size(); ++i) {
+      if (gate_trials[i] == 0 && gate_prunes[i] == 0 &&
+          gate_escalations[i] == 0) {
+        continue;
+      }
+      opt_.attribution->gates.push_back(
+          {static_cast<netlist::InstId>(i), gate_trials[i], gate_prunes[i],
+           gate_escalations[i], gate_escalation_backtracks[i]});
+    }
+    if (shared_cache_ != nullptr) {
+      opt_.attribution->cache_shards = shared_cache_->shard_occupancy();
+    }
+    if (controller_ != nullptr) {
+      opt_.attribution->controller_active = true;
+      opt_.attribution->controller = controller_->snapshot();
+    }
+  }
   if (opt_.metrics != nullptr) {
     const util::GaugeId run_seconds =
         opt_.metrics->gauge("pathfinder.run_seconds");
@@ -797,7 +909,7 @@ PathFinderStats PathFinder::run(
     struct CacheMetricIds {
       util::CounterId hits, misses, prunes, inserts, insert_races, full_drops;
       util::CounterId implication_refutes, solver_escalations, subset_hits,
-          negative_hits;
+          negative_hits, escalation_refutes, escalations_vetoed;
     };
     CacheMetricIds cache_ids{};
     const bool cache_on = opt_.justify_cache != JustifyCacheMode::kOff;
@@ -814,7 +926,27 @@ PathFinderStats PathFinder::run(
           opt_.metrics->counter(
               "pathfinder.justify_cache.solver_escalations"),
           opt_.metrics->counter("pathfinder.justify_cache.subset_hits"),
-          opt_.metrics->counter("pathfinder.justify_cache.negative_hits")};
+          opt_.metrics->counter("pathfinder.justify_cache.negative_hits"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.escalation_refutes"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.escalations_vetoed")};
+    }
+    // Controller state is exported whenever the adaptive tier is active,
+    // mirroring the EscalationController::Snapshot the run report carries.
+    struct ControllerMetricIds {
+      util::GaugeId payoff, enabled;
+      util::CounterId windows, disables;
+    };
+    ControllerMetricIds ctrl_ids{};
+    if (controller_ != nullptr) {
+      ctrl_ids = {
+          opt_.metrics->gauge("pathfinder.justify_cache.escalation_payoff"),
+          opt_.metrics->gauge("pathfinder.justify_cache.controller_enabled"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.controller_windows"),
+          opt_.metrics->counter(
+              "pathfinder.justify_cache.controller_disables")};
     }
     util::MetricsShard& shard = opt_.metrics->create_shard();
     shard.add(run_seconds, total.cpu_seconds);
@@ -831,6 +963,15 @@ PathFinderStats PathFinder::run(
       shard.add(cache_ids.solver_escalations, total.solver_escalations);
       shard.add(cache_ids.subset_hits, total.subset_hits);
       shard.add(cache_ids.negative_hits, total.negative_hits);
+      shard.add(cache_ids.escalation_refutes, total.escalation_refutes);
+      shard.add(cache_ids.escalations_vetoed, total.escalations_vetoed);
+    }
+    if (controller_ != nullptr) {
+      const EscalationController::Snapshot cs = controller_->snapshot();
+      shard.set(ctrl_ids.payoff, cs.payoff);
+      shard.set(ctrl_ids.enabled, cs.enabled ? 1.0 : 0.0);
+      shard.add(ctrl_ids.windows, cs.windows);
+      shard.add(ctrl_ids.disables, cs.disables);
     }
   }
   sink_ = nullptr;

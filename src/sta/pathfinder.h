@@ -37,6 +37,51 @@
 
 namespace sasta::sta {
 
+/// Search-cost attribution filled in by PathFinder::run() when
+/// PathFinderOptions::attribution points here.  Answers "where did the
+/// effort go": which source PIs, which fanin-cone gates, and which
+/// cache/tier decision points consumed the trials, backtracks and solver
+/// time that aggregate stats only report as totals.
+///
+/// Like metrics/trace, attribution is observational: collecting it never
+/// changes enumerated paths.  Every cost figure is charged to exactly one
+/// owner, so the tables reconcile with PathFinderStats — the sources rows
+/// sum to the aggregate vector_trials/backtracks/paths_recorded/
+/// justify_limited, and the gates rows sum to vector_trials, cache_prunes
+/// and solver_escalations respectively.
+struct SearchAttribution {
+  /// One row per searched source PI, in source order.
+  struct SourceCost {
+    netlist::NetId source = netlist::kNoId;
+    long vector_trials = 0;
+    long backtracks = 0;
+    long paths_recorded = 0;
+    long justify_limited = 0;
+    double seconds = 0.0;
+  };
+  /// One row per instance with any attributed cost.  A vector trial (or
+  /// prune) is charged to the gate being entered; a solver escalation —
+  /// and the backtracks it consumed — to the gate whose trial triggered
+  /// the memo miss.
+  struct GateCost {
+    netlist::InstId inst = netlist::kNoId;
+    long vector_trials = 0;
+    long cache_prunes = 0;
+    long solver_escalations = 0;
+    long escalation_backtracks = 0;
+  };
+
+  std::vector<SourceCost> sources;  ///< ordered by source-PI search order
+  std::vector<GateCost> gates;      ///< ordered by instance id
+  /// Per-shard resident entries of the shared memo table at run end
+  /// (kShared mode only; empty otherwise — per-worker tables die with
+  /// their workers).
+  std::vector<std::size_t> cache_shards;
+  /// Adaptive-tier controller state (valid iff controller_active).
+  bool controller_active = false;
+  EscalationController::Snapshot controller;
+};
+
 struct PathFinderOptions {
   long max_paths = -1;      ///< stop after this many recorded paths (<0: all)
   double max_seconds = -1;  ///< wall-clock guard (<0: unlimited)
@@ -105,7 +150,19 @@ struct PathFinderOptions {
   /// exhaustive refutation, so enumerated paths are bit-identical across
   /// tiers — and because verdicts stay pure functions of the goal set,
   /// vector_trials is deterministic per tier at every thread count.
+  /// kAdaptive runs the kBoth pipeline behind an online payoff controller
+  /// (see EscalationController) that vetoes solver escalations when
+  /// refutes-per-escalation drops below escalation_payoff; vetoed
+  /// candidates are memoized kInconclusive, the closure-only verdict.
+  /// Enumerated paths stay bit-identical (no verdict is ever invented),
+  /// but the controller's decisions depend on escalation *arrival order*,
+  /// so kAdaptive cost counters are deterministic only at num_threads = 1.
   JustifyTier justify_tier = JustifyTier::kBoth;
+  /// kAdaptive only: minimum smoothed refutes-per-escalation for the
+  /// solver tier to stay enabled.  0 admits every escalation (kAdaptive
+  /// degenerates to kBoth); higher values cut the solver off earlier on
+  /// circuits where escalations rarely refute.
+  double escalation_payoff = 0.1;
   /// Backtrack budget for the cache's fresh-state solves, deliberately far
   /// below justify_backtrack_budget: a CONFLICT proven under any budget is
   /// a complete refutation (the limit was not hit), while conjunctions too
@@ -131,6 +188,10 @@ struct PathFinderOptions {
   /// source-dispatch loop (sources done / total, vector trials and
   /// trials/sec, elapsed wall clock).  <= 0: off.
   double progress_interval_seconds = -1;
+  /// Search-cost attribution sink: when non-null, run() fills it with
+  /// per-source and per-gate cost tables plus cache/controller state (see
+  /// SearchAttribution).  Borrowed; overwritten on every run().
+  SearchAttribution* attribution = nullptr;
 };
 
 class PathFinder {
@@ -233,6 +294,10 @@ class PathFinder {
   /// tables in kPerWorker mode).  Lives for the PathFinder's lifetime —
   /// verdicts stay valid across run() calls of the same instance.
   std::unique_ptr<JustifyCache> shared_cache_;
+  /// The kAdaptive payoff controller (null for every other tier).  Shared
+  /// by all workers; like the cache it lives for the PathFinder's
+  /// lifetime, so the payoff estimate carries across run() calls.
+  std::unique_ptr<EscalationController> controller_;
 
   // Run-scoped shared state.
   const std::function<void(const TruePath&)>* sink_ = nullptr;

@@ -1,0 +1,335 @@
+#include "sta/run_report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace sasta::sta {
+
+namespace {
+
+/// Every schema key is emitted through jkey() so tools/check_docs_sync can
+/// grep the report surface out of this file and hold docs/METRICS.md to it.
+std::string jkey(const char* name) { return util::json_quote(name); }
+
+const char* tier_name(JustifyTier t) {
+  switch (t) {
+    case JustifyTier::kImplication:
+      return "implication";
+    case JustifyTier::kSolver:
+      return "solver";
+    case JustifyTier::kBoth:
+      return "both";
+    case JustifyTier::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+const char* mode_name(JustifyCacheMode m) {
+  switch (m) {
+    case JustifyCacheMode::kOff:
+      return "off";
+    case JustifyCacheMode::kShared:
+      return "shared";
+    case JustifyCacheMode::kPerWorker:
+      return "per-worker";
+  }
+  return "?";
+}
+
+double live_ratio(long numerator, long denominator) {
+  return denominator > 0
+             ? static_cast<double>(numerator) /
+                   static_cast<double>(denominator)
+             : 0.0;
+}
+
+/// Attributed cost of one gate row: every unit is roughly one unit of
+/// search work — a vector trial attempted, a trial pruned at the gate, or
+/// one solver backtrack spent escalating the gate's conjunctions.
+long gate_cost(const SearchAttribution::GateCost& g) {
+  return g.vector_trials + g.cache_prunes + g.escalation_backtracks;
+}
+
+/// The K hottest gates, totally ordered (cost descending, instance id
+/// ascending) so the table is deterministic for fixed tallies.
+std::vector<SearchAttribution::GateCost> top_gates(
+    const SearchAttribution& attribution, int k) {
+  std::vector<SearchAttribution::GateCost> gates = attribution.gates;
+  std::sort(gates.begin(), gates.end(),
+            [](const SearchAttribution::GateCost& a,
+               const SearchAttribution::GateCost& b) {
+              const long ca = gate_cost(a), cb = gate_cost(b);
+              return ca != cb ? ca > cb : a.inst < b.inst;
+            });
+  if (k >= 0 && gates.size() > static_cast<std::size_t>(k)) {
+    gates.resize(k);
+  }
+  return gates;
+}
+
+/// Per-worker timeline row recovered from the metrics snapshot (lane =
+/// worker index + 1, matching the trace's tid lanes).
+struct WorkerRow {
+  int lane = 0;
+  long sources = 0;
+  double busy_seconds = 0.0;
+  long spans = 0;
+};
+
+std::vector<WorkerRow> worker_rows(const RunReportInputs& in) {
+  std::vector<WorkerRow> rows;
+  if (in.metrics == nullptr) return rows;
+  const std::string prefix = "pathfinder.worker.";
+  const std::string sources_suffix = ".sources";
+  for (const auto& [name, value] : in.metrics->counters) {
+    if (name.rfind(prefix, 0) != 0 || !name.ends_with(sources_suffix)) {
+      continue;
+    }
+    WorkerRow row;
+    row.lane =
+        std::stoi(name.substr(prefix.size(),
+                              name.size() - prefix.size() -
+                                  sources_suffix.size())) +
+        1;
+    row.sources = value;
+    const auto busy = in.metrics->gauges.find(
+        prefix + std::to_string(row.lane - 1) + ".busy_seconds");
+    if (busy != in.metrics->gauges.end()) row.busy_seconds = busy->second;
+    if (in.trace != nullptr) {
+      for (const util::TraceEvent& e : in.trace->events()) {
+        if (e.tid == row.lane) ++row.spans;
+      }
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const WorkerRow& a, const WorkerRow& b) {
+              return a.lane < b.lane;
+            });
+  return rows;
+}
+
+}  // namespace
+
+void write_run_report(const RunReportInputs& in, std::ostream& os) {
+  const auto num = [](double v) { return util::json_number(v); };
+  os << "{\n";
+  os << "  " << jkey("schema") << ": \"sasta-run-report-v1\",\n";
+  os << "  " << jkey("circuit") << ": " << util::json_quote(in.circuit)
+     << ",\n";
+
+  // --- options echo: enough to reproduce the run's search configuration.
+  os << "  " << jkey("options") << ": {";
+  if (in.options != nullptr) {
+    const PathFinderOptions& o = *in.options;
+    os << "\n    " << jkey("threads") << ": " << o.num_threads << ",\n    "
+       << jkey("cache") << ": \"" << mode_name(o.justify_cache) << "\",\n    "
+       << jkey("tier") << ": \"" << tier_name(o.justify_tier) << "\",\n    "
+       << jkey("cache_capacity") << ": " << o.justify_cache_capacity
+       << ",\n    " << jkey("cache_budget") << ": " << o.justify_cache_budget
+       << ",\n    " << jkey("backtrack_budget") << ": "
+       << o.justify_backtrack_budget << ",\n    " << jkey("escalation_payoff")
+       << ": " << num(o.escalation_payoff) << "\n  ";
+  }
+  os << "},\n";
+
+  // --- aggregate totals (PathFinderStats).
+  os << "  " << jkey("totals") << ": {";
+  if (in.stats != nullptr) {
+    const PathFinderStats& s = *in.stats;
+    os << "\n    " << jkey("paths_recorded") << ": " << s.paths_recorded
+       << ",\n    " << jkey("courses") << ": " << s.courses << ",\n    "
+       << jkey("multi_vector_courses") << ": " << s.multi_vector_courses
+       << ",\n    " << jkey("vector_trials") << ": " << s.vector_trials
+       << ",\n    " << jkey("backtracks") << ": " << s.backtracks << ",\n    "
+       << jkey("justify_limited") << ": " << s.justify_limited << ",\n    "
+       << jkey("cpu_seconds") << ": " << num(s.cpu_seconds) << ",\n    "
+       << jkey("truncated") << ": " << (s.truncated ? "true" : "false")
+       << "\n  ";
+  }
+  os << "},\n";
+
+  // --- cache/tier decision points, with the payoff ratio live.
+  os << "  " << jkey("cache") << ": {";
+  if (in.stats != nullptr) {
+    const PathFinderStats& s = *in.stats;
+    os << "\n    " << jkey("hits") << ": " << s.cache_hits << ",\n    "
+       << jkey("misses") << ": " << s.cache_misses << ",\n    "
+       << jkey("prunes") << ": " << s.cache_prunes << ",\n    "
+       << jkey("inserts") << ": " << s.cache_inserts << ",\n    "
+       << jkey("insert_races") << ": " << s.cache_insert_races << ",\n    "
+       << jkey("full_drops") << ": " << s.cache_full_drops << ",\n    "
+       << jkey("implication_refutes") << ": " << s.implication_refutes
+       << ",\n    " << jkey("solver_escalations") << ": "
+       << s.solver_escalations << ",\n    " << jkey("subset_hits") << ": "
+       << s.subset_hits << ",\n    " << jkey("negative_hits") << ": "
+       << s.negative_hits << ",\n    " << jkey("escalation_refutes") << ": "
+       << s.escalation_refutes << ",\n    " << jkey("escalations_vetoed")
+       << ": " << s.escalations_vetoed << ",\n    "
+       << jkey("refutes_per_escalation") << ": "
+       << num(live_ratio(s.escalation_refutes, s.solver_escalations))
+       << ",\n    " << jkey("shard_occupancy") << ": [";
+    if (in.attribution != nullptr) {
+      for (std::size_t i = 0; i < in.attribution->cache_shards.size(); ++i) {
+        os << (i ? ", " : "") << in.attribution->cache_shards[i];
+      }
+    }
+    os << "]\n  ";
+  }
+  os << "},\n";
+
+  // --- adaptive escalation controller.
+  os << "  " << jkey("controller") << ": {";
+  {
+    const bool active =
+        in.attribution != nullptr && in.attribution->controller_active;
+    os << "\n    " << jkey("active") << ": " << (active ? "true" : "false");
+    if (active) {
+      const EscalationController::Snapshot& c = in.attribution->controller;
+      os << ",\n    " << jkey("escalations") << ": " << c.escalations
+         << ",\n    " << jkey("refutes") << ": " << c.refutes << ",\n    "
+         << jkey("vetoes") << ": " << c.vetoes << ",\n    "
+         << jkey("windows") << ": " << c.windows << ",\n    "
+         << jkey("disables") << ": " << c.disables << ",\n    "
+         << jkey("payoff") << ": " << num(c.payoff) << ",\n    "
+         << jkey("enabled") << ": " << (c.enabled ? "true" : "false");
+    }
+    os << "\n  ";
+  }
+  os << "},\n";
+
+  // --- attribution tables.
+  os << "  " << jkey("attribution") << ": {\n    " << jkey("sources")
+     << ": [";
+  if (in.attribution != nullptr && in.netlist != nullptr) {
+    const char* sep = "";
+    for (const SearchAttribution::SourceCost& r : in.attribution->sources) {
+      if (r.source == netlist::kNoId) continue;  // source never searched
+      os << sep << "\n      {" << jkey("name") << ": "
+         << util::json_quote(in.netlist->net(r.source).name) << ", "
+         << jkey("vector_trials") << ": " << r.vector_trials << ", "
+         << jkey("backtracks") << ": " << r.backtracks << ", "
+         << jkey("paths_recorded") << ": " << r.paths_recorded << ", "
+         << jkey("justify_limited") << ": " << r.justify_limited << ", "
+         << jkey("seconds") << ": " << num(r.seconds) << "}";
+      sep = ",";
+    }
+    if (*sep != '\0') os << "\n    ";
+  }
+  os << "],\n    " << jkey("hot_gates") << ": [";
+  if (in.attribution != nullptr && in.netlist != nullptr) {
+    const auto gates = top_gates(*in.attribution, in.top_k_gates);
+    const char* sep = "";
+    for (const SearchAttribution::GateCost& g : gates) {
+      os << sep << "\n      {" << jkey("name") << ": "
+         << util::json_quote(in.netlist->instance(g.inst).name) << ", "
+         << jkey("cost") << ": " << gate_cost(g) << ", "
+         << jkey("vector_trials") << ": " << g.vector_trials << ", "
+         << jkey("cache_prunes") << ": " << g.cache_prunes << ", "
+         << jkey("solver_escalations") << ": " << g.solver_escalations
+         << ", " << jkey("escalation_backtracks") << ": "
+         << g.escalation_backtracks << "}";
+      sep = ",";
+    }
+    if (*sep != '\0') os << "\n    ";
+  }
+  os << "]\n  },\n";
+
+  // --- per-worker phase timeline (metrics lanes + trace span counts).
+  os << "  " << jkey("workers") << ": [";
+  {
+    const std::vector<WorkerRow> rows = worker_rows(in);
+    const char* sep = "";
+    for (const WorkerRow& r : rows) {
+      os << sep << "\n    {" << jkey("lane") << ": " << r.lane << ", "
+         << jkey("sources") << ": " << r.sources << ", "
+         << jkey("busy_seconds") << ": " << num(r.busy_seconds) << ", "
+         << jkey("spans") << ": " << r.spans << "}";
+      sep = ",";
+    }
+    if (!rows.empty()) os << "\n  ";
+  }
+  os << "],\n";
+
+  // --- the full metrics snapshot, embedded verbatim.
+  os << "  " << jkey("metrics") << ": ";
+  if (in.metrics != nullptr) {
+    in.metrics->write_json(os);
+  } else {
+    os << "{}\n";
+  }
+  os << "}\n";
+}
+
+std::string format_profile_summary(const RunReportInputs& in) {
+  std::ostringstream os;
+  os << "search-cost profile";
+  if (!in.circuit.empty()) os << " (" << in.circuit << ")";
+  os << ":\n";
+
+  if (in.attribution != nullptr && in.netlist != nullptr) {
+    // Top sources by attributed wall clock.
+    std::vector<SearchAttribution::SourceCost> sources;
+    for (const SearchAttribution::SourceCost& r : in.attribution->sources) {
+      if (r.source != netlist::kNoId) sources.push_back(r);
+    }
+    std::sort(sources.begin(), sources.end(),
+              [](const SearchAttribution::SourceCost& a,
+                 const SearchAttribution::SourceCost& b) {
+                return a.seconds != b.seconds ? a.seconds > b.seconds
+                                              : a.source < b.source;
+              });
+    os << "  top sources (by seconds):\n";
+    const std::size_t n_sources = std::min<std::size_t>(sources.size(), 8);
+    for (std::size_t i = 0; i < n_sources; ++i) {
+      const SearchAttribution::SourceCost& r = sources[i];
+      os << "    " << in.netlist->net(r.source).name << ": "
+         << util::format_fixed(r.seconds * 1e3, 2) << " ms, "
+         << r.vector_trials << " trials, " << r.backtracks
+         << " backtracks, " << r.paths_recorded << " paths\n";
+    }
+
+    os << "  hot gates (by attributed cost = trials + prunes + "
+          "escalation backtracks):\n";
+    for (const SearchAttribution::GateCost& g :
+         top_gates(*in.attribution, std::min(in.top_k_gates, 8))) {
+      os << "    " << in.netlist->instance(g.inst).name << ": cost "
+         << gate_cost(g) << " (" << g.vector_trials << " trials, "
+         << g.cache_prunes << " prunes, " << g.solver_escalations
+         << " escalations)\n";
+    }
+  }
+
+  if (in.stats != nullptr) {
+    const PathFinderStats& s = *in.stats;
+    const long probes = s.cache_hits + s.cache_misses;
+    os << "  cache: " << s.cache_hits << "/" << probes << " probes hit, "
+       << s.cache_prunes << " prunes, " << s.negative_hits
+       << " negative hits, " << s.subset_hits << " subset hits\n";
+    os << "  tiers: " << s.implication_refutes << " implication refutes, "
+       << s.solver_escalations << " solver escalations ("
+       << s.escalation_refutes << " refuting, payoff "
+       << util::format_fixed(
+              live_ratio(s.escalation_refutes, s.solver_escalations), 3)
+       << ")";
+    if (s.escalations_vetoed > 0) {
+      os << ", " << s.escalations_vetoed << " vetoed";
+    }
+    os << "\n";
+  }
+
+  if (in.attribution != nullptr && in.attribution->controller_active) {
+    const EscalationController::Snapshot& c = in.attribution->controller;
+    os << "  controller: " << (c.enabled ? "enabled" : "DISABLED")
+       << ", payoff " << util::format_fixed(c.payoff, 3) << " over "
+       << c.windows << " windows, " << c.vetoes << " vetoes, " << c.disables
+       << " disables\n";
+  }
+  return os.str();
+}
+
+}  // namespace sasta::sta

@@ -1,0 +1,54 @@
+// Structured run report (--report-json) and the --profile terminal
+// summary.
+//
+// The report is the one machine-readable artifact that merges everything
+// the observability layer knows about a run: the aggregate
+// PathFinderStats, the metrics snapshot, the search-cost attribution
+// tables (per-source rows, top-K hot gates, cache/tier decision points)
+// and the per-worker phase timelines recovered from metrics + trace.  Its
+// schema is versioned ("sasta-run-report-v1") and documented in
+// docs/METRICS.md ("Run report schema"); tools/check_docs_sync greps the
+// jkey() call sites in run_report.cpp to hold the docs to the emitted key
+// set.
+//
+// Rendering is deterministic for fixed inputs: keys are emitted in fixed
+// order, doubles go through util::json_number, and the hot-gate table has
+// a total order (attributed cost descending, instance id ascending).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "sta/path.h"
+#include "sta/pathfinder.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace sasta::sta {
+
+/// Everything the report renders.  Every pointer is optional and
+/// borrowed: a null section renders as an empty object/array, so the
+/// schema's key set is fixed regardless of which sinks were enabled.
+struct RunReportInputs {
+  std::string circuit;
+  const netlist::Netlist* netlist = nullptr;      ///< names for ids
+  const PathFinderOptions* options = nullptr;     ///< echoed into "options"
+  const PathFinderStats* stats = nullptr;         ///< "totals" + "cache"
+  const util::MetricsSnapshot* metrics = nullptr; ///< "metrics" + "workers"
+  const SearchAttribution* attribution = nullptr; ///< "attribution"
+  const util::TraceCollector* trace = nullptr;    ///< span counts per lane
+  /// Hot-gate table size: the K highest-cost gates by attributed cost
+  /// (vector_trials + cache_prunes + escalation_backtracks).
+  int top_k_gates = 16;
+};
+
+/// Writes the versioned run-report JSON.
+void write_run_report(const RunReportInputs& in, std::ostream& os);
+
+/// Renders the --profile summary: top sources and hot gates by attributed
+/// cost, the cache/tier breakdown with the live refutes-per-escalation
+/// ratio, and the adaptive controller's verdict.
+std::string format_profile_summary(const RunReportInputs& in);
+
+}  // namespace sasta::sta

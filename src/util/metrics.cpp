@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace sasta::util {
+
+namespace {
+
+/// Reduces shard contributions in a creation-order-independent order.
+/// Worker shards are created in whatever order the pool's threads happen
+/// to start, and double addition is not associative — summing three or
+/// more nonzero contributions in thread order could make a merged gauge
+/// differ bit for bit between otherwise identical runs.  Sorting the
+/// contributions by their 64-bit pattern first makes the reduction a pure
+/// function of the contribution multiset.
+double deterministic_sum(std::vector<double>& values) {
+  std::sort(values.begin(), values.end(), [](double a, double b) {
+    std::uint64_t ua, ub;
+    std::memcpy(&ua, &a, sizeof(ua));
+    std::memcpy(&ub, &b, sizeof(ub));
+    return ua < ub;
+  });
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total;
+}
+
+}  // namespace
 
 MetricsShard::MetricsShard(std::size_t num_counters, std::size_t num_gauges,
                            const std::vector<std::vector<double>>& hist_bounds)
@@ -91,14 +116,19 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     h.bounds = def.bounds;
     h.counts.assign(def.bounds.size() + 1, 0);
   }
+  // Floating-point contributions are gathered per metric and reduced with
+  // deterministic_sum: shards_ is ordered by creation, which is a thread
+  // race under the worker pool, and the merged value must not depend on it.
+  std::vector<std::vector<double>> gauge_parts(gauge_names_.size());
+  std::vector<std::vector<double>> hist_sum_parts(histogram_defs_.size());
   for (const auto& shard : shards_) {
     for (std::size_t i = 0; i < shard->counters_.size(); ++i) {
       snap.counters[counter_names_[i]] +=
           shard->counters_[i].load(std::memory_order_relaxed);
     }
     for (std::size_t i = 0; i < shard->gauges_.size(); ++i) {
-      snap.gauges[gauge_names_[i]] +=
-          shard->gauges_[i].load(std::memory_order_relaxed);
+      gauge_parts[i].push_back(
+          shard->gauges_[i].load(std::memory_order_relaxed));
     }
     for (std::size_t i = 0; i < shard->histograms_.size(); ++i) {
       const MetricsShard::HistogramCells& cells = shard->histograms_[i];
@@ -106,11 +136,31 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       for (std::size_t b = 0; b < cells.counts.size(); ++b) {
         h.counts[b] += cells.counts[b].load(std::memory_order_relaxed);
       }
-      h.sum += cells.sum.load(std::memory_order_relaxed);
+      hist_sum_parts[i].push_back(cells.sum.load(std::memory_order_relaxed));
       h.observations += cells.observations.load(std::memory_order_relaxed);
     }
   }
+  for (std::size_t i = 0; i < gauge_parts.size(); ++i) {
+    snap.gauges[gauge_names_[i]] = deterministic_sum(gauge_parts[i]);
+  }
+  for (std::size_t i = 0; i < hist_sum_parts.size(); ++i) {
+    snap.histograms[histogram_defs_[i].name].sum =
+        deterministic_sum(hist_sum_parts[i]);
+  }
   return snap;
+}
+
+double MetricsSnapshot::Histogram::percentile(double q) const {
+  if (observations <= 0 || bounds.empty()) return 0.0;
+  const double target = q * static_cast<double>(observations);
+  long cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) >= target) {
+      return b < bounds.size() ? bounds[b] : bounds.back();
+    }
+  }
+  return bounds.back();
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -182,7 +232,10 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
       os << (i ? ", " : "") << h.counts[i];
     }
     os << "], \"observations\": " << h.observations
-       << ", \"sum\": " << json_number(h.sum) << "}";
+       << ", \"sum\": " << json_number(h.sum)
+       << ", \"p50\": " << json_number(h.percentile(0.50))
+       << ", \"p90\": " << json_number(h.percentile(0.90))
+       << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";
     sep = ",";
   }
   os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";

@@ -92,13 +92,23 @@ class MetricsShard {
 /// Merged cross-shard view.  Counters and gauges sum over shards (shards
 /// partition the quantity they measure); histograms sum per-bucket.  Keys
 /// are sorted, so serialization is deterministic given the same
-/// registration sequence.
+/// registration sequence.  The floating-point sums (gauges, histogram
+/// `sum`) are reduced in a creation-order-independent order, so even the
+/// racy thread order in which worker shards come into existence cannot
+/// change a merged value bit for bit.
 struct MetricsSnapshot {
   struct Histogram {
     std::vector<double> bounds;  ///< inclusive upper bucket edges
     std::vector<long> counts;    ///< bounds.size() + 1, last = overflow
     long observations = 0;
     double sum = 0.0;
+
+    /// Bucket-resolution quantile estimate for `q` in (0, 1]: the
+    /// inclusive upper edge of the first bucket at which the cumulative
+    /// count reaches ⌈q · observations⌉.  Observations past the last bound
+    /// (the overflow bucket) report the last bound — the export cannot
+    /// resolve beyond its edges.  0 when the histogram is empty.
+    double percentile(double q) const;
   };
 
   std::map<std::string, long> counters;
@@ -107,7 +117,9 @@ struct MetricsSnapshot {
 
   /// Serializes as one JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {"bounds": [...], "counts": [...],
-  /// "observations": N, "sum": S}}}.
+  /// "observations": N, "sum": S, "p50": ..., "p90": ..., "p99": ...}}}.
+  /// The percentile fields are bucket-resolution (see
+  /// Histogram::percentile).
   void write_json(std::ostream& os) const;
 };
 

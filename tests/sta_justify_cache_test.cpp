@@ -158,14 +158,22 @@ TEST(JustifyCacheDifferential, TimingReportBytesIdenticalAcrossModes) {
   for (const JustifyCacheMode mode :
        {JustifyCacheMode::kShared, JustifyCacheMode::kPerWorker}) {
     for (const JustifyTier tier :
-         {JustifyTier::kImplication, JustifyTier::kSolver,
-          JustifyTier::kBoth}) {
+         {JustifyTier::kImplication, JustifyTier::kSolver, JustifyTier::kBoth,
+          JustifyTier::kAdaptive}) {
       for (const int threads : {1, 4, 8}) {
         EXPECT_EQ(render(mode, tier, threads), base)
             << "mode " << static_cast<int>(mode) << " tier "
             << static_cast<int>(tier) << " threads " << threads;
       }
     }
+  }
+  // Adaptive with the cache off degenerates to the plain pipeline (there is
+  // no miss path for the controller to veto) and must also render the same
+  // bytes.
+  for (const int threads : {1, 4, 8}) {
+    EXPECT_EQ(render(JustifyCacheMode::kOff, JustifyTier::kAdaptive, threads),
+              base)
+        << "cache off, adaptive, threads " << threads;
   }
 }
 
@@ -339,6 +347,76 @@ TEST(JustifyTierDifferential, SubsetLearningAndClosureAbsorbEscalations) {
   EXPECT_LE(closure_only.stats.cache_prunes, both.stats.cache_prunes);
   EXPECT_EQ(closure_only.fingerprints, both.fingerprints);
   EXPECT_EQ(solver_only.fingerprints, both.fingerprints);
+}
+
+// --- Adaptive escalation controller ----------------------------------------
+
+EnumRun enumerate_adaptive(const netlist::Netlist& nl, int threads,
+                           double payoff) {
+  PathFinderOptions opt;
+  opt.num_threads = threads;
+  opt.justify_cache = JustifyCacheMode::kShared;
+  opt.justify_tier = JustifyTier::kAdaptive;
+  opt.escalation_payoff = payoff;
+  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+  EnumRun run;
+  std::vector<TruePath> paths;
+  run.stats = finder.run([&](const TruePath& p) { paths.push_back(p); });
+  run.fingerprints = testing::path_fingerprints(nl, paths);
+  return run;
+}
+
+// The adaptive tier's one hard guarantee: whatever the controller decides,
+// the enumerated result is byte-identical to every other tier — a veto only
+// degrades a refutation opportunity into an inconclusive memo, exactly what
+// the implication tier records for every miss it cannot close.
+TEST(AdaptiveEscalation, ResultsIdenticalAtEveryPayoffAndThreadCount) {
+  const netlist::Netlist nl = generated_circuit(42, 16, 80, 8);
+  const EnumRun base = enumerate(nl, JustifyCacheMode::kOff, 1);
+  ASSERT_FALSE(base.fingerprints.empty());
+  for (const double payoff : {0.0, 0.5, 1e9}) {
+    for (const int threads : {1, 4, 8}) {
+      const EnumRun run = enumerate_adaptive(nl, threads, payoff);
+      EXPECT_EQ(run.fingerprints, base.fingerprints)
+          << "payoff " << payoff << " threads " << threads;
+      EXPECT_EQ(run.stats.paths_recorded, base.stats.paths_recorded);
+    }
+  }
+}
+
+// payoff = 0 can never disable escalation (the window ratio is >= 0 and the
+// exact threshold stays enabled), so single-threaded adaptive must degrade
+// to the kBoth pipeline *exactly* — same trials, same escalations, same
+// refutes, zero vetoes.  Cost counters are only deterministic at one
+// thread; at higher counts controller state depends on arrival order.
+TEST(AdaptiveEscalation, ZeroThresholdIsBothAtOneThread) {
+  const netlist::Netlist nl = generated_circuit(42, 16, 80, 8);
+  const EnumRun both = enumerate(nl, JustifyCacheMode::kShared, 1,
+                                 std::size_t{1} << 16, JustifyTier::kBoth);
+  const EnumRun adaptive = enumerate_adaptive(nl, 1, 0.0);
+  EXPECT_EQ(adaptive.fingerprints, both.fingerprints);
+  EXPECT_EQ(adaptive.stats.vector_trials, both.stats.vector_trials);
+  EXPECT_EQ(adaptive.stats.solver_escalations, both.stats.solver_escalations);
+  EXPECT_EQ(adaptive.stats.escalation_refutes, both.stats.escalation_refutes);
+  EXPECT_EQ(adaptive.stats.escalations_vetoed, 0);
+}
+
+// An unreachable threshold makes the controller disable escalation after
+// the first full window: vetoes appear and solver escalations drop well
+// below kBoth's, while the result stays identical (checked above).
+TEST(AdaptiveEscalation, UnreachableThresholdShedsEscalations) {
+  const netlist::Netlist nl = generated_circuit(42, 16, 80, 8);
+  const EnumRun both = enumerate(nl, JustifyCacheMode::kShared, 1,
+                                 std::size_t{1} << 16, JustifyTier::kBoth);
+  const EnumRun adaptive = enumerate_adaptive(nl, 1, 1e9);
+  ASSERT_GT(both.stats.solver_escalations, 0)
+      << "circuit too easy to exercise the controller";
+  EXPECT_GT(adaptive.stats.escalations_vetoed, 0);
+  EXPECT_LT(adaptive.stats.solver_escalations,
+            both.stats.solver_escalations);
+  // Probing keeps a trickle of escalations alive so the estimate can
+  // recover; the controller never fully blinds itself.
+  EXPECT_GT(adaptive.stats.solver_escalations, 0);
 }
 
 // --- Lock-free table unit tests -------------------------------------------

@@ -236,5 +236,53 @@ TEST(Observability, HeartbeatEmitsWholeProgressLines) {
   EXPECT_GT(progress_lines, 0);
 }
 
+// The heartbeat must coexist with the metrics sink (the CLI arms both for
+// --progress --metrics-json): progress lines stay whole while the metrics
+// snapshot still reconciles exactly with the aggregate stats, and arming
+// the attribution table alongside both changes nothing.
+TEST(Observability, HeartbeatCoexistsWithMetricsSink) {
+  const netlist::Netlist nl = generated_circuit(41);
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  const util::LogLevel old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+
+  util::MetricsRegistry metrics;
+  SearchAttribution attribution;
+  PathFinderOptions opt;
+  opt.num_threads = 4;
+  opt.progress_interval_seconds = 1e-9;
+  opt.metrics = &metrics;
+  opt.attribution = &attribution;
+  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+  const PathFinderStats stats = finder.run([](const TruePath&) {});
+
+  util::set_log_level(old_level);
+  std::cerr.rdbuf(old_buf);
+
+  // Heartbeat fired and stayed line-atomic.
+  const std::string out = captured.str();
+  ASSERT_NE(out.find("progress: "), std::string::npos) << out;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.rfind("[sasta ", 0), 0u) << "sheared line: " << line;
+    }
+  }
+
+  // The metrics sink still reconciles exactly.
+  const util::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(per_source_total(snap, ".vector_trials"), stats.vector_trials);
+  EXPECT_EQ(per_source_total(snap, ".paths_recorded"), stats.paths_recorded);
+
+  // And so does the attribution table armed alongside.
+  long src_trials = 0;
+  for (const SearchAttribution::SourceCost& r : attribution.sources) {
+    if (r.source != netlist::kNoId) src_trials += r.vector_trials;
+  }
+  EXPECT_EQ(src_trials, stats.vector_trials);
+}
+
 }  // namespace
 }  // namespace sasta::sta

@@ -137,6 +137,84 @@ TEST(Metrics, ConcurrentShardWritesAreExact) {
   EXPECT_EQ(snap.histograms.at("h").observations, long{kThreads} * kIncrements);
 }
 
+TEST(Metrics, HistogramPercentilesFromKnownDistribution) {
+  MetricsRegistry reg;
+  // Bucket edges 1, 2, 4, 8; feed 100 observations with a known shape:
+  // 50 in (<=1], 30 in (1,2], 15 in (2,4], 4 in (4,8], 1 overflow.
+  const HistogramId h = reg.histogram("d", {1.0, 2.0, 4.0, 8.0});
+  MetricsShard& shard = reg.create_shard();
+  for (int i = 0; i < 50; ++i) shard.observe(h, 0.5);
+  for (int i = 0; i < 30; ++i) shard.observe(h, 1.5);
+  for (int i = 0; i < 15; ++i) shard.observe(h, 3.0);
+  for (int i = 0; i < 4; ++i) shard.observe(h, 5.0);
+  shard.observe(h, 100.0);
+
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("d");
+  // Percentiles resolve to the inclusive upper edge of the first bucket
+  // whose cumulative count reaches q * observations.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 1.0);   // 50th obs is in bucket 0
+  EXPECT_DOUBLE_EQ(snap.percentile(0.51), 2.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.80), 2.0);   // cumulative 80 at edge 2
+  EXPECT_DOUBLE_EQ(snap.percentile(0.90), 4.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 8.0);
+  // The overflow bucket has no finite upper edge; report the last bound.
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 1.0);
+}
+
+TEST(Metrics, EmptyHistogramPercentileIsZero) {
+  MetricsRegistry reg;
+  (void)reg.histogram("d", {1.0});
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("d");
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);
+}
+
+TEST(Metrics, JsonExportsPercentiles) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("depth", {1.0, 2.0});
+  MetricsShard& shard = reg.create_shard();
+  for (int i = 0; i < 10; ++i) shard.observe(h, 0.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(testing::is_valid_json(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"p50\": 1"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("\"p90\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+}
+
+// Regression for an order-dependence bug: merged gauge values used to be
+// summed in shard-creation order, so adversarial magnitudes (1e16 + 1.0
+// - 1e16 is 0.0 or 1.0 depending on association) made the merged value
+// depend on which worker registered its shard first.  The merge now sums
+// contributions in a canonical (bit-pattern) order: any permutation of the
+// same multiset must produce bit-identical merged gauges and histogram
+// sums.
+TEST(Metrics, GaugeMergeIsShardOrderIndependent) {
+  const std::vector<std::vector<double>> permutations = {
+      {1e16, 1.0, -1e16}, {-1e16, 1.0, 1e16}, {1.0, 1e16, -1e16},
+      {1e16, -1e16, 1.0}};
+  std::vector<double> merged;
+  for (const auto& order : permutations) {
+    MetricsRegistry reg;
+    const GaugeId g = reg.gauge("g");
+    const HistogramId h = reg.histogram("h", {1.0});
+    for (const double v : order) {
+      MetricsShard& shard = reg.create_shard();
+      shard.set(g, v);
+      shard.observe(h, v);
+    }
+    const MetricsSnapshot snap = reg.snapshot();
+    merged.push_back(snap.gauges.at("g"));
+    merged.push_back(snap.histograms.at("h").sum);
+  }
+  for (std::size_t i = 2; i < merged.size(); i += 2) {
+    EXPECT_EQ(merged[i], merged[0])
+        << "gauge merge depends on shard creation order";
+    EXPECT_EQ(merged[i + 1], merged[1])
+        << "histogram sum merge depends on shard creation order";
+  }
+}
+
 TEST(Metrics, JsonOutputIsValidAndDeterministic) {
   MetricsRegistry reg;
   MetricsShard* shard = nullptr;

@@ -22,13 +22,19 @@
 //                        bit-identical in every mode; "shared" is one
 //                        lock-free table across all worker threads.
 //   --justify-cache-slots N  memo table capacity in entries (default 65536)
-//   --justify-tier T     implication | solver | both  (default both):
-//                        how memo-cache misses are refuted.  "implication"
-//                        runs only the zero-backtracking implication
-//                        closure; "solver" only the budgeted backtracking
-//                        solver; "both" tries the closure first and
-//                        escalates the survivors.  Ablation knob: reported
-//                        paths are bit-identical at every tier.
+//   --justify-tier T     implication | solver | both | adaptive  (default
+//                        both): how memo-cache misses are refuted.
+//                        "implication" runs only the zero-backtracking
+//                        implication closure; "solver" only the budgeted
+//                        backtracking solver; "both" tries the closure
+//                        first and escalates the survivors; "adaptive" is
+//                        "both" behind an online payoff controller that
+//                        stops escalating when refutes-per-escalation
+//                        drops below --escalation-payoff.  Reported paths
+//                        are bit-identical at every tier.
+//   --escalation-payoff X  adaptive tier: minimum smoothed
+//                        refutes-per-escalation to keep the solver tier
+//                        enabled (default 0.1; 0 = never disable)
 //   --baseline           also run the two-step commercial-style baseline
 //   --golden             verify reported paths with transistor-level
 //                        simulation
@@ -48,6 +54,11 @@
 //                        histograms, phase timings) as JSON to F
 //   --trace-out F        write a Chrome trace-event / Perfetto JSON timeline
 //                        (load in chrome://tracing or ui.perfetto.dev)
+//   --report-json F      write the structured run report (schema
+//                        sasta-run-report-v1: metrics + search-cost
+//                        attribution tables + per-worker timelines) to F
+//   --profile            print the human-readable search-cost profile (top
+//                        sources, hot gates, cache/tier/controller summary)
 //   --progress [every 2s] heartbeat: sources done/total, trials/sec, elapsed
 //   --log-level L        debug | info | warn | error    (default warn;
 //                        -q wins, --log-level wins over the implicit info)
@@ -69,6 +80,7 @@
 #include "sta/corners.h"
 #include "sta/erc.h"
 #include "sta/report.h"
+#include "sta/run_report.h"
 #include "sta/sdf_writer.h"
 #include "sta/sta_tool.h"
 #include "util/log.h"
@@ -91,6 +103,7 @@ struct Options {
       sasta::sta::JustifyCacheMode::kShared;
   std::size_t justify_cache_slots = std::size_t{1} << 16;
   sasta::sta::JustifyTier justify_tier = sasta::sta::JustifyTier::kBoth;
+  double escalation_payoff = 0.1;  ///< adaptive-tier controller threshold
   bool baseline = false;
   bool golden = false;
   bool full_char = false;
@@ -107,6 +120,8 @@ struct Options {
   std::string write_sdf;      ///< SDF annotation output file
   std::string metrics_json;   ///< run-metrics JSON output file
   std::string trace_out;      ///< Chrome trace-event JSON output file
+  std::string report_json;    ///< structured run-report JSON output file
+  bool profile = false;       ///< print the search-cost profile summary
   bool progress = false;      ///< periodic search-progress heartbeat
   /// Explicit --log-level / -v choice; unset = infer from -q.
   std::optional<sasta::util::LogLevel> log_level;
@@ -118,11 +133,12 @@ struct Options {
                "       [--budget B] [--threads N] [--baseline] [--golden]\n"
                "       [--justify-cache off|shared|per-worker]\n"
                "       [--justify-cache-slots N]\n"
-               "       [--justify-tier implication|solver|both]\n"
-               "       [--full-char]\n"
+               "       [--justify-tier implication|solver|both|adaptive]\n"
+               "       [--escalation-payoff X] [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
-               "       [--metrics-json F] [--trace-out F] [--progress]\n"
+               "       [--metrics-json F] [--trace-out F] [--report-json F]\n"
+               "       [--profile] [--progress]\n"
                "       [--log-level debug|info|warn|error] [-v]\n"
                "       <netlist>\n";
   std::exit(2);
@@ -169,11 +185,15 @@ Options parse_args(int argc, char** argv) {
         o.justify_tier = sasta::sta::JustifyTier::kSolver;
       } else if (tier == "both") {
         o.justify_tier = sasta::sta::JustifyTier::kBoth;
+      } else if (tier == "adaptive") {
+        o.justify_tier = sasta::sta::JustifyTier::kAdaptive;
       } else {
         std::cerr << "unknown --justify-tier '" << tier
-                  << "' (implication | solver | both)\n";
+                  << "' (implication | solver | both | adaptive)\n";
         usage(argv[0]);
       }
+    } else if (a == "--escalation-payoff") {
+      o.escalation_payoff = std::stod(value());
     } else if (a == "--baseline") {
       o.baseline = true;
     } else if (a == "--golden") {
@@ -206,6 +226,10 @@ Options parse_args(int argc, char** argv) {
       o.metrics_json = value();
     } else if (a == "--trace-out") {
       o.trace_out = value();
+    } else if (a == "--report-json") {
+      o.report_json = value();
+    } else if (a == "--profile") {
+      o.profile = true;
     } else if (a == "--progress") {
       o.progress = true;
     } else if (a == "--log-level") {
@@ -263,14 +287,17 @@ int main(int argc, char** argv) {
   }
 
   // Observability sinks: enabled by their output flags, shared by every
-  // pipeline phase below.  --progress only needs the heartbeat, which runs
-  // without either sink.
+  // pipeline phase below.  --report-json merges both into one artifact, so
+  // it arms them even without --metrics-json / --trace-out.  --progress
+  // only needs the heartbeat, which runs without any sink.
   util::MetricsRegistry metrics_registry;
   util::TraceCollector trace_collector;
   util::MetricsRegistry* metrics =
-      opt.metrics_json.empty() ? nullptr : &metrics_registry;
-  util::TraceCollector* trace = opt.trace_out.empty() ? nullptr
-                                                      : &trace_collector;
+      opt.metrics_json.empty() && opt.report_json.empty() ? nullptr
+                                                          : &metrics_registry;
+  util::TraceCollector* trace =
+      opt.trace_out.empty() && opt.report_json.empty() ? nullptr
+                                                       : &trace_collector;
 
   try {
     const cell::Library lib = cell::build_standard_library();
@@ -336,12 +363,17 @@ int main(int argc, char** argv) {
     sopt.finder.justify_cache = opt.justify_cache;
     sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
     sopt.finder.justify_tier = opt.justify_tier;
+    sopt.finder.escalation_payoff = opt.escalation_payoff;
     sopt.delay.temperature_c = opt.temp_c;
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
     sopt.keep_fastest = opt.fastest;
     sopt.finder.metrics = metrics;
     sopt.finder.trace = trace;
+    sta::SearchAttribution attribution;
+    if (!opt.report_json.empty() || opt.profile) {
+      sopt.finder.attribution = &attribution;
+    }
     if (opt.progress) sopt.finder.progress_interval_seconds = 2.0;
     sta::StaTool tool(nl, cl, tech, sopt);
     const sta::StaResult res = tool.run();
@@ -371,6 +403,15 @@ int main(int argc, char** argv) {
                 << " solver escalations, " << res.stats.subset_hits
                 << " subset hits, " << res.stats.negative_hits
                 << " negative hits\n";
+    }
+    if (opt.profile) {
+      sta::RunReportInputs profile_in;
+      profile_in.circuit = nl.name();
+      profile_in.netlist = &nl;
+      profile_in.options = &sopt.finder;
+      profile_in.stats = &res.stats;
+      profile_in.attribution = sopt.finder.attribution;
+      std::cout << "\n" << sta::format_profile_summary(profile_in);
     }
     std::cout << "worst true paths:\n";
     for (const auto& tp : res.paths) {
@@ -464,15 +505,31 @@ int main(int argc, char** argv) {
                 << util::format_percent(bres.no_vector_ratio(), 1) << ")\n";
     }
 
-    if (metrics != nullptr) {
+    if (!opt.metrics_json.empty()) {
       std::ofstream os(opt.metrics_json);
       metrics->write_json(os);
       std::cout << "wrote " << opt.metrics_json << "\n";
     }
-    if (trace != nullptr) {
+    if (!opt.trace_out.empty()) {
       std::ofstream os(opt.trace_out);
       trace->write_json(os);
       std::cout << "wrote " << opt.trace_out << "\n";
+    }
+    if (!opt.report_json.empty()) {
+      // Snapshot last so the report's metrics section carries every phase
+      // gauge written above.
+      const util::MetricsSnapshot snap = metrics->snapshot();
+      sta::RunReportInputs report_in;
+      report_in.circuit = nl.name();
+      report_in.netlist = &nl;
+      report_in.options = &sopt.finder;
+      report_in.stats = &res.stats;
+      report_in.metrics = &snap;
+      report_in.attribution = sopt.finder.attribution;
+      report_in.trace = trace;
+      std::ofstream os(opt.report_json);
+      sta::write_run_report(report_in, os);
+      std::cout << "wrote " << opt.report_json << "\n";
     }
     return 0;
   } catch (const util::Error& e) {
