@@ -23,6 +23,8 @@ PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
   negative_hits += other.negative_hits;
   escalation_refutes += other.escalation_refutes;
   escalations_vetoed += other.escalations_vetoed;
+  packed_sweeps += other.packed_sweeps;
+  lanes_refuted += other.lanes_refuted;
   cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
   truncated = truncated || other.truncated;
   return *this;

@@ -25,6 +25,9 @@ struct PathFinder::Worker {
         engine(owner.nl_, state),
         justifier(owner.nl_, state, engine,
                   owner.opt_.use_scoap_guide ? &owner.guide_ : nullptr) {
+    if (owner.opt_.trial_lanes > 1) {
+      packed = std::make_unique<PackedImplicationEngine>(owner.nl_, state);
+    }
     if (owner.opt_.justify_cache == JustifyCacheMode::kOff) return;
     if (owner.opt_.justify_cache == JustifyCacheMode::kPerWorker) {
       JustifyCache::Config cfg;
@@ -89,6 +92,22 @@ struct PathFinder::Worker {
   std::vector<Goal> acc_goals;
   std::vector<std::uint64_t> key_scratch;
 
+  /// Word-packed trial prescreening (null = trial_lanes is 1).  The packed
+  /// engine borrows `state`, so each sweep starts from the worker's current
+  /// DFS prefix.  packed_refuted is a stack-shaped arena of per-candidate
+  /// refuted ScenarioMasks, one frame per live extend() invocation (each
+  /// frame restores its base size on exit); the remaining vectors are
+  /// prescreen-local scratch.
+  std::unique_ptr<PackedImplicationEngine> packed;
+  std::vector<unsigned> packed_refuted;
+  struct PackedCand {
+    std::uint32_t arena;   ///< index into packed_refuted
+    std::uint32_t gbegin;  ///< goal range in packed_goals
+    std::uint32_t gend;
+  };
+  std::vector<Goal> packed_goals;
+  std::vector<PackedCand> packed_cands;
+
   /// Search-cost attribution scratch (empty unless the run requested
   /// attribution): per-instance tallies of trials, prunes and solver
   /// escalations, merged into the caller's SearchAttribution after the
@@ -112,6 +131,8 @@ PathFinder::PathFinder(const netlist::Netlist& nl,
                        const PathFinderOptions& options)
     : nl_(nl), charlib_(charlib), opt_(options) {
   util::TraceSpan span(opt_.trace, "pathfinder/prepare", 0);
+  opt_.trial_lanes = std::clamp(opt_.trial_lanes, 1,
+                                PackedImplicationEngine::kMaxLanes);
   guide_ = netlist::compute_controllability(nl);
   reach_ = netlist::reaches_output(nl);
   if (opt_.justify_cache == JustifyCacheMode::kShared) {
@@ -502,6 +523,62 @@ bool PathFinder::trial_cached_infeasible(
   return cached_verdict(w, acc_key, w.acc_goals) == JustifyVerdict::kConflict;
 }
 
+std::size_t PathFinder::packed_prescreen(Worker& w, netlist::NetId net,
+                                         unsigned alive) {
+  const std::size_t base = w.packed_refuted.size();
+  // Enumerate this frame's candidates in EXACT trial order — the same
+  // (reachable fanout) x (vector) nesting extend() walks below — so arena
+  // slot k always describes the frame's k-th candidate.  Candidates with no
+  // side goals (single-input gates) never conflict on assignment and get an
+  // empty refuted mask without occupying a lane.
+  w.packed_goals.clear();
+  w.packed_cands.clear();
+  for (const netlist::Fanout& f : nl_.net(net).fanouts) {
+    const netlist::Instance& inst = nl_.instance(f.inst);
+    if (!reach_[inst.output]) continue;
+    const charlib::CellTiming& timing = charlib_.timing(inst.cell->name());
+    const auto& vectors = timing.vectors.at(f.pin);
+    for (const charlib::SensitizationVector& vec : vectors) {
+      const auto gbegin = static_cast<std::uint32_t>(w.packed_goals.size());
+      for (int q = 0; q < inst.cell->num_inputs(); ++q) {
+        if (q == f.pin) continue;
+        w.packed_goals.push_back({inst.inputs[q], vec.side_value(q)});
+      }
+      const auto arena = static_cast<std::uint32_t>(w.packed_refuted.size());
+      w.packed_refuted.push_back(kScenarioNone);
+      if (w.packed_goals.size() > gbegin) {
+        w.packed_cands.push_back(
+            {arena, gbegin, static_cast<std::uint32_t>(w.packed_goals.size())});
+      }
+    }
+  }
+
+  // Evaluate the packed candidates, trial_lanes per sweep.
+  const int lanes = opt_.trial_lanes;
+  for (std::size_t c0 = 0; c0 < w.packed_cands.size(); c0 += lanes) {
+    const int batch = static_cast<int>(
+        std::min<std::size_t>(lanes, w.packed_cands.size() - c0));
+    const std::uint64_t active =
+        batch >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << batch) - 1;
+    w.packed->begin_sweep(active, alive);
+    for (int l = 0; l < batch; ++l) {
+      const Worker::PackedCand& cand = w.packed_cands[c0 + l];
+      for (std::uint32_t g = cand.gbegin; g < cand.gend; ++g) {
+        w.packed->assert_goal(l, w.packed_goals[g]);
+      }
+    }
+    w.packed->sweep();
+    ++w.stats.packed_sweeps;
+    for (int l = 0; l < batch; ++l) {
+      const unsigned refuted = w.packed->refuted(l);
+      w.packed_refuted[w.packed_cands[c0 + l].arena] = refuted;
+      if ((alive & ~refuted) == kScenarioNone) ++w.stats.lanes_refuted;
+    }
+  }
+  return base;
+}
+
 void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
   if (stop_.load(std::memory_order_relaxed)) return;
   if (w.stats.vector_trials % 64 == 0) {
@@ -513,6 +590,16 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
 
   if (nl_.net(net).is_primary_output) record(w, net, alive);
 
+  // Packed prescreening: one batched closure sweep per trial_lanes
+  // candidates, BEFORE the scalar loop, so the loop below can skip
+  // candidates whose every live scenario is already refuted.  The scalar
+  // loop's ordering and counters are untouched — in particular the memo
+  // gate still runs first and vector_trials still counts the trial — so a
+  // skip changes wall clock only.
+  const std::size_t cand_base =
+      w.packed != nullptr ? packed_prescreen(w, net, alive) : 0;
+  std::size_t cand = cand_base;
+
   for (const netlist::Fanout& f : nl_.net(net).fanouts) {
     if (stop_.load(std::memory_order_relaxed)) return;
     const netlist::Instance& inst = nl_.instance(f.inst);
@@ -521,6 +608,8 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
     const auto& vectors = timing.vectors.at(f.pin);
     for (const charlib::SensitizationVector& vec : vectors) {
       if (stop_.load(std::memory_order_relaxed)) return;
+      const unsigned packed_refuted =
+          w.packed != nullptr ? w.packed_refuted[cand++] : kScenarioNone;
       // Memo-cache gate (before the trial is counted, so vector_trials
       // reflects trials actually attempted): a fresh-state CONFLICT on the
       // side-value conjunction means no source, prefix or direction can
@@ -534,6 +623,12 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
       }
       ++w.stats.vector_trials;
       if (!w.gate_trials.empty()) ++w.gate_trials[f.inst];
+      // Packed skip: the sweep proved every live scenario conflicts on
+      // this candidate's assignment, i.e. the scalar closure below would
+      // end with `ok == false` having touched nothing observable.  Skip
+      // it AFTER counting the trial so the counter stream is bit-identical
+      // to trial_lanes=1.
+      if ((alive & ~packed_refuted) == kScenarioNone) continue;
       const AssignmentState::Mark mark = w.state.mark();
       const std::size_t saved_goals = w.goal_stack.size();
 
@@ -647,6 +742,10 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
       w.goal_stack.resize(saved_goals);
     }
   }
+  // Pop this frame's prescreen arena.  Early `stop_` returns skip this —
+  // the whole search is unwinding then, and search_source clears the arena
+  // before the next source.
+  if (w.packed != nullptr) w.packed_refuted.resize(cand_base);
 }
 
 void PathFinder::prepare_observability(
@@ -756,6 +855,7 @@ void PathFinder::search_source(Worker& w, netlist::NetId source) {
   w.state.reset();
   w.goal_stack.clear();
   w.steps.clear();
+  w.packed_refuted.clear();
   w.justifier.reset_backtracks();
   w.justifier.set_supports(&supports_, pi_bit_[source]);
   w.current_source = source;
@@ -903,6 +1003,15 @@ PathFinderStats PathFinder::run(
         opt_.metrics->counter("pathfinder.sources_total");
     const util::CounterId workers =
         opt_.metrics->counter("pathfinder.workers");
+    // Packed-prescreen counters exist exactly when the knob is on, like the
+    // cache block below: the key set stays a pure function of the options.
+    const bool packed_on = opt_.trial_lanes > 1;
+    util::CounterId packed_sweeps_id{};
+    util::CounterId lanes_refuted_id{};
+    if (packed_on) {
+      packed_sweeps_id = opt_.metrics->counter("pathfinder.packed_sweeps");
+      lanes_refuted_id = opt_.metrics->counter("pathfinder.lanes_refuted");
+    }
     // Cache counters are registered (and emitted, even when zero) whenever
     // the cache is on, keeping the JSON key set a function of the options
     // alone.  All ids are registered before the shard is created.
@@ -952,6 +1061,10 @@ PathFinderStats PathFinder::run(
     shard.add(run_seconds, total.cpu_seconds);
     shard.add(sources_total, static_cast<long>(sources.size()));
     shard.add(workers, static_cast<long>(n_workers));
+    if (packed_on) {
+      shard.add(packed_sweeps_id, total.packed_sweeps);
+      shard.add(lanes_refuted_id, total.lanes_refuted);
+    }
     if (cache_on) {
       shard.add(cache_ids.hits, total.cache_hits);
       shard.add(cache_ids.misses, total.cache_misses);

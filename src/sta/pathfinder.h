@@ -163,6 +163,23 @@ struct PathFinderOptions {
   /// degenerates to kBoth); higher values cut the solver off earlier on
   /// circuits where escalations rarely refute.
   double escalation_payoff = 0.1;
+  /// Word-packed candidate prescreening (PPSFP-style bit parallelism).
+  /// 1 = scalar (the reference pipeline).  A value N in 2..64 packs up to
+  /// N candidate sensitization vectors of each extension frame into one
+  /// levelized forward-implication sweep (see PackedImplicationEngine):
+  /// candidates whose side-value conjunction the sweep refutes in every
+  /// live scenario skip their scalar closure + rollback entirely, and the
+  /// survivors demux back into the unchanged scalar implication/solver
+  /// pipeline.  Strictly result-neutral BY CONSTRUCTION, not just by test:
+  /// the packed sweep computes the same closure verdict the scalar engine
+  /// would (same exact gate transfer function, same least fixpoint), a
+  /// refuted candidate could never have extended the path or touched any
+  /// observable state, and lane order is fixed by trial order — so paths,
+  /// order, and every existing counter (vector_trials, cache, backtracks)
+  /// are bit-identical to trial_lanes=1 at every thread count and cache
+  /// mode.  Only stats.packed_sweeps / stats.lanes_refuted and wall clock
+  /// change.  The CLI restricts the knob to {1, 16, 32}.
+  int trial_lanes = 1;
   /// Backtrack budget for the cache's fresh-state solves, deliberately far
   /// below justify_backtrack_budget: a CONFLICT proven under any budget is
   /// a complete refutation (the limit was not hit), while conjunctions too
@@ -238,6 +255,12 @@ class PathFinder {
   /// interval is claimed by CAS, so exactly one worker logs per period).
   void maybe_heartbeat();
   void extend(Worker& w, netlist::NetId net, unsigned alive);
+  /// trial_lanes > 1: packs this extension frame's candidate vectors into
+  /// word-wide sweeps on the worker's packed engine and records one refuted
+  /// ScenarioMask per candidate, in exact trial order, in
+  /// Worker::packed_refuted.  Returns the frame's arena base (the caller
+  /// restores the arena size on exit, stack-style, like goal_stack).
+  std::size_t packed_prescreen(Worker& w, netlist::NetId net, unsigned alive);
   void record(Worker& w, netlist::NetId sink_net, unsigned alive);
   /// Memo-cache gate for one (instance, entered pin, vector) trial: true
   /// iff the trial's side-value conjunction — alone or joined with the

@@ -133,7 +133,8 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
        << ",\n    " << jkey("cache_budget") << ": " << o.justify_cache_budget
        << ",\n    " << jkey("backtrack_budget") << ": "
        << o.justify_backtrack_budget << ",\n    " << jkey("escalation_payoff")
-       << ": " << num(o.escalation_payoff) << "\n  ";
+       << ": " << num(o.escalation_payoff) << ",\n    " << jkey("trial_lanes")
+       << ": " << o.trial_lanes << "\n  ";
   }
   os << "},\n";
 
@@ -147,6 +148,8 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
        << ",\n    " << jkey("vector_trials") << ": " << s.vector_trials
        << ",\n    " << jkey("backtracks") << ": " << s.backtracks << ",\n    "
        << jkey("justify_limited") << ": " << s.justify_limited << ",\n    "
+       << jkey("packed_sweeps") << ": " << s.packed_sweeps << ",\n    "
+       << jkey("lanes_refuted") << ": " << s.lanes_refuted << ",\n    "
        << jkey("cpu_seconds") << ": " << num(s.cpu_seconds) << ",\n    "
        << jkey("truncated") << ": " << (s.truncated ? "true" : "false")
        << "\n  ";

@@ -55,6 +55,14 @@ void MetricsShard::observe(HistogramId id, double value) {
   h.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   h.sum.fetch_add(value, std::memory_order_relaxed);
   h.observations.fetch_add(1, std::memory_order_relaxed);
+  // CAS-max: losing the race means another thread installed a value at
+  // least as large as ours, so re-check and retry only while we would
+  // still raise it.
+  double seen = h.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !h.max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
 }
 
 CounterId MetricsRegistry::counter(const std::string& name) {
@@ -121,6 +129,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   // race under the worker pool, and the merged value must not depend on it.
   std::vector<std::vector<double>> gauge_parts(gauge_names_.size());
   std::vector<std::vector<double>> hist_sum_parts(histogram_defs_.size());
+  std::vector<double> hist_max(histogram_defs_.size(),
+                               -std::numeric_limits<double>::infinity());
   for (const auto& shard : shards_) {
     for (std::size_t i = 0; i < shard->counters_.size(); ++i) {
       snap.counters[counter_names_[i]] +=
@@ -138,14 +148,19 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
       hist_sum_parts[i].push_back(cells.sum.load(std::memory_order_relaxed));
       h.observations += cells.observations.load(std::memory_order_relaxed);
+      // max merges with std::max, which is order-independent by itself —
+      // no deterministic_sum-style reduction needed.
+      hist_max[i] =
+          std::max(hist_max[i], cells.max.load(std::memory_order_relaxed));
     }
   }
   for (std::size_t i = 0; i < gauge_parts.size(); ++i) {
     snap.gauges[gauge_names_[i]] = deterministic_sum(gauge_parts[i]);
   }
   for (std::size_t i = 0; i < hist_sum_parts.size(); ++i) {
-    snap.histograms[histogram_defs_[i].name].sum =
-        deterministic_sum(hist_sum_parts[i]);
+    MetricsSnapshot::Histogram& h = snap.histograms[histogram_defs_[i].name];
+    h.sum = deterministic_sum(hist_sum_parts[i]);
+    h.max = h.observations > 0 ? hist_max[i] : 0.0;
   }
   return snap;
 }
@@ -157,10 +172,13 @@ double MetricsSnapshot::Histogram::percentile(double q) const {
   for (std::size_t b = 0; b < counts.size(); ++b) {
     cumulative += counts[b];
     if (static_cast<double>(cumulative) >= target) {
-      return b < bounds.size() ? bounds[b] : bounds.back();
+      // The overflow bucket has no finite upper edge; the observed max is
+      // the only honest estimate there.  (Clamping to bounds.back() used
+      // to under-report every quantile that landed past the last bound.)
+      return b < bounds.size() ? bounds[b] : max;
     }
   }
-  return bounds.back();
+  return max;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -233,6 +251,7 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
     }
     os << "], \"observations\": " << h.observations
        << ", \"sum\": " << json_number(h.sum)
+       << ", \"max\": " << json_number(h.max)
        << ", \"p50\": " << json_number(h.percentile(0.50))
        << ", \"p90\": " << json_number(h.percentile(0.90))
        << ", \"p99\": " << json_number(h.percentile(0.99)) << "}";

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -79,6 +80,11 @@ class MetricsShard {
     std::vector<std::atomic<long>> counts;  ///< bounds.size() + 1 (overflow)
     std::atomic<double> sum{0.0};
     std::atomic<long> observations{0};
+    /// Largest value observed (CAS-max; -inf until the first observation).
+    /// The overflow bucket has no finite upper edge, so without this the
+    /// export would have no honest value to report for quantiles that land
+    /// there.
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
   };
 
   MetricsShard(std::size_t num_counters, std::size_t num_gauges,
@@ -102,12 +108,15 @@ struct MetricsSnapshot {
     std::vector<long> counts;    ///< bounds.size() + 1, last = overflow
     long observations = 0;
     double sum = 0.0;
+    double max = 0.0;  ///< largest observed value; 0 when empty
 
     /// Bucket-resolution quantile estimate for `q` in (0, 1]: the
     /// inclusive upper edge of the first bucket at which the cumulative
-    /// count reaches ⌈q · observations⌉.  Observations past the last bound
-    /// (the overflow bucket) report the last bound — the export cannot
-    /// resolve beyond its edges.  0 when the histogram is empty.
+    /// count reaches ⌈q · observations⌉.  A quantile that lands in the
+    /// overflow bucket reports the observed `max` — the bucket has no
+    /// finite upper edge, and clamping to the last bound used to
+    /// under-report overflow-heavy distributions (a p99 of "128" when the
+    /// real tail sat at 1e4).  0 when the histogram is empty.
     double percentile(double q) const;
   };
 
@@ -117,8 +126,8 @@ struct MetricsSnapshot {
 
   /// Serializes as one JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {"bounds": [...], "counts": [...],
-  /// "observations": N, "sum": S, "p50": ..., "p90": ..., "p99": ...}}}.
-  /// The percentile fields are bucket-resolution (see
+  /// "observations": N, "sum": S, "max": M, "p50": ..., "p90": ...,
+  /// "p99": ...}}}.  The percentile fields are bucket-resolution (see
   /// Histogram::percentile).
   void write_json(std::ostream& os) const;
 };

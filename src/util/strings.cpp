@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sasta::util {
 
@@ -73,6 +75,46 @@ std::string format_fixed(double value, int decimals) {
 
 std::string format_percent(double fraction, int decimals) {
   return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_integral(std::string_view s) {
+  T value{};
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<long> parse_long(std::string_view s) {
+  return parse_integral<long>(s);
+}
+
+std::optional<unsigned long> parse_ulong(std::string_view s) {
+  // from_chars<unsigned> accepts no sign at all, so "-1" fails here rather
+  // than wrapping to ULONG_MAX the way std::stoul silently does.
+  return parse_integral<unsigned long>(s);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  // strtod via a bounded copy: charconv's double overload is uneven across
+  // standard libraries, and the copy also guarantees NUL termination.
+  if (s.empty() || s.size() >= 64 ||
+      std::isspace(static_cast<unsigned char>(s.front()))) {
+    return std::nullopt;  // strtod would skip leading whitespace; reject it
+  }
+  char buf[64];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* parse_end = nullptr;
+  const double value = std::strtod(buf, &parse_end);
+  if (parse_end != buf + s.size()) return std::nullopt;
+  return value;
 }
 
 }  // namespace sasta::util

@@ -1,6 +1,7 @@
 // Small string helpers shared by the parsers and report printers.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,5 +34,15 @@ std::string format_fixed(double value, int decimals);
 
 /// Formats `value` as a percentage string with `decimals` digits, e.g. "12.3%".
 std::string format_percent(double fraction, int decimals = 1);
+
+/// Checked numeric parsing for user-supplied input (CLI flags, config
+/// fields): the whole string must be one number — no trailing garbage, no
+/// empty input — and out-of-range values fail instead of saturating or
+/// wrapping.  Unlike std::stol and friends these never throw, so a caller
+/// can turn a bad value into a usage error instead of an uncaught
+/// std::invalid_argument abort.
+std::optional<long> parse_long(std::string_view s);
+std::optional<unsigned long> parse_ulong(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
 
 }  // namespace sasta::util

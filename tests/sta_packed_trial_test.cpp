@@ -1,0 +1,461 @@
+// Word-packed trial evaluation: differential battery.
+//
+// The packed prescreen's contract is an *equivalence*, not mere soundness:
+// a lane's goal conjunction is refuted by the packed sweep in a scenario
+// iff the scalar implication closure (assign_steady_goals) would have
+// conflicted that scenario for the same goals from the same base state.
+// Equivalence is what makes --trial-lanes strictly result-neutral — the
+// skip decision coincides exactly with the scalar "all scenarios dead"
+// outcome, so the enumerated paths, every counter (vector_trials, cache_*,
+// backtracks), and the rendered report stay bit-identical to
+// --trial-lanes 1; only packed_sweeps / lanes_refuted and wall clock move.
+//
+// Layers under test, bottom up: TriPlanes/NinePlanes encoding,
+// TruthTable::eval3_packed vs eval3 (exhaustive over {0,1,X}^n),
+// PackedImplicationEngine vs assign_steady_goals on seeded random netlists
+// from arbitrary DFS-prefix states, and the end-to-end result-identity
+// matrix across --trial-lanes x cache mode x thread count.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cell/boolfunc.h"
+#include "netlist/iscas_gen.h"
+#include "netlist/techmap.h"
+#include "sta/assignment.h"
+#include "sta/implication.h"
+#include "sta/pathfinder.h"
+#include "sta/report.h"
+#include "sta/sta_tool.h"
+#include "tech/technology.h"
+#include "test_charlib.h"
+#include "test_paths.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace sasta::sta {
+namespace {
+
+using logicsys::NinePlanes;
+using logicsys::NineVal;
+using logicsys::TriPlanes;
+using logicsys::TriVal;
+
+constexpr TriVal kTriVals[] = {TriVal::kZero, TriVal::kOne, TriVal::kX};
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+netlist::Netlist generated_circuit(std::uint64_t seed, int pis = 12,
+                                   int gates = 60, int depth = 7) {
+  netlist::GeneratorProfile p;
+  p.name = "pk" + std::to_string(seed);
+  p.num_inputs = pis;
+  p.num_outputs = 6;
+  p.num_gates = gates;
+  p.depth = depth;
+  p.seed = seed;
+  return netlist::tech_map(netlist::generate_iscas_like(p),
+                           testing::test_library())
+      .netlist;
+}
+
+// --- Plane encoding ---------------------------------------------------------
+
+TEST(TriPlanesEncoding, FillLaneRoundTripAndDefaultIsX) {
+  const TriPlanes fresh;
+  for (const int lane : {0, 1, 31, 63}) {
+    EXPECT_EQ(fresh.lane(lane), TriVal::kX);
+  }
+  for (const TriVal t : kTriVals) {
+    const TriPlanes p = TriPlanes::fill(t);
+    EXPECT_EQ(p.conflicts(), 0u);
+    for (const int lane : {0, 7, 63}) EXPECT_EQ(p.lane(lane), t);
+  }
+}
+
+TEST(TriPlanesEncoding, ConstrainAndMeetDetectPerLaneConflicts) {
+  TriPlanes p;  // all-X
+  p.constrain(3, true);
+  p.constrain(5, false);
+  EXPECT_EQ(p.lane(3), TriVal::kOne);
+  EXPECT_EQ(p.lane(5), TriVal::kZero);
+  EXPECT_EQ(p.lane(4), TriVal::kX);
+  EXPECT_EQ(p.conflicts(), 0u);
+  // Opposite constraint on lane 3 empties its possibility set.
+  p.constrain(3, false);
+  EXPECT_EQ(p.conflicts(), std::uint64_t{1} << 3);
+
+  // Meet of complementary constants conflicts every lane.
+  const TriPlanes bot =
+      TriPlanes::fill(TriVal::kZero).meet(TriPlanes::fill(TriVal::kOne));
+  EXPECT_EQ(bot.conflicts(), kAllLanes);
+  // Meet with X is the identity.
+  const TriPlanes one = TriPlanes::fill(TriVal::kOne);
+  EXPECT_EQ(one.meet(TriPlanes::fill(TriVal::kX)), one);
+}
+
+TEST(NinePlanesEncoding, FillLaneRoundTripOverAllNineValues) {
+  for (const TriVal i : kTriVals) {
+    for (const TriVal f : kTriVals) {
+      const NineVal v{i, f};
+      const NinePlanes p = NinePlanes::fill(v);
+      EXPECT_EQ(p.conflicts(), 0u);
+      for (const int lane : {0, 15, 63}) EXPECT_EQ(p.lane(lane), v);
+    }
+  }
+}
+
+TEST(NinePlanesEncoding, SteadyConstraintHitsBothSlots) {
+  NinePlanes p = NinePlanes::fill(NineVal::unknown());
+  p.constrain_steady(2, true);
+  EXPECT_EQ(p.lane(2), NineVal::stable1());
+  // A steady-0 requirement against a RISE value (0,1) conflicts only in
+  // the final slot; against FALL (1,0) only in the initial slot.
+  NinePlanes rise = NinePlanes::fill(NineVal::rise());
+  rise.constrain_steady(9, false);
+  EXPECT_EQ(rise.conflicts(), std::uint64_t{1} << 9);
+  EXPECT_EQ(rise.init.conflicts(), 0u);
+  EXPECT_EQ(rise.fin.conflicts(), std::uint64_t{1} << 9);
+}
+
+// --- eval3_packed vs eval3 --------------------------------------------------
+
+// Packs `combos` (each one TriVal per input) into per-input plane words,
+// lane l carrying combos[l].
+std::vector<TriPlanes> pack_inputs(
+    const std::vector<std::vector<TriVal>>& combos, int num_inputs) {
+  std::vector<TriPlanes> inputs(num_inputs, TriPlanes{0, 0});
+  for (std::size_t l = 0; l < combos.size(); ++l) {
+    for (int i = 0; i < num_inputs; ++i) {
+      const TriVal t = combos[l][i];
+      if (t != TriVal::kOne) inputs[i].can0 |= std::uint64_t{1} << l;
+      if (t != TriVal::kZero) inputs[i].can1 |= std::uint64_t{1} << l;
+    }
+  }
+  return inputs;
+}
+
+// Every lane of eval3_packed must agree with a scalar eval3 of that lane's
+// inputs — exhaustively over all {0,1,X}^n combos, for random functions.
+TEST(Eval3PackedDifferential, MatchesEval3ExhaustivelyOnRandomFunctions) {
+  util::Rng rng(0x9A7E);
+  for (const int n : {1, 2, 3, 4}) {
+    for (int fn = 0; fn < 40; ++fn) {
+      const std::uint64_t mask =
+          n < 6 ? (std::uint64_t{1} << (1u << n)) - 1 : kAllLanes;
+      const cell::TruthTable t =
+          cell::TruthTable::from_bits(rng.next_u64() & mask, n);
+
+      // All 3^n combos, chunked 64 lanes at a time.
+      std::vector<std::vector<TriVal>> combos;
+      int total = 1;
+      for (int i = 0; i < n; ++i) total *= 3;
+      for (int c = 0; c < total; ++c) {
+        std::vector<TriVal> combo(n);
+        int rest = c;
+        for (int i = 0; i < n; ++i) {
+          combo[i] = kTriVals[rest % 3];
+          rest /= 3;
+        }
+        combos.push_back(std::move(combo));
+      }
+      for (std::size_t base = 0; base < combos.size(); base += 64) {
+        const std::vector<std::vector<TriVal>> chunk(
+            combos.begin() + base,
+            combos.begin() + std::min(base + 64, combos.size()));
+        const std::vector<TriPlanes> inputs = pack_inputs(chunk, n);
+        const TriPlanes out = t.eval3_packed(inputs);
+        // Lanes beyond the chunk were packed as empty sets and must come
+        // out conflicted; populated lanes must not.
+        const std::uint64_t populated =
+            chunk.size() == 64 ? kAllLanes
+                               : (std::uint64_t{1} << chunk.size()) - 1;
+        EXPECT_EQ(out.conflicts(), ~populated) << "n=" << n << " fn=" << fn;
+        for (std::size_t l = 0; l < chunk.size(); ++l) {
+          EXPECT_EQ(out.lane(static_cast<int>(l)), t.eval3(chunk[l]))
+              << "n=" << n << " fn=" << fn << " combo " << base + l;
+        }
+      }
+    }
+  }
+}
+
+// A lane whose input possibility set is already empty must evaluate to an
+// empty output set (conflict propagates), while its neighbors are exact.
+TEST(Eval3PackedDifferential, ConflictedInputLanePropagatesBottom) {
+  util::Rng rng(0x50C0);
+  for (int fn = 0; fn < 20; ++fn) {
+    const cell::TruthTable t =
+        cell::TruthTable::from_bits(rng.next_u64() & 0xFFFF, 4);
+    std::vector<TriPlanes> inputs(4);  // all-X, all lanes
+    inputs[2].can0 &= ~(std::uint64_t{1} << 5);  // lane 5: input 2 is bottom
+    inputs[2].can1 &= ~(std::uint64_t{1} << 5);
+    const TriPlanes out = t.eval3_packed(inputs);
+    EXPECT_EQ(out.conflicts(), std::uint64_t{1} << 5);
+    const TriVal all_x[] = {TriVal::kX, TriVal::kX, TriVal::kX, TriVal::kX};
+    EXPECT_EQ(out.lane(0), t.eval3(all_x));
+  }
+}
+
+// --- Packed engine vs scalar closure ----------------------------------------
+
+// The core equivalence, fuzzed: from random DFS-prefix states (including
+// states where one scenario is already dead), random goal conjunctions
+// batched 64 lanes per sweep must be refuted by the packed engine in
+// EXACTLY the scenarios the scalar closure conflicts — strict equality,
+// both directions, per scenario.
+TEST(PackedEngineDifferential, MatchesScalarClosureFromRandomPrefixStates) {
+  long refuted_lanes = 0;
+  long survived_lanes = 0;
+  for (const std::uint64_t seed : {2u, 5u, 8u, 21u}) {
+    const netlist::Netlist nl = generated_circuit(seed, 10, 40, 6);
+    AssignmentState state(nl.num_nets());
+    ImplicationEngine scalar(nl, state);
+    PackedImplicationEngine packed(nl, state);
+    util::Rng rng(seed * 7919 + 1);
+
+    unsigned alive = kScenarioBoth;
+    for (int round = 0; round < 24; ++round) {
+      // Grow a random prefix: the packed engine must work from any
+      // mid-search state, not just the empty one.  A prefix assignment may
+      // kill a scenario; the sweep then only checks the survivors.
+      for (int a = 0; a < 2 && alive != kScenarioNone; ++a) {
+        const auto net =
+            static_cast<netlist::NetId>(rng.next_below(nl.num_nets()));
+        alive &= ~scalar.assign_steady(net, rng.next_bool()).conflict;
+      }
+      if (alive == kScenarioNone) {
+        state.reset();
+        alive = kScenarioBoth;
+      }
+
+      // One packed sweep over a full 64-lane batch of random conjunctions.
+      std::vector<std::vector<Goal>> batch(64);
+      packed.begin_sweep(kAllLanes, alive);
+      for (int l = 0; l < 64; ++l) {
+        const int k = 1 + static_cast<int>(rng.next_below(4));
+        for (int g = 0; g < k; ++g) {
+          batch[l].push_back(
+              {static_cast<netlist::NetId>(rng.next_below(nl.num_nets())),
+               rng.next_bool()});
+        }
+        for (const Goal& goal : batch[l]) packed.assert_goal(l, goal);
+      }
+      packed.sweep();
+
+      for (int l = 0; l < 64; ++l) {
+        const AssignmentState::Mark m = state.mark();
+        const unsigned scalar_alive =
+            scalar.assign_steady_goals(batch[l], alive);
+        state.rollback(m);
+        EXPECT_EQ(packed.refuted(l), alive & ~scalar_alive)
+            << "seed " << seed << " round " << round << " lane " << l
+            << " alive " << alive;
+        if ((alive & ~scalar_alive) == alive) {
+          ++refuted_lanes;
+        } else {
+          ++survived_lanes;
+        }
+      }
+    }
+  }
+  // The fuzz must exercise both verdicts heavily for the equality above to
+  // mean anything.
+  EXPECT_GT(refuted_lanes, 500);
+  EXPECT_GT(survived_lanes, 500);
+}
+
+// Inactive lanes never report refutations, and refuted() is always a
+// subset of the sweep's alive mask.
+TEST(PackedEngineDifferential, InactiveLanesAndDeadScenariosStaySilent) {
+  const netlist::Netlist nl = generated_circuit(5, 10, 40, 6);
+  AssignmentState state(nl.num_nets());
+  PackedImplicationEngine packed(nl, state);
+  util::Rng rng(0xBEEF);
+
+  // Only lanes 0 and 2 active, only scenario R alive.
+  packed.begin_sweep(0b101, kScenarioR);
+  for (const int l : {0, 2}) {
+    for (int g = 0; g < 3; ++g) {
+      packed.assert_goal(
+          l, {static_cast<netlist::NetId>(rng.next_below(nl.num_nets())),
+              rng.next_bool()});
+    }
+  }
+  packed.sweep();
+  for (int l = 0; l < 64; ++l) {
+    const unsigned r = packed.refuted(l);
+    EXPECT_EQ(r & kScenarioF, kScenarioNone) << "lane " << l;
+    if (l != 0 && l != 2) {
+      EXPECT_EQ(r, kScenarioNone) << "lane " << l;
+    }
+  }
+}
+
+// --- End-to-end result neutrality -------------------------------------------
+
+struct EnumRun {
+  std::vector<std::string> fingerprints;
+  PathFinderStats stats;
+};
+
+EnumRun enumerate(const netlist::Netlist& nl, int trial_lanes,
+                  JustifyCacheMode mode, int threads) {
+  PathFinderOptions opt;
+  opt.num_threads = threads;
+  opt.trial_lanes = trial_lanes;
+  opt.justify_cache = mode;
+  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+  EnumRun run;
+  std::vector<TruePath> paths;
+  run.stats = finder.run([&](const TruePath& p) { paths.push_back(p); });
+  run.fingerprints = testing::path_fingerprints(nl, paths);
+  return run;
+}
+
+// The headline matrix: every (trial_lanes, cache mode, thread count)
+// combination enumerates byte-identical paths in identical order with
+// IDENTICAL search counters — vector_trials, every cache counter, and
+// backtracks all match the scalar run exactly, because the packed skip
+// fires precisely where the scalar closure would have refuted.  Only
+// packed_sweeps / lanes_refuted may differ from zero, and those two are
+// themselves thread-count-independent (prescreen batches are a pure
+// function of the per-source DFS).
+TEST(PackedTrialDifferential, LanesAreResultIdenticalAcrossMatrix) {
+  for (const std::uint64_t seed : {3u, 27u}) {
+    const netlist::Netlist nl = generated_circuit(seed);
+    const EnumRun base = enumerate(nl, 1, JustifyCacheMode::kOff, 1);
+    ASSERT_FALSE(base.fingerprints.empty()) << "seed " << seed;
+    EXPECT_EQ(base.stats.packed_sweeps, 0);
+    EXPECT_EQ(base.stats.lanes_refuted, 0);
+
+    for (const JustifyCacheMode mode :
+         {JustifyCacheMode::kOff, JustifyCacheMode::kShared,
+          JustifyCacheMode::kPerWorker}) {
+      const EnumRun scalar_ref = enumerate(nl, 1, mode, 1);
+      // Within one cache mode the prescreen workload is a pure function of
+      // the per-source DFS, so packed_sweeps is invariant across thread
+      // counts (per lane width) and lanes_refuted — counting fully-refuted
+      // *candidates*, not batches — is additionally invariant across lane
+      // widths.  Across cache modes both legitimately differ: pruning
+      // shrinks the DFS and with it the prescreen workload.
+      long lanes_refuted = -1;
+      for (const int lanes : {16, 32}) {
+        long packed_sweeps = -1;
+        for (const int threads : {1, 4, 8}) {
+          const EnumRun run = enumerate(nl, lanes, mode, threads);
+          EXPECT_EQ(run.fingerprints, base.fingerprints)
+              << "seed " << seed << " lanes " << lanes << " mode "
+              << static_cast<int>(mode) << " threads " << threads;
+          EXPECT_EQ(run.stats.paths_recorded, base.stats.paths_recorded);
+          EXPECT_EQ(run.stats.courses, base.stats.courses);
+          // Strict neutrality: the packed runs attempt the same trials and
+          // prune the same candidates as the scalar run of this mode
+          // (verdict purity makes both thread-count-invariant).
+          EXPECT_EQ(run.stats.vector_trials, scalar_ref.stats.vector_trials);
+          EXPECT_EQ(run.stats.cache_prunes, scalar_ref.stats.cache_prunes);
+          if (threads == 1) {
+            // The full counter stream is only deterministic at one thread
+            // (at higher counts the hit/miss split depends on interleaving
+            // in kShared and on source partition in kPerWorker — for the
+            // scalar baseline just the same); there it must match exactly.
+            EXPECT_EQ(run.stats.backtracks, scalar_ref.stats.backtracks);
+            EXPECT_EQ(run.stats.cache_hits, scalar_ref.stats.cache_hits);
+            EXPECT_EQ(run.stats.cache_misses, scalar_ref.stats.cache_misses);
+            EXPECT_EQ(run.stats.cache_inserts,
+                      scalar_ref.stats.cache_inserts);
+            EXPECT_EQ(run.stats.justify_limited,
+                      scalar_ref.stats.justify_limited);
+          }
+
+          EXPECT_GT(run.stats.packed_sweeps, 0)
+              << "packing enabled but no sweeps ran";
+          if (packed_sweeps < 0) packed_sweeps = run.stats.packed_sweeps;
+          EXPECT_EQ(run.stats.packed_sweeps, packed_sweeps)
+              << "sweep count must not depend on thread count";
+          if (lanes_refuted < 0) lanes_refuted = run.stats.lanes_refuted;
+          EXPECT_EQ(run.stats.lanes_refuted, lanes_refuted)
+              << "refuted-candidate count must not depend on lane width "
+                 "or thread count";
+        }
+      }
+      EXPECT_GT(lanes_refuted, 0)
+          << "the sweep should refute at least some candidates on seed "
+          << seed << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// Full-pipeline report-byte identity: the rendered timing report — slacks
+// included — is bit-identical across the --trial-lanes x cache-mode x
+// thread-count matrix (the packed extension of the justify-cache battery's
+// neutrality matrix).
+TEST(PackedTrialDifferential, TimingReportBytesIdenticalAcrossLanes) {
+  const netlist::Netlist nl = generated_circuit(7, 12, 70);
+  const auto& cl = testing::test_charlib("90nm");
+  const auto& tech = tech::technology("90nm");
+
+  auto render = [&](int trial_lanes, JustifyCacheMode mode, int threads) {
+    StaToolOptions opt;
+    opt.keep_worst = 10;
+    opt.finder.num_threads = threads;
+    opt.finder.trial_lanes = trial_lanes;
+    opt.finder.justify_cache = mode;
+    const StaResult res = StaTool(nl, cl, tech, opt).run();
+    std::ostringstream os;
+    for (const auto& tp : res.paths) {
+      os << testing::timed_fingerprint(nl, tp) << "\n";
+    }
+    const TimingReport rep = build_timing_report(nl, res, 0.9e-9);
+    os << format_timing_report(nl, rep);
+    for (const auto& ep : rep.endpoints) {
+      os << testing::hex_double(ep.slack) << "\n";
+    }
+    return os.str();
+  };
+
+  const std::string base = render(1, JustifyCacheMode::kOff, 1);
+  ASSERT_FALSE(base.empty());
+  for (const int lanes : {16, 32}) {
+    for (const JustifyCacheMode mode :
+         {JustifyCacheMode::kOff, JustifyCacheMode::kShared,
+          JustifyCacheMode::kPerWorker}) {
+      for (const int threads : {1, 4, 8}) {
+        EXPECT_EQ(render(lanes, mode, threads), base)
+            << "lanes " << lanes << " mode " << static_cast<int>(mode)
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+// Metrics key-set purity: the packed counters are registered only when
+// packing is on, so a scalar run's metrics JSON is byte-compatible with
+// pre-packing consumers; a packed run exports both new counters.
+TEST(PackedTrialMetrics, CountersRegisteredOnlyWhenPackingIsOn) {
+  const netlist::Netlist nl = generated_circuit(3);
+  auto json_for = [&](int trial_lanes) {
+    util::MetricsRegistry metrics;
+    PathFinderOptions opt;
+    opt.num_threads = 4;
+    opt.trial_lanes = trial_lanes;
+    opt.metrics = &metrics;
+    PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+    finder.run([](const TruePath&) {});
+    std::ostringstream os;
+    metrics.write_json(os);
+    return os.str();
+  };
+  const std::string scalar = json_for(1);
+  EXPECT_EQ(scalar.find("pathfinder.packed_sweeps"), std::string::npos);
+  EXPECT_EQ(scalar.find("pathfinder.lanes_refuted"), std::string::npos);
+  const std::string packed = json_for(32);
+  EXPECT_NE(packed.find("pathfinder.packed_sweeps"), std::string::npos);
+  EXPECT_NE(packed.find("pathfinder.lanes_refuted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sasta::sta

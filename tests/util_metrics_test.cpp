@@ -157,9 +157,68 @@ TEST(Metrics, HistogramPercentilesFromKnownDistribution) {
   EXPECT_DOUBLE_EQ(snap.percentile(0.80), 2.0);   // cumulative 80 at edge 2
   EXPECT_DOUBLE_EQ(snap.percentile(0.90), 4.0);
   EXPECT_DOUBLE_EQ(snap.percentile(0.99), 8.0);
-  // The overflow bucket has no finite upper edge; report the last bound.
-  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 8.0);
+  // The overflow bucket has no finite upper edge; report the observed max
+  // (the last bound would under-state the tail by 12.5x here).
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
   EXPECT_DOUBLE_EQ(snap.percentile(0.0), 1.0);
+}
+
+// Regression: percentile() used to clamp overflow-bucket quantiles to the
+// last finite bound, so a histogram whose mass sat entirely past its edges
+// reported every percentile as bounds.back() no matter how large the
+// observations actually were.
+TEST(Metrics, AllOverflowDistributionReportsObservedMax) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("d", {1.0, 2.0});
+  MetricsShard& shard = reg.create_shard();
+  for (const double v : {50.0, 300.0, 7.5}) shard.observe(h, v);
+
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("d");
+  EXPECT_EQ(snap.counts, (std::vector<long>{0, 0, 3}));
+  EXPECT_DOUBLE_EQ(snap.max, 300.0);
+  // Every quantile lands in the overflow bucket.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.01), 300.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 300.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 300.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 300.0);
+}
+
+TEST(Metrics, MixedDistributionOnlyTailQuantilesUseMax) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("d", {1.0, 2.0});
+  MetricsShard& shard = reg.create_shard();
+  for (int i = 0; i < 9; ++i) shard.observe(h, 0.5);
+  shard.observe(h, 64.0);
+
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("d");
+  // In-range quantiles still resolve to bucket edges...
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.90), 1.0);
+  // ...and only the quantile that reaches the overflow mass reports max.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.95), 64.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 64.0);
+}
+
+TEST(Metrics, HistogramMaxMergesAcrossShards) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("d", {10.0});
+  MetricsShard& a = reg.create_shard();
+  MetricsShard& b = reg.create_shard();
+  MetricsShard& c = reg.create_shard();
+  a.observe(h, 11.0);
+  b.observe(h, 900.0);
+  c.observe(h, 3.0);
+  const MetricsSnapshot::Histogram snap = reg.snapshot().histograms.at("d");
+  EXPECT_DOUBLE_EQ(snap.max, 900.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 900.0);
+}
+
+TEST(Metrics, EmptyHistogramMaxIsZero) {
+  MetricsRegistry reg;
+  (void)reg.histogram("d", {1.0});
+  // The internal CAS-max identity is -inf; the snapshot must not leak it.
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("d").max, 0.0);
 }
 
 TEST(Metrics, EmptyHistogramPercentileIsZero) {
@@ -180,6 +239,7 @@ TEST(Metrics, JsonExportsPercentiles) {
   EXPECT_NE(os.str().find("\"p50\": 1"), std::string::npos) << os.str();
   EXPECT_NE(os.str().find("\"p90\""), std::string::npos);
   EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"max\": 0.5"), std::string::npos) << os.str();
 }
 
 // Regression for an order-dependence bug: merged gauge values used to be

@@ -68,6 +68,41 @@ TEST(Strings, FormatFixed) {
   EXPECT_EQ(format_percent(0.1234, 1), "12.3%");
 }
 
+TEST(Strings, ParseLongAcceptsWholeIntegersOnly) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long("-7"), -7);
+  EXPECT_EQ(parse_long("0"), 0);
+  EXPECT_EQ(parse_long(""), std::nullopt);
+  EXPECT_EQ(parse_long("abc"), std::nullopt);
+  EXPECT_EQ(parse_long("12abc"), std::nullopt);  // stol would return 12
+  EXPECT_EQ(parse_long("1.5"), std::nullopt);
+  EXPECT_EQ(parse_long(" 3"), std::nullopt);  // stol would skip the space
+  EXPECT_EQ(parse_long("3 "), std::nullopt);
+  EXPECT_EQ(parse_long("99999999999999999999999"), std::nullopt);  // overflow
+}
+
+TEST(Strings, ParseUlongRejectsNegativeInsteadOfWrapping) {
+  EXPECT_EQ(parse_ulong("65536"), 65536u);
+  EXPECT_EQ(parse_ulong("0"), 0u);
+  // std::stoul silently wraps "-1" to ULONG_MAX; the checked parse fails.
+  EXPECT_EQ(parse_ulong("-1"), std::nullopt);
+  EXPECT_EQ(parse_ulong("1e4"), std::nullopt);
+  EXPECT_EQ(parse_ulong(""), std::nullopt);
+}
+
+TEST(Strings, ParseDoubleAcceptsWholeNumbersOnly) {
+  EXPECT_EQ(parse_double("2.5"), 2.5);
+  EXPECT_EQ(parse_double("-0.1"), -0.1);
+  EXPECT_EQ(parse_double("1e-9"), 1e-9);
+  EXPECT_EQ(parse_double("60"), 60.0);
+  EXPECT_EQ(parse_double(""), std::nullopt);
+  EXPECT_EQ(parse_double("abc"), std::nullopt);
+  EXPECT_EQ(parse_double("2.5s"), std::nullopt);  // stod would return 2.5
+  EXPECT_EQ(parse_double(" 2.5"), std::nullopt);
+  EXPECT_EQ(parse_double("2.5 "), std::nullopt);
+  EXPECT_EQ(parse_double("."), std::nullopt);
+}
+
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());

@@ -35,6 +35,13 @@
 //   --escalation-payoff X  adaptive tier: minimum smoothed
 //                        refutes-per-escalation to keep the solver tier
 //                        enabled (default 0.1; 0 = never disable)
+//   --trial-lanes L      1 | 16 | 32  (default 1): pack L candidate
+//                        sensitization vectors per machine word and refute
+//                        them with one bit-sliced implication sweep before
+//                        the scalar trial loop.  Strictly result-neutral:
+//                        paths, slacks and every search counter are
+//                        bit-identical to --trial-lanes 1 at every thread
+//                        count and cache mode; only wall clock changes.
 //   --baseline           also run the two-step commercial-style baseline
 //   --golden             verify reported paths with transistor-level
 //                        simulation
@@ -104,6 +111,7 @@ struct Options {
   std::size_t justify_cache_slots = std::size_t{1} << 16;
   sasta::sta::JustifyTier justify_tier = sasta::sta::JustifyTier::kBoth;
   double escalation_payoff = 0.1;  ///< adaptive-tier controller threshold
+  int trial_lanes = 1;             ///< packed-trial lanes (1 = scalar)
   bool baseline = false;
   bool golden = false;
   bool full_char = false;
@@ -134,7 +142,8 @@ struct Options {
                "       [--justify-cache off|shared|per-worker]\n"
                "       [--justify-cache-slots N]\n"
                "       [--justify-tier implication|solver|both|adaptive]\n"
-               "       [--escalation-payoff X] [--full-char]\n"
+               "       [--escalation-payoff X] [--trial-lanes 1|16|32]\n"
+               "       [--full-char]\n"
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
                "       [--metrics-json F] [--trace-out F] [--report-json F]\n"
@@ -152,16 +161,41 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
+    // Checked numeric operands: a malformed or out-of-range value is a
+    // usage error (exit 2), never an uncaught std::invalid_argument abort
+    // the way bare std::stol/stod/stoul fail.  `lo` is the smallest
+    // accepted value (e.g. -1 for budgets where -1 means "exact",
+    // 0 for --threads where 0 means "all hardware threads").
+    auto long_value = [&](long lo) -> long {
+      const std::string v = value();
+      const auto parsed = sasta::util::parse_long(v);
+      if (!parsed || *parsed < lo) {
+        std::cerr << "invalid value '" << v << "' for " << a
+                  << " (expected an integer >= " << lo << ")\n";
+        usage(argv[0]);
+      }
+      return *parsed;
+    };
+    auto double_value = [&](double lo) -> double {
+      const std::string v = value();
+      const auto parsed = sasta::util::parse_double(v);
+      if (!parsed || *parsed < lo) {
+        std::cerr << "invalid value '" << v << "' for " << a
+                  << " (expected a number >= " << lo << ")\n";
+        usage(argv[0]);
+      }
+      return *parsed;
+    };
     if (a == "--tech") {
       o.tech = value();
     } else if (a == "--paths") {
-      o.paths = std::stol(value());
+      o.paths = long_value(1);
     } else if (a == "--max-seconds") {
-      o.max_seconds = std::stod(value());
+      o.max_seconds = double_value(0.0);
     } else if (a == "--budget") {
-      o.budget = std::stoi(value());
+      o.budget = static_cast<int>(long_value(-1));
     } else if (a == "--threads") {
-      o.threads = std::stoi(value());
+      o.threads = static_cast<int>(long_value(0));
     } else if (a == "--justify-cache") {
       const std::string mode = value();
       if (mode == "off") {
@@ -176,7 +210,7 @@ Options parse_args(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (a == "--justify-cache-slots") {
-      o.justify_cache_slots = std::stoul(value());
+      o.justify_cache_slots = static_cast<std::size_t>(long_value(1));
     } else if (a == "--justify-tier") {
       const std::string tier = value();
       if (tier == "implication") {
@@ -193,7 +227,14 @@ Options parse_args(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (a == "--escalation-payoff") {
-      o.escalation_payoff = std::stod(value());
+      o.escalation_payoff = double_value(0.0);
+    } else if (a == "--trial-lanes") {
+      o.trial_lanes = static_cast<int>(long_value(1));
+      if (o.trial_lanes != 1 && o.trial_lanes != 16 && o.trial_lanes != 32) {
+        std::cerr << "invalid --trial-lanes " << o.trial_lanes
+                  << " (1 | 16 | 32)\n";
+        usage(argv[0]);
+      }
     } else if (a == "--baseline") {
       o.baseline = true;
     } else if (a == "--golden") {
@@ -201,9 +242,9 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--full-char") {
       o.full_char = true;
     } else if (a == "--temp") {
-      o.temp_c = std::stod(value());
+      o.temp_c = double_value(-273.15);
     } else if (a == "--vdd") {
-      o.vdd = std::stod(value());
+      o.vdd = double_value(0.0);
     } else if (a == "--write-verilog") {
       o.write_verilog = value();
     } else if (a == "-q") {
@@ -211,7 +252,7 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--report") {
       o.report = true;
     } else if (a == "--required") {
-      o.required_ns = std::stod(value());
+      o.required_ns = double_value(0.0);
     } else if (a == "--corners") {
       o.corners = true;
     } else if (a == "--prune") {
@@ -219,7 +260,7 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--erc") {
       o.erc = true;
     } else if (a == "--fastest") {
-      o.fastest = std::stol(value());
+      o.fastest = long_value(0);
     } else if (a == "--write-sdf") {
       o.write_sdf = value();
     } else if (a == "--metrics-json") {
@@ -364,6 +405,7 @@ int main(int argc, char** argv) {
     sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
     sopt.finder.justify_tier = opt.justify_tier;
     sopt.finder.escalation_payoff = opt.escalation_payoff;
+    sopt.finder.trial_lanes = opt.trial_lanes;
     sopt.delay.temperature_c = opt.temp_c;
     sopt.delay.vdd = opt.vdd;
     if (opt.prune) sopt.finder.n_worst = opt.paths;
