@@ -32,6 +32,7 @@
 #include "sta/implication.h"
 #include "sta/justify_cache.h"
 #include "sta/sta_tool.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -525,6 +526,106 @@ int run() {
                 << util::format_fixed(packed_s * 1e3, 1) << " ms, "
                 << util::format_fixed(scalar_s / packed_s, 2)
                 << "x lanes/second (sink " << sink << ")\n";
+    }
+  }
+
+  // Flight-recorder overhead: the same exhaustive enumeration with the
+  // per-worker recorder off vs on (event rings + activity slots armed,
+  // everything the CLI default enables).  Recording is strictly
+  // result-neutral — the delivered path list must be byte-identical — and
+  // the acceptance budget is < 2% wall-clock overhead.  Wall time is the
+  // best of three reps per side to suppress scheduler noise; both sides
+  // land in the trajectory JSON as "<name>/recorder_{off,on}".
+  {
+    print_title("Flight recorder overhead (--flight-recorder off vs on)");
+    const std::vector<int> rwidths{14, 10, 9, 9, 10, 10};
+    print_row({"circuit", "recorder", "cpu_s", "paths", "events",
+               "identical"},
+              rwidths);
+
+    std::vector<std::string> rec_circuits{"memo16"};
+    if (!fast_mode()) rec_circuits.push_back("c432");
+    for (const auto& name : rec_circuits) {
+      netlist::PrimNetlist prim;
+      if (name == "memo16") {
+        netlist::GeneratorProfile prof;
+        prof.name = "memo16";
+        prof.num_inputs = 16;
+        prof.num_outputs = 8;
+        prof.num_gates = fast_mode() ? 80 : 140;
+        prof.depth = 8;
+        prof.seed = 42;
+        prim = netlist::generate_iscas_like(prof);
+      } else {
+        prim = netlist::generate_iscas_like(netlist::iscas_profile(name));
+      }
+      const auto mapped = netlist::tech_map(prim, library());
+      const netlist::Netlist& nl = mapped.netlist;
+
+      struct Side {
+        double best = -1.0;
+        sta::PathFinderStats stats;
+        std::vector<std::string> keys;
+        std::uint64_t events = 0;
+      };
+      const auto run_once = [&](bool recorder, Side* side) {
+        util::FlightRecorder::Config cfg;
+        cfg.lanes = 8;
+        util::FlightRecorder rec(cfg);
+        sta::PathFinderOptions opt;
+        opt.num_threads = 8;
+        opt.justify_cache = sta::JustifyCacheMode::kShared;
+        if (recorder) opt.flight = &rec;
+        sta::PathFinder finder(nl, cl, opt);
+        std::vector<std::string> keys;
+        util::Stopwatch watch;
+        side->stats = finder.run(
+            [&](const sta::TruePath& p) { keys.push_back(p.full_key(nl)); });
+        const double secs = watch.elapsed_seconds();
+        if (side->best < 0 || secs < side->best) side->best = secs;
+        if (side->keys.empty()) {
+          side->keys = std::move(keys);
+          side->events = rec.total_events();
+        }
+      };
+      // Interleave the sides so slow drift (thermal, page cache, noisy
+      // neighbors) hits both equally; min-of-reps then removes the tail.
+      Side off, on;
+      const int reps = 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        run_once(false, &off);
+        run_once(true, &on);
+      }
+      const double off_s = off.best;
+      const double on_s = on.best;
+      const sta::PathFinderStats& off_stats = off.stats;
+      const sta::PathFinderStats& on_stats = on.stats;
+      const std::uint64_t events = on.events;
+      const bool identical = on.keys == off.keys;
+
+      bench_json.add({name + "/recorder_off", off_s, off_stats.vector_trials,
+                      "shared", "both", 8});
+      bench_json.add({name + "/recorder_on", on_s, on_stats.vector_trials,
+                      "shared", "both", 8});
+      if (metrics != nullptr) {
+        const std::string base = "table6." + name + ".recorder";
+        const util::GaugeId off_g = metrics->gauge(base + ".off_seconds");
+        const util::GaugeId on_g = metrics->gauge(base + ".on_seconds");
+        util::MetricsShard& shard = metrics->create_shard();
+        shard.set(off_g, off_s);
+        shard.set(on_g, on_s);
+      }
+      print_row({name, "off", util::format_fixed(off_s, 3),
+                 std::to_string(off_stats.paths_recorded), "-", "-"},
+                rwidths);
+      print_row({name, "on", util::format_fixed(on_s, 3),
+                 std::to_string(on_stats.paths_recorded),
+                 std::to_string(events), identical ? "yes" : "NO (BUG)"},
+                rwidths);
+      std::cout << "recorder overhead (" << name << "): "
+                << util::format_percent(off_s > 0 ? on_s / off_s - 1.0 : 0.0,
+                                        1)
+                << " (budget < 2%)\n";
     }
   }
 

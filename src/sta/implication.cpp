@@ -1,6 +1,7 @@
 #include "sta/implication.h"
 
 #include <array>
+#include <bit>
 
 #include "netlist/levelize.h"
 #include "util/check.h"
@@ -199,9 +200,24 @@ void PackedImplicationEngine::sweep() {
     // level is processed (every fanout sits at a strictly higher level).
     for (const netlist::InstId ii : level_buckets_[lvl]) {
       eval_and_refine(ii);
-      if (all_lanes_done()) return;
+      if (all_lanes_done()) {
+        record_sweep_event();
+        return;
+      }
     }
   }
+  record_sweep_event();
+}
+
+void PackedImplicationEngine::record_sweep_event() const {
+  if (rec_ == nullptr) return;
+  // A lane is fully refuted when every live scenario conflicted.
+  std::uint64_t refuted = active_;
+  if (alive_ & kScenarioR) refuted &= conflict_[0];
+  if (alive_ & kScenarioF) refuted &= conflict_[1];
+  rec_->record(util::FlightEventKind::kPackedSweep, 0,
+               static_cast<std::uint32_t>(std::popcount(active_)),
+               static_cast<std::uint32_t>(std::popcount(refuted)));
 }
 
 }  // namespace sasta::sta

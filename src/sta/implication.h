@@ -20,6 +20,7 @@
 #include <span>
 
 #include "sta/assignment.h"
+#include "util/flight_recorder.h"
 
 namespace sasta::sta {
 
@@ -128,7 +129,13 @@ class PackedImplicationEngine {
     return r & alive_;
   }
 
+  /// Optional flight-recorder lane (borrowed; null = off): every sweep()
+  /// emits one kPackedSweep event (lanes swept, lanes fully refuted).
+  /// Observational only — never read back.
+  void set_recorder(util::FlightLane* rec) { rec_ = rec; }
+
  private:
+  void record_sweep_event() const;
   /// Per-net packed value: one NinePlanes per scenario (index 0 = R).
   struct NetPlanes {
     logicsys::NinePlanes s[2];
@@ -154,6 +161,7 @@ class PackedImplicationEngine {
   std::uint64_t active_ = 0;
   unsigned alive_ = kScenarioNone;
   std::uint64_t conflict_[2] = {0, 0};  ///< per-scenario conflicted lanes
+  util::FlightLane* rec_ = nullptr;
 };
 
 }  // namespace sasta::sta

@@ -70,6 +70,11 @@ Justifier::Result Justifier::justify_all(std::span<const Goal> goals,
   const long entry_backtracks = backtracks_;
   Result res = justify_all_inner(goals, alive, backtrack_budget);
   res.backtracks_used = backtracks_ - entry_backtracks;
+  if (rec_ != nullptr && res.backtracks_used >= kBacktrackBurstThreshold) {
+    rec_->record(util::FlightEventKind::kBacktrackBurst, 0,
+                 static_cast<std::uint32_t>(res.backtracks_used),
+                 res.alive);
+  }
   return res;
 }
 

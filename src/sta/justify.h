@@ -31,10 +31,16 @@
 
 #include "netlist/controllability.h"
 #include "sta/implication.h"
+#include "util/flight_recorder.h"
 
 namespace sasta::sta {
 
 // struct Goal lives in implication.h (shared with the closure refuter).
+
+/// Flight-recorder threshold: a justify_all call that consumes at least
+/// this many backtracks is logged as a kBacktrackBurst event — the solver
+/// calls worth seeing in a post-mortem timeline.
+inline constexpr long kBacktrackBurstThreshold = 128;
 
 /// Partitions `goals` into support-disjoint components: goals whose cones
 /// share no free primary input cannot interact, so each component is an
@@ -100,6 +106,11 @@ class Justifier {
     excluded_bit_ = excluded_bit;
   }
 
+  /// Optional flight-recorder lane (borrowed; null = off): justify_all
+  /// calls that burn >= kBacktrackBurstThreshold backtracks emit a
+  /// kBacktrackBurst event.  Observational only — never read back.
+  void set_recorder(util::FlightLane* rec) { rec_ = rec; }
+
  private:
   Result justify_all_inner(std::span<const Goal> goals, unsigned alive,
                            int backtrack_budget);
@@ -110,6 +121,7 @@ class Justifier {
   AssignmentState& state_;
   ImplicationEngine& engine_;
   const netlist::Controllability* guide_ = nullptr;
+  util::FlightLane* rec_ = nullptr;
   const std::vector<std::vector<std::uint64_t>>* supports_ = nullptr;
   int excluded_bit_ = -1;
   long backtracks_ = 0;

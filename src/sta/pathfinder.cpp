@@ -78,6 +78,9 @@ struct PathFinder::Worker {
   /// Observability: this worker's private metrics shard (null = metrics
   /// off) and its lane index for trace spans / per-worker metrics.
   util::MetricsShard* metrics = nullptr;
+  /// Flight-recorder lane `tid` (null = recorder off).  Written on the hot
+  /// path with relaxed stores only; see attach_recorder().
+  util::FlightLane* rec = nullptr;
   int tid = 0;
 
   /// Justification memo cache (null = kOff): the table this worker probes
@@ -219,7 +222,29 @@ void PathFinder::note_recorded_delay(double delay) {
   }
 }
 
+void PathFinder::attach_recorder(Worker& w) {
+  if (opt_.flight == nullptr ||
+      static_cast<unsigned>(w.tid) >= opt_.flight->num_lanes()) {
+    return;
+  }
+  w.rec = &opt_.flight->lane(static_cast<unsigned>(w.tid));
+  // Burst events come from whichever justifier is doing the heavy solves:
+  // the in-context search solver and (cache on) the fresh-state memo
+  // solver both report into this worker's lane.
+  w.justifier.set_recorder(w.rec);
+  if (w.memo_justifier != nullptr) w.memo_justifier->set_recorder(w.rec);
+  if (w.packed != nullptr) w.packed->set_recorder(w.rec);
+}
+
 bool PathFinder::deadline_hit(Worker& w) {
+  // SIGINT lands here: the cooperative interrupt flag shares the deadline
+  // authority so an interrupted run winds down exactly like a timed-out
+  // one (truncated stats, partial report written by the caller).
+  if (util::interrupt_requested()) {
+    w.stats.truncated = true;
+    stop_.store(true, std::memory_order_relaxed);
+    return true;
+  }
   if (deadline_ <= 0) return false;
   if (run_watch_.elapsed_seconds() <= deadline_) return false;
   w.stats.truncated = true;
@@ -285,6 +310,13 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
     w.state.rollback(mark);
     if (!claim_record_slot(w)) return;
     ++w.stats.paths_recorded;
+    if (w.rec != nullptr) {
+      w.rec->record(util::FlightEventKind::kPathRecorded,
+                    static_cast<std::uint16_t>(bit),
+                    static_cast<std::uint32_t>(w.steps.size()),
+                    static_cast<std::uint32_t>(sink_net));
+      w.rec->note_path_recorded();
+    }
     if (w.metrics != nullptr) {
       // "Justification depth" of the recorded path: how many accumulated
       // side-value goals the final joint solve had to satisfy.
@@ -334,6 +366,10 @@ JustifyVerdict PathFinder::refute_component(Worker& w,
   if (controller_ != nullptr && !controller_->should_escalate()) {
     controller_->record_veto();
     ++w.stats.escalations_vetoed;
+    if (w.rec != nullptr) {
+      w.rec->record(util::FlightEventKind::kEscalationVeto, 0,
+                    static_cast<std::uint32_t>(w.attrib_inst), 0);
+    }
     return JustifyVerdict::kInconclusive;
   }
 
@@ -369,6 +405,12 @@ JustifyVerdict PathFinder::refute_component(Worker& w,
   if (controller_ != nullptr) {
     controller_->record_outcome(v == JustifyVerdict::kConflict);
   }
+  if (w.rec != nullptr) {
+    w.rec->record(util::FlightEventKind::kEscalation,
+                  static_cast<std::uint16_t>(v),
+                  static_cast<std::uint32_t>(w.attrib_inst),
+                  static_cast<std::uint32_t>(r.backtracks_used));
+  }
   return v;
 }
 
@@ -383,6 +425,12 @@ JustifyVerdict PathFinder::component_verdict(Worker& w,
     if (v == JustifyVerdict::kBudgetLimited ||
         v == JustifyVerdict::kInconclusive) {
       ++w.stats.negative_hits;
+    }
+    if (w.rec != nullptr) {
+      w.rec->record(util::FlightEventKind::kCacheHit,
+                    static_cast<std::uint16_t>(v),
+                    static_cast<std::uint32_t>(w.attrib_inst),
+                    static_cast<std::uint32_t>(goals.size()));
     }
     return v;
   }
@@ -411,6 +459,12 @@ JustifyVerdict PathFinder::cached_verdict(Worker& w, const GoalSetKey& key,
     if (v == JustifyVerdict::kBudgetLimited ||
         v == JustifyVerdict::kInconclusive) {
       ++w.stats.negative_hits;
+    }
+    if (w.rec != nullptr) {
+      w.rec->record(util::FlightEventKind::kCacheHit,
+                    static_cast<std::uint16_t>(v),
+                    static_cast<std::uint32_t>(w.attrib_inst),
+                    static_cast<std::uint32_t>(goals.size()));
     }
     return v;
   }
@@ -615,14 +669,32 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
       // side-value conjunction means no source, prefix or direction can
       // ever complete this trial — the whole subtree is skipped.
       w.attrib_inst = f.inst;  // escalations below charge to this gate
+      if (w.rec != nullptr) {
+        w.rec->set_gate(static_cast<std::uint32_t>(f.inst),
+                        static_cast<std::uint32_t>(w.steps.size()));
+      }
       if (w.cache != nullptr && inst.cell->num_inputs() > 1 &&
           trial_cached_infeasible(w, inst, f.pin, vec)) {
         ++w.stats.cache_prunes;
         if (!w.gate_prunes.empty()) ++w.gate_prunes[f.inst];
+        if (w.rec != nullptr) {
+          w.rec->record(util::FlightEventKind::kCachePrune,
+                        static_cast<std::uint16_t>(f.pin),
+                        static_cast<std::uint32_t>(f.inst),
+                        static_cast<std::uint32_t>(vec.id));
+        }
         continue;
       }
       ++w.stats.vector_trials;
       if (!w.gate_trials.empty()) ++w.gate_trials[f.inst];
+      if (w.rec != nullptr) {
+        w.rec->count_trial();
+        w.rec->record(util::FlightEventKind::kTrial,
+                      static_cast<std::uint16_t>(f.pin),
+                      static_cast<std::uint32_t>(f.inst),
+                      static_cast<std::uint32_t>(w.steps.size()));
+      }
+      if (opt_.test_trial_hook) opt_.test_trial_hook();
       // Packed skip: the sweep proved every live scenario conflicts on
       // this candidate's assignment, i.e. the scalar closure below would
       // end with `ok == false` having touched nothing observable.  Skip
@@ -758,6 +830,16 @@ void PathFinder::prepare_observability(
           ? static_cast<long>(opt_.progress_interval_seconds * 1000.0)
           : std::numeric_limits<long>::max(),
       std::memory_order_relaxed);
+  hb_lanes_ = 0;
+  hb_prev_ms_.store(0, std::memory_order_relaxed);
+  if (opt_.flight != nullptr) {
+    hb_lanes_ = std::min(opt_.flight->num_lanes(), n_workers);
+    hb_lane_trials_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(hb_lanes_);
+    for (unsigned i = 0; i < hb_lanes_; ++i) {
+      hb_lane_trials_[i].store(0, std::memory_order_relaxed);
+    }
+  }
   source_metric_ids_.clear();
   worker_metric_ids_.clear();
   if (opt_.metrics == nullptr) return;
@@ -804,12 +886,44 @@ void PathFinder::maybe_heartbeat() {
       << trials << " vector trials ("
       << static_cast<long>(elapsed > 0 ? trials / elapsed : 0.0) << "/s), "
       << util::format_fixed(elapsed, 1) << " s elapsed";
+  // Recorder-backed enrichment: one segment per worker naming its current
+  // source PI plus its trial rate since the previous heartbeat.  Only the
+  // CAS winner runs this block, so the prev-trials slots are raced only
+  // across heartbeats (hence atomics), never within one.
+  if (hb_lanes_ > 0 && opt_.flight != nullptr) {
+    const long now_ms = static_cast<long>(elapsed * 1000.0);
+    const long prev_ms = hb_prev_ms_.exchange(now_ms,
+                                              std::memory_order_relaxed);
+    const double span_s = std::max(0.001, (now_ms - prev_ms) / 1000.0);
+    for (unsigned i = 0; i < hb_lanes_; ++i) {
+      const util::FlightLane::Activity act = opt_.flight->lane(i).activity();
+      const std::uint64_t prev =
+          hb_lane_trials_[i].exchange(act.trials, std::memory_order_relaxed);
+      msg << " | w" << i << " ";
+      if (act.source == util::kFlightIdle) {
+        msg << "idle";
+      } else {
+        msg << nl_.net(static_cast<netlist::NetId>(act.source)).name << " d"
+            << act.depth;
+      }
+      msg << " "
+          << static_cast<long>(
+                 static_cast<double>(act.trials - prev) / span_s)
+          << "/s";
+    }
+  }
   util::log_line(util::LogLevel::kInfo, msg.str());
 }
 
 void PathFinder::run_source(Worker& w, std::size_t source_index,
                             netlist::NetId source) {
   const PathFinderStats before = w.stats;
+  if (w.rec != nullptr) {
+    w.rec->set_source(static_cast<std::uint32_t>(source));
+    w.rec->record(util::FlightEventKind::kSourceClaim, 0,
+                  static_cast<std::uint32_t>(source),
+                  static_cast<std::uint32_t>(source_index));
+  }
   util::Stopwatch source_watch;
   {
     util::TraceSpan span(
@@ -845,6 +959,15 @@ void PathFinder::run_source(Worker& w, std::size_t source_index,
     const WorkerMetricIds& wid = worker_metric_ids_[w.tid];
     w.metrics->add(wid.sources, 1);
     w.metrics->add(wid.busy_seconds, seconds);
+  }
+  if (w.rec != nullptr) {
+    w.rec->record(
+        util::FlightEventKind::kSourceDone, 0,
+        static_cast<std::uint32_t>(source),
+        static_cast<std::uint32_t>(w.stats.paths_recorded -
+                                   before.paths_recorded));
+    w.rec->note_source_done();
+    w.rec->set_idle();
   }
   sources_done_.fetch_add(1, std::memory_order_relaxed);
   trials_flushed_.fetch_add(trials, std::memory_order_relaxed);
@@ -896,7 +1019,37 @@ PathFinderStats PathFinder::run(
       1, std::min<std::size_t>(util::ThreadPool::resolve(opt_.num_threads),
                                sources.size()));
   prepare_observability(sources, n_workers);
+  if (opt_.trace != nullptr) {
+    // Mirror the OS-level pthread names (ThreadPool) into the trace so
+    // Perfetto labels the lanes: 0 = orchestrator, 1..N = workers.
+    opt_.trace->set_thread_name(0, "sasta-main");
+    for (unsigned t = 0; t < n_workers; ++t) {
+      opt_.trace->set_thread_name(static_cast<int>(t) + 1,
+                                  "sasta-w" + std::to_string(t));
+    }
+  }
   util::TraceSpan run_span(opt_.trace, "pathfinder/run", 0);
+
+  // Stall watchdog: armed for the duration of this run() only (the thread
+  // borrows nl_ for name resolution).  Destroyed — stopped and joined —
+  // before run() returns.
+  std::unique_ptr<util::StallWatchdog> watchdog;
+  if (opt_.flight != nullptr && opt_.watchdog_seconds > 0) {
+    util::StallWatchdog::Hooks hooks;
+    hooks.net_name = [this](std::uint32_t id) {
+      const auto nid = static_cast<netlist::NetId>(id);
+      return nid >= 0 && nid < nl_.num_nets() ? nl_.net(nid).name
+                                              : std::to_string(id);
+    };
+    hooks.inst_name = [this](std::uint32_t id) {
+      const auto iid = static_cast<netlist::InstId>(id);
+      return iid >= 0 && iid < nl_.num_instances() ? nl_.instance(iid).name
+                                                   : std::to_string(id);
+    };
+    hooks.dump_path = opt_.watchdog_dump_path;
+    watchdog = std::make_unique<util::StallWatchdog>(
+        *opt_.flight, opt_.watchdog_seconds, std::move(hooks));
+  }
 
   // Search-cost attribution: the per-source rows are pre-sized so workers
   // can write them index-addressed without coordination; the per-gate
@@ -932,6 +1085,7 @@ PathFinderStats PathFinder::run(
     // discovery order.
     Worker w(*this);
     if (opt_.metrics != nullptr) w.metrics = &opt_.metrics->create_shard();
+    attach_recorder(w);
     if (attribution_on) w.arm_attribution(nl_.num_instances());
     for (std::size_t i = 0; i < sources.size(); ++i) {
       if (stop_.load(std::memory_order_relaxed) || deadline_hit(w)) break;
@@ -955,6 +1109,7 @@ PathFinderStats PathFinder::run(
         if (opt_.metrics != nullptr) {
           w.metrics = &opt_.metrics->create_shard();
         }
+        attach_recorder(w);
         if (attribution_on) w.arm_attribution(nl_.num_instances());
         for (std::size_t i =
                  next_source.fetch_add(1, std::memory_order_relaxed);

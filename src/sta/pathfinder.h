@@ -31,6 +31,7 @@
 #include "sta/justify.h"
 #include "sta/justify_cache.h"
 #include "sta/path.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -209,6 +210,26 @@ struct PathFinderOptions {
   /// per-source and per-gate cost tables plus cache/controller state (see
   /// SearchAttribution).  Borrowed; overwritten on every run().
   SearchAttribution* attribution = nullptr;
+
+  /// Flight recorder (borrowed; null = off): each worker writes search
+  /// milestones into lane `tid` of this recorder and keeps its activity
+  /// slot current.  Like every observability sink, the recorder is
+  /// write-only for the search — nothing recorded ever feeds back into a
+  /// search decision, so paths and report bytes are bit-identical with the
+  /// recorder on or off at every thread count.
+  util::FlightRecorder* flight = nullptr;
+  /// Stall-watchdog wake interval in seconds (<= 0: off; needs `flight`).
+  /// A window in which no lane records a path or finishes a source while
+  /// at least one lane is busy logs a WARN where-is-everyone report.
+  double watchdog_seconds = -1;
+  /// When non-empty, each watchdog-detected stall also writes a flight
+  /// dump here (same format as the signal-triggered dumps).
+  std::string watchdog_dump_path;
+  /// TEST-ONLY: invoked after every counted vector trial.  Lets the stall-
+  /// injection test slow the search down deterministically; must never be
+  /// set outside tests (any side effect on shared state would break the
+  /// determinism contract).
+  std::function<void()> test_trial_hook;
 };
 
 class PathFinder {
@@ -351,6 +372,15 @@ class PathFinder {
   std::atomic<long> sources_done_{0};
   std::atomic<long> trials_flushed_{0};
   std::atomic<long> next_heartbeat_ms_{0};
+  // Per-worker heartbeat state (recorder-backed enrichment): trial counts
+  // at the previous heartbeat.  Atomics because successive heartbeats can
+  // be claimed by different workers.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hb_lane_trials_;
+  unsigned hb_lanes_ = 0;
+  std::atomic<long> hb_prev_ms_{0};
+  /// Attaches the flight-recorder lane matching w.tid (plus the justifier /
+  /// packed-engine hooks).  Called once per worker, after tid is set.
+  void attach_recorder(Worker& w);
 
   // N-worst pruning state.  remaining_ub_ is read-only during run();
   // worst_heap_ is the cross-worker pruning floor (mutex-guarded, with the

@@ -258,6 +258,26 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
   }
   os << "],\n";
 
+  // --- flight-recorder summary.  The key set is fixed: a disabled
+  // recorder renders {"enabled": false} and nothing else, so the schema
+  // stays a pure function of which sinks were armed.
+  os << "  " << jkey("recorder") << ": {";
+  {
+    const bool enabled = in.flight != nullptr;
+    os << "\n    " << jkey("enabled") << ": " << (enabled ? "true" : "false");
+    if (enabled) {
+      os << ",\n    " << jkey("lanes") << ": " << in.flight->num_lanes()
+         << ",\n    " << jkey("events_per_lane") << ": "
+         << in.flight->events_per_lane() << ",\n    "
+         << jkey("events_recorded") << ": " << in.flight->total_events()
+         << ",\n    " << jkey("stalls") << ": " << in.flight->stalls()
+         << ",\n    " << jkey("watchdog_seconds") << ": "
+         << num(in.options != nullptr ? in.options->watchdog_seconds : -1.0);
+    }
+    os << "\n  ";
+  }
+  os << "},\n";
+
   // --- the full metrics snapshot, embedded verbatim.
   os << "  " << jkey("metrics") << ": ";
   if (in.metrics != nullptr) {
@@ -333,6 +353,118 @@ std::string format_profile_summary(const RunReportInputs& in) {
        << " disables\n";
   }
   return os.str();
+}
+
+std::vector<std::string> selfcheck_run(const RunReportInputs& in) {
+  std::vector<std::string> violations;
+  const auto eq = [&violations](const char* name, long got, long want) {
+    if (got != want) {
+      violations.push_back(std::string(name) + ": got " +
+                           std::to_string(got) + " want " +
+                           std::to_string(want));
+    }
+  };
+  const auto le = [&violations](const char* name, long lhs, long rhs) {
+    if (lhs > rhs) {
+      violations.push_back(std::string(name) + ": " + std::to_string(lhs) +
+                           " exceeds bound " + std::to_string(rhs));
+    }
+  };
+  if (in.stats == nullptr) return violations;
+  const PathFinderStats& s = *in.stats;
+
+  // Internal stats invariants (always checkable).
+  le("courses <= paths_recorded", s.courses, s.paths_recorded);
+  le("multi_vector_courses <= courses", s.multi_vector_courses, s.courses);
+  le("negative_hits <= cache_hits", s.negative_hits, s.cache_hits);
+  le("subset_hits <= cache_hits", s.subset_hits, s.cache_hits);
+  le("escalation_refutes <= solver_escalations", s.escalation_refutes,
+     s.solver_escalations);
+  // Every miss is accounted for by exactly one insert outcome.
+  eq("cache_misses == inserts + insert_races + full_drops", s.cache_misses,
+     s.cache_inserts + s.cache_insert_races + s.cache_full_drops);
+  if (in.options != nullptr) {
+    le("lanes_refuted <= packed_sweeps * trial_lanes", s.lanes_refuted,
+       s.packed_sweeps * std::max(1, in.options->trial_lanes));
+    if (in.options->justify_tier != JustifyTier::kAdaptive) {
+      eq("escalations_vetoed (non-adaptive tier)", s.escalations_vetoed, 0);
+    }
+  }
+
+  // Attribution rows vs aggregates: every cost unit is charged to exactly
+  // one source and (for trials/prunes/escalations) exactly one gate.
+  if (in.attribution != nullptr) {
+    long src_trials = 0, src_backtracks = 0, src_paths = 0, src_limited = 0;
+    for (const SearchAttribution::SourceCost& r : in.attribution->sources) {
+      if (r.source == netlist::kNoId) continue;
+      src_trials += r.vector_trials;
+      src_backtracks += r.backtracks;
+      src_paths += r.paths_recorded;
+      src_limited += r.justify_limited;
+    }
+    eq("sum(sources.vector_trials) == vector_trials", src_trials,
+       s.vector_trials);
+    eq("sum(sources.backtracks) == backtracks", src_backtracks,
+       s.backtracks);
+    eq("sum(sources.paths_recorded) == paths_recorded", src_paths,
+       s.paths_recorded);
+    eq("sum(sources.justify_limited) == justify_limited", src_limited,
+       s.justify_limited);
+
+    long gate_trials = 0, gate_prunes = 0, gate_escalations = 0;
+    for (const SearchAttribution::GateCost& g : in.attribution->gates) {
+      gate_trials += g.vector_trials;
+      gate_prunes += g.cache_prunes;
+      gate_escalations += g.solver_escalations;
+    }
+    eq("sum(gates.vector_trials) == vector_trials", gate_trials,
+       s.vector_trials);
+    eq("sum(gates.cache_prunes) == cache_prunes", gate_prunes,
+       s.cache_prunes);
+    eq("sum(gates.solver_escalations) == solver_escalations",
+       gate_escalations, s.solver_escalations);
+  }
+
+  // Per-source metrics vs aggregates (the metrics layer's own view).
+  if (in.metrics != nullptr) {
+    const std::string prefix = "pathfinder.source.";
+    long m_trials = 0, m_backtracks = 0, m_paths = 0, m_limited = 0;
+    bool any = false;
+    for (const auto& [name, value] : in.metrics->counters) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      any = true;
+      if (name.ends_with(".vector_trials")) m_trials += value;
+      if (name.ends_with(".backtracks")) m_backtracks += value;
+      if (name.ends_with(".paths_recorded")) m_paths += value;
+      if (name.ends_with(".justify_limited")) m_limited += value;
+    }
+    if (any) {
+      eq("sum(metrics source vector_trials) == vector_trials", m_trials,
+         s.vector_trials);
+      eq("sum(metrics source backtracks) == backtracks", m_backtracks,
+         s.backtracks);
+      eq("sum(metrics source paths_recorded) == paths_recorded", m_paths,
+         s.paths_recorded);
+      eq("sum(metrics source justify_limited) == justify_limited",
+         m_limited, s.justify_limited);
+    }
+  }
+
+  // Recorder activity slots vs aggregates: count_trial() and
+  // note_path_recorded() fire at the same sites as the stats counters.
+  if (in.flight != nullptr) {
+    long rec_trials = 0, rec_paths = 0;
+    for (unsigned i = 0; i < in.flight->num_lanes(); ++i) {
+      const util::FlightLane::Activity a = in.flight->lane(i).activity();
+      rec_trials += static_cast<long>(a.trials);
+      rec_paths += static_cast<long>(a.paths);
+    }
+    eq("sum(recorder lane trials) == vector_trials", rec_trials,
+       s.vector_trials);
+    eq("sum(recorder lane paths) == paths_recorded", rec_paths,
+       s.paths_recorded);
+  }
+  return violations;
 }
 
 }  // namespace sasta::sta

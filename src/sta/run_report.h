@@ -38,6 +38,7 @@ struct RunReportInputs {
   const util::MetricsSnapshot* metrics = nullptr; ///< "metrics" + "workers"
   const SearchAttribution* attribution = nullptr; ///< "attribution"
   const util::TraceCollector* trace = nullptr;    ///< span counts per lane
+  const util::FlightRecorder* flight = nullptr;   ///< "recorder" summary
   /// Hot-gate table size: the K highest-cost gates by attributed cost
   /// (vector_trials + cache_prunes + escalation_backtracks).
   int top_k_gates = 16;
@@ -45,6 +46,15 @@ struct RunReportInputs {
 
 /// Writes the versioned run-report JSON.
 void write_run_report(const RunReportInputs& in, std::ostream& os);
+
+/// Counter-reconciliation pass (--selfcheck): cross-checks every redundant
+/// view of the run — attribution rows vs aggregate stats, per-source
+/// metrics vs stats, recorder activity slots vs stats, and the internal
+/// stats invariants (cache miss bookkeeping, packed-lane bounds, tier
+/// arithmetic).  Returns one human-readable "name: got X want Y" line per
+/// violation; an empty vector means every available view reconciles.
+/// Sections whose inputs are null are skipped, never failed.
+std::vector<std::string> selfcheck_run(const RunReportInputs& in);
 
 /// Renders the --profile summary: top sources and hot gates by attributed
 /// cost, the cache/tier breakdown with the live refutes-per-escalation

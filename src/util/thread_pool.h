@@ -8,13 +8,30 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace sasta::util {
+
+/// Names the calling thread for gdb/htop/perf (no-op off Linux).  Names are
+/// truncated to the 15-char kernel limit.
+inline void set_current_thread_name(const char* name) {
+#if defined(__linux__)
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s", name);
+  pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
 
 class ThreadPool {
  public:
@@ -32,11 +49,19 @@ class ThreadPool {
                           : static_cast<unsigned>(requested);
   }
 
-  explicit ThreadPool(unsigned num_threads = 0) {
+  /// Workers name themselves "<name_prefix><index>" (e.g. sasta-w3) so
+  /// traces, gdb, and htop show which pool thread is which.
+  explicit ThreadPool(unsigned num_threads = 0,
+                      const char* name_prefix = "sasta-w") {
     if (num_threads == 0) num_threads = hardware_threads();
     threads_.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i, name_prefix] {
+        char name[16];
+        std::snprintf(name, sizeof(name), "%s%u", name_prefix, i);
+        set_current_thread_name(name);
+        worker_loop();
+      });
     }
   }
 

@@ -16,6 +16,17 @@ void TraceCollector::add_instant_event(std::string name, int tid,
   events_.push_back({std::move(name), tid, ts_us, 0.0, 'i'});
 }
 
+void TraceCollector::set_thread_name(int tid, std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& entry : thread_names_) {
+    if (entry.first == tid) {
+      entry.second = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
 std::size_t TraceCollector::num_events() const {
   std::lock_guard<std::mutex> lk(mu_);
   return events_.size();
@@ -30,6 +41,12 @@ void TraceCollector::write_json(std::ostream& os) const {
   std::lock_guard<std::mutex> lk(mu_);
   os << "{\"traceEvents\": [";
   const char* sep = "";
+  for (const auto& [tid, name] : thread_names_) {
+    os << sep << "\n  {\"ph\": \"M\", \"name\": \"thread_name\", "
+       << "\"cat\": \"sasta\", \"pid\": 0, \"tid\": " << tid
+       << ", \"ts\": 0, \"args\": {\"name\": " << json_quote(name) << "}}";
+    sep = ",";
+  }
   for (const TraceEvent& e : events_) {
     os << sep << "\n  {\"ph\": \"" << e.ph << "\", \"name\": "
        << json_quote(e.name) << ", \"cat\": \"sasta\", \"pid\": 0, \"tid\": "

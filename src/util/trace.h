@@ -50,6 +50,11 @@ class TraceCollector {
   /// Appends one instant ("ph": "i") event.  Thread-safe.
   void add_instant_event(std::string name, int tid, double ts_us);
 
+  /// Registers a display name for lane `tid`; serialized as Chrome-trace
+  /// "thread_name" metadata ("ph": "M") so Perfetto labels the lanes.
+  /// Re-registering a tid overwrites.  Thread-safe.
+  void set_thread_name(int tid, std::string name);
+
   std::size_t num_events() const;
 
   /// Snapshot of the recorded events (copy; safe while writers run).
@@ -62,6 +67,7 @@ class TraceCollector {
   Stopwatch epoch_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;
 };
 
 /// RAII scope: records one complete event covering its own lifetime.  With

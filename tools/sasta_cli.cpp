@@ -64,6 +64,21 @@
 //   --report-json F      write the structured run report (schema
 //                        sasta-run-report-v1: metrics + search-cost
 //                        attribution tables + per-worker timelines) to F
+//   --flight-recorder M  on | off  (default on): per-worker in-memory
+//                        flight recorder (lock-free event rings + activity
+//                        slots).  Strictly result-neutral: reported paths
+//                        and report bytes are bit-identical on/off.
+//   --flight-dump F      post-mortem dump path for the flight recorder
+//                        (default sasta.flightdump in the system temp
+//                        directory).  Written on crash (SIGSEGV / SIGABRT
+//                        / SIGBUS), on demand via SIGUSR1, and by the
+//                        stall watchdog; read it back with sasta_inspect.
+//   --watchdog-seconds S stall watchdog: warn (and dump) when no global
+//                        progress is made for S seconds (default off)
+//   --selfcheck          end-of-run counter reconciliation: cross-check
+//                        attribution rows, per-source metrics and recorder
+//                        activity slots against the aggregate stats; any
+//                        mismatch prints a diff and exits 3
 //   --profile            print the human-readable search-cost profile (top
 //                        sources, hot gates, cache/tier/controller summary)
 //   --progress [every 2s] heartbeat: sources done/total, trials/sec, elapsed
@@ -90,9 +105,11 @@
 #include "sta/run_report.h"
 #include "sta/sdf_writer.h"
 #include "sta/sta_tool.h"
+#include "util/flight_recorder.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace {
@@ -129,6 +146,10 @@ struct Options {
   std::string metrics_json;   ///< run-metrics JSON output file
   std::string trace_out;      ///< Chrome trace-event JSON output file
   std::string report_json;    ///< structured run-report JSON output file
+  bool flight_recorder = true;  ///< per-worker event rings + activity slots
+  std::string flight_dump;      ///< post-mortem dump path ("" = temp dir)
+  double watchdog_seconds = -1.0;  ///< stall watchdog interval (<=0 = off)
+  bool selfcheck = false;     ///< end-of-run counter reconciliation
   bool profile = false;       ///< print the search-cost profile summary
   bool progress = false;      ///< periodic search-progress heartbeat
   /// Explicit --log-level / -v choice; unset = infer from -q.
@@ -147,6 +168,8 @@ struct Options {
                "       [--temp T] [--vdd V] [--report] [--required NS]\n"
                "       [--corners] [--write-verilog F] [--write-sdf F] [-q]\n"
                "       [--metrics-json F] [--trace-out F] [--report-json F]\n"
+               "       [--flight-recorder on|off] [--flight-dump F]\n"
+               "       [--watchdog-seconds S] [--selfcheck]\n"
                "       [--profile] [--progress]\n"
                "       [--log-level debug|info|warn|error] [-v]\n"
                "       <netlist>\n";
@@ -269,6 +292,23 @@ Options parse_args(int argc, char** argv) {
       o.trace_out = value();
     } else if (a == "--report-json") {
       o.report_json = value();
+    } else if (a == "--flight-recorder") {
+      const std::string mode = value();
+      if (mode == "on") {
+        o.flight_recorder = true;
+      } else if (mode == "off") {
+        o.flight_recorder = false;
+      } else {
+        std::cerr << "unknown --flight-recorder mode '" << mode
+                  << "' (on | off)\n";
+        usage(argv[0]);
+      }
+    } else if (a == "--flight-dump") {
+      o.flight_dump = value();
+    } else if (a == "--watchdog-seconds") {
+      o.watchdog_seconds = double_value(0.0);
+    } else if (a == "--selfcheck") {
+      o.selfcheck = true;
     } else if (a == "--profile") {
       o.profile = true;
     } else if (a == "--progress") {
@@ -330,12 +370,15 @@ int main(int argc, char** argv) {
   // Observability sinks: enabled by their output flags, shared by every
   // pipeline phase below.  --report-json merges both into one artifact, so
   // it arms them even without --metrics-json / --trace-out.  --progress
-  // only needs the heartbeat, which runs without any sink.
+  // only needs the heartbeat, which runs without any sink.  --selfcheck
+  // arms metrics (and attribution, below) so the reconciliation pass has
+  // redundant views to cross-check even when no JSON output was asked for.
   util::MetricsRegistry metrics_registry;
   util::TraceCollector trace_collector;
   util::MetricsRegistry* metrics =
-      opt.metrics_json.empty() && opt.report_json.empty() ? nullptr
-                                                          : &metrics_registry;
+      opt.metrics_json.empty() && opt.report_json.empty() && !opt.selfcheck
+          ? nullptr
+          : &metrics_registry;
   util::TraceCollector* trace =
       opt.trace_out.empty() && opt.report_json.empty() ? nullptr
                                                        : &trace_collector;
@@ -413,10 +456,42 @@ int main(int argc, char** argv) {
     sopt.finder.metrics = metrics;
     sopt.finder.trace = trace;
     sta::SearchAttribution attribution;
-    if (!opt.report_json.empty() || opt.profile) {
+    if (!opt.report_json.empty() || opt.profile || opt.selfcheck) {
       sopt.finder.attribution = &attribution;
     }
     if (opt.progress) sopt.finder.progress_interval_seconds = 2.0;
+
+    // --- Flight recorder + signal plumbing ----------------------------------
+    // The recorder is write-only for the search (results are bit-identical
+    // on/off); the crash/SIGUSR1 handlers and the stall watchdog read it.
+    // SIGINT handling is independent of the recorder: the first Ctrl-C
+    // requests a cooperative stop so a partial report can still be written.
+    util::FlightRecorder::Config fcfg;
+    fcfg.lanes = util::ThreadPool::resolve(opt.threads);
+    util::FlightRecorder flight_storage(fcfg);
+    util::FlightRecorder* flight =
+        opt.flight_recorder ? &flight_storage : nullptr;
+    const std::string flight_dump =
+        !opt.flight_dump.empty()
+            ? opt.flight_dump
+            : (std::filesystem::temp_directory_path() / "sasta.flightdump")
+                  .string();
+    if (flight != nullptr) {
+      std::string names;
+      for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+        names += "net " + std::to_string(n) + " " + nl.net(n).name + "\n";
+      }
+      for (netlist::InstId i = 0; i < nl.num_instances(); ++i) {
+        names += "inst " + std::to_string(i) + " " + nl.instance(i).name + "\n";
+      }
+      flight->set_name_table(std::move(names));
+      util::install_flight_signal_handlers(flight, flight_dump);
+      sopt.finder.flight = flight;
+      sopt.finder.watchdog_seconds = opt.watchdog_seconds;
+      sopt.finder.watchdog_dump_path = flight_dump;
+    }
+    util::install_interrupt_handler();
+
     sta::StaTool tool(nl, cl, tech, sopt);
     const sta::StaResult res = tool.run();
 
@@ -557,7 +632,7 @@ int main(int argc, char** argv) {
       trace->write_json(os);
       std::cout << "wrote " << opt.trace_out << "\n";
     }
-    if (!opt.report_json.empty()) {
+    if (!opt.report_json.empty() || opt.selfcheck) {
       // Snapshot last so the report's metrics section carries every phase
       // gauge written above.
       const util::MetricsSnapshot snap = metrics->snapshot();
@@ -569,9 +644,31 @@ int main(int argc, char** argv) {
       report_in.metrics = &snap;
       report_in.attribution = sopt.finder.attribution;
       report_in.trace = trace;
-      std::ofstream os(opt.report_json);
-      sta::write_run_report(report_in, os);
-      std::cout << "wrote " << opt.report_json << "\n";
+      report_in.flight = flight;
+      if (!opt.report_json.empty()) {
+        std::ofstream os(opt.report_json);
+        sta::write_run_report(report_in, os);
+        std::cout << "wrote " << opt.report_json << "\n";
+      }
+      if (opt.selfcheck) {
+        const std::vector<std::string> violations =
+            sta::selfcheck_run(report_in);
+        if (!violations.empty()) {
+          std::cerr << "selfcheck: " << violations.size()
+                    << " violation(s):\n";
+          for (const std::string& v : violations) {
+            std::cerr << "  " << v << "\n";
+          }
+          return 3;
+        }
+        std::cout << "selfcheck: ok\n";
+      }
+    }
+    if (util::interrupt_requested()) {
+      // A partial report (stats flagged TRUNCATED) was still written above;
+      // exit with the conventional SIGINT status.
+      std::cerr << "interrupted: results reflect a partial search\n";
+      return 130;
     }
     return 0;
   } catch (const util::Error& e) {
