@@ -25,6 +25,9 @@ PathFinderStats& PathFinderStats::operator+=(const PathFinderStats& other) {
   escalations_vetoed += other.escalations_vetoed;
   packed_sweeps += other.packed_sweeps;
   lanes_refuted += other.lanes_refuted;
+  tasks_spawned += other.tasks_spawned;
+  tasks_stolen += other.tasks_stolen;
+  steal_failures += other.steal_failures;
   cpu_seconds = std::max(cpu_seconds, other.cpu_seconds);
   truncated = truncated || other.truncated;
   return *this;

@@ -71,6 +71,10 @@ struct PathFinder::Worker {
   std::vector<std::array<Arrival, 2>> arrival_stack;
   netlist::NetId current_source = netlist::kNoId;
   PathFinderStats stats;
+  /// False under the steal scheduler: a course's vector combos can span
+  /// frontier tasks executed by different workers, so courses are tallied
+  /// on the canonically merged stream instead (see run_steal).
+  bool count_courses = true;
   std::unordered_map<std::string, int> course_counts;
   /// Parallel mode: per-source output buffer.  Null in sequential mode,
   /// where paths stream straight to the caller's sink.
@@ -323,9 +327,11 @@ void PathFinder::record(Worker& w, netlist::NetId sink_net, unsigned alive) {
       w.metrics->observe(justify_depth_hist_,
                          static_cast<double>(w.goal_stack.size()));
     }
-    const int count = ++w.course_counts[p.course_key(nl_)];
-    if (count == 1) ++w.stats.courses;
-    if (count == 2) ++w.stats.multi_vector_courses;
+    if (w.count_courses) {
+      const int count = ++w.course_counts[p.course_key(nl_)];
+      if (count == 1) ++w.stats.courses;
+      if (count == 2) ++w.stats.multi_vector_courses;
+    }
 
     // N-worst bookkeeping: tighten the shared pruning floor with this
     // path's estimated delay.
@@ -578,21 +584,28 @@ bool PathFinder::trial_cached_infeasible(
 }
 
 std::size_t PathFinder::packed_prescreen(Worker& w, netlist::NetId net,
-                                         unsigned alive) {
+                                         unsigned alive,
+                                         std::size_t cand_begin,
+                                         std::size_t cand_end) {
   const std::size_t base = w.packed_refuted.size();
   // Enumerate this frame's candidates in EXACT trial order — the same
-  // (reachable fanout) x (vector) nesting extend() walks below — so arena
-  // slot k always describes the frame's k-th candidate.  Candidates with no
-  // side goals (single-input gates) never conflict on assignment and get an
-  // empty refuted mask without occupying a lane.
+  // (reachable fanout) x (vector) nesting extend_over() walks — so arena
+  // slot k always describes the k-th candidate the loop will execute.
+  // Candidates outside [cand_begin, cand_end) belong to other frontier
+  // tasks and occupy no slot, mirroring the loop's range skip; candidates
+  // with no side goals (single-input gates) never conflict on assignment
+  // and get an empty refuted mask without occupying a lane.
   w.packed_goals.clear();
   w.packed_cands.clear();
+  std::size_t ci = 0;
   for (const netlist::Fanout& f : nl_.net(net).fanouts) {
     const netlist::Instance& inst = nl_.instance(f.inst);
     if (!reach_[inst.output]) continue;
     const charlib::CellTiming& timing = charlib_.timing(inst.cell->name());
     const auto& vectors = timing.vectors.at(f.pin);
     for (const charlib::SensitizationVector& vec : vectors) {
+      const std::size_t cand_index = ci++;
+      if (cand_index < cand_begin || cand_index >= cand_end) continue;
       const auto gbegin = static_cast<std::uint32_t>(w.packed_goals.size());
       for (int q = 0; q < inst.cell->num_inputs(); ++q) {
         if (q == f.pin) continue;
@@ -644,6 +657,11 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
 
   if (nl_.net(net).is_primary_output) record(w, net, alive);
 
+  extend_over(w, net, alive, 0, std::numeric_limits<std::size_t>::max());
+}
+
+void PathFinder::extend_over(Worker& w, netlist::NetId net, unsigned alive,
+                             std::size_t cand_begin, std::size_t cand_end) {
   // Packed prescreening: one batched closure sweep per trial_lanes
   // candidates, BEFORE the scalar loop, so the loop below can skip
   // candidates whose every live scenario is already refuted.  The scalar
@@ -651,8 +669,12 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
   // gate still runs first and vector_trials still counts the trial — so a
   // skip changes wall clock only.
   const std::size_t cand_base =
-      w.packed != nullptr ? packed_prescreen(w, net, alive) : 0;
+      w.packed != nullptr
+          ? packed_prescreen(w, net, alive, cand_begin, cand_end)
+          : 0;
   std::size_t cand = cand_base;
+  std::size_t ci = 0;
+  bool past_end = false;
 
   for (const netlist::Fanout& f : nl_.net(net).fanouts) {
     if (stop_.load(std::memory_order_relaxed)) return;
@@ -661,6 +683,12 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
     const charlib::CellTiming& timing = charlib_.timing(inst.cell->name());
     const auto& vectors = timing.vectors.at(f.pin);
     for (const charlib::SensitizationVector& vec : vectors) {
+      const std::size_t cand_index = ci++;
+      if (cand_index >= cand_end) {
+        past_end = true;  // contiguous range: nothing further is ours
+        break;
+      }
+      if (cand_index < cand_begin) continue;
       if (stop_.load(std::memory_order_relaxed)) return;
       const unsigned packed_refuted =
           w.packed != nullptr ? w.packed_refuted[cand++] : kScenarioNone;
@@ -694,7 +722,7 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
                       static_cast<std::uint32_t>(f.inst),
                       static_cast<std::uint32_t>(w.steps.size()));
       }
-      if (opt_.test_trial_hook) opt_.test_trial_hook();
+      if (opt_.test_trial_hook) opt_.test_trial_hook(f.inst);
       // Packed skip: the sweep proved every live scenario conflicts on
       // this candidate's assignment, i.e. the scalar closure below would
       // end with `ok == false` having touched nothing observable.  Skip
@@ -813,10 +841,11 @@ void PathFinder::extend(Worker& w, netlist::NetId net, unsigned alive) {
       w.state.rollback(mark);
       w.goal_stack.resize(saved_goals);
     }
+    if (past_end) break;
   }
   // Pop this frame's prescreen arena.  Early `stop_` returns skip this —
-  // the whole search is unwinding then, and search_source clears the arena
-  // before the next source.
+  // the whole search is unwinding then, and begin_source_state clears the
+  // arena before the next source or task.
   if (w.packed != nullptr) w.packed_refuted.resize(cand_base);
 }
 
@@ -974,7 +1003,7 @@ void PathFinder::run_source(Worker& w, std::size_t source_index,
   maybe_heartbeat();
 }
 
-void PathFinder::search_source(Worker& w, netlist::NetId source) {
+void PathFinder::begin_source_state(Worker& w, netlist::NetId source) {
   w.state.reset();
   w.goal_stack.clear();
   w.steps.clear();
@@ -995,8 +1024,312 @@ void PathFinder::search_source(Worker& w, netlist::NetId source) {
       w.engine.assign_dual(source, NineVal::rise(), NineVal::fall());
   SASTA_CHECK(r.conflict == kScenarioNone)
       << " transition launch conflicted on a fresh state";
+}
+
+void PathFinder::search_source(Worker& w, netlist::NetId source) {
+  begin_source_state(w, source);
   extend(w, source, opt_.directions & kScenarioBoth);
   w.stats.backtracks += w.justifier.backtracks();
+}
+
+std::size_t PathFinder::count_frontier_candidates(netlist::NetId net) const {
+  std::size_t n = 0;
+  for (const netlist::Fanout& f : nl_.net(net).fanouts) {
+    const netlist::Instance& inst = nl_.instance(f.inst);
+    if (!reach_[inst.output]) continue;
+    n += charlib_.timing(inst.cell->name()).vectors.at(f.pin).size();
+  }
+  return n;
+}
+
+namespace {
+
+/// One stealable unit of a source's search: a contiguous range of the
+/// source's first-frontier candidates (flat (reachable fanout) x (vector)
+/// indices in exact trial order).  The task carries no captured search
+/// state — the launch prefix is a pure function of the source PI, replayed
+/// by begin_source_state() — so a task is trivially relocatable to any
+/// worker.
+struct FrontierTask {
+  std::uint32_t source_index = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t cand_begin = 0;
+  std::uint32_t cand_end = 0;
+};
+
+/// Upper bound on frontier tasks per source.  Enough granularity that one
+/// dominant cone spreads across every worker of any realistic pool, small
+/// enough that the per-task replay (one state reset + launch implication)
+/// stays noise.
+constexpr std::size_t kMaxTasksPerSource = 32;
+
+}  // namespace
+
+PathFinderStats PathFinder::run_steal(
+    const std::vector<netlist::NetId>& sources, unsigned n_workers,
+    const std::function<void(const TruePath&)>& sink,
+    const std::function<void(const Worker&)>& fold_gate_tallies) {
+  // The task decomposition is a pure function of the netlist: every worker
+  // agrees on it without coordination, and — because each chunk is a range
+  // of the sequential trial order and chunks are merged (source, chunk)
+  // ascending — the merged stream IS the sequential stream, bit for bit.
+  std::vector<std::size_t> chunk_counts(sources.size());
+  std::size_t total_tasks = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::size_t cands = count_frontier_candidates(sources[i]);
+    // A zero-candidate source still needs one task: its chunk 0 owns the
+    // source-as-PO record, like the sequential prologue.
+    chunk_counts[i] =
+        cands == 0 ? 1 : std::min(cands, kMaxTasksPerSource);
+    total_tasks += chunk_counts[i];
+  }
+  std::vector<std::vector<std::vector<TruePath>>> buffers(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    buffers[i].resize(chunk_counts[i]);
+  }
+
+  // Per-source accumulation of per-task deltas.  Tasks of one source can
+  // run on different workers, so the per-source rows (attribution, metrics,
+  // the kSourceDone event) are built from task deltas folded under a mutex
+  // — integer sums, so the fold order cannot change any row.
+  struct SourceAccum {
+    long vector_trials = 0;
+    long backtracks = 0;
+    long paths_recorded = 0;
+    long justify_limited = 0;
+    double seconds = 0.0;  ///< sum of task seconds (can exceed wall clock)
+    bool searched = false;
+  };
+  std::vector<SourceAccum> accum(sources.size());
+  std::mutex accum_mu;
+  // Outstanding tasks per source (kSourceDone fires when the last one
+  // retires) and overall (the idle-worker exit condition).
+  auto tasks_left = std::make_unique<std::atomic<long>[]>(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    tasks_left[i].store(static_cast<long>(chunk_counts[i]),
+                        std::memory_order_relaxed);
+  }
+  std::atomic<long> pending_tasks{static_cast<long>(total_tasks)};
+
+  std::vector<util::StealDeque<FrontierTask>> deques(n_workers);
+  std::vector<PathFinderStats> worker_stats(n_workers);
+  std::atomic<std::size_t> next_source{0};
+
+  // Executes one frontier task on this worker, with the same observability
+  // run_source() gives a whole source — except per-task deltas feed the
+  // shared per-source accumulator instead of writing a row directly.
+  const auto run_task = [&](Worker& w, const FrontierTask& t) {
+    const PathFinderStats before = w.stats;
+    const netlist::NetId source = sources[t.source_index];
+    util::Stopwatch task_watch;
+    const bool ran = !stop_.load(std::memory_order_relaxed);
+    if (ran) {
+      if (w.rec != nullptr) {
+        w.rec->set_source(static_cast<std::uint32_t>(source));
+      }
+      util::TraceSpan span(
+          opt_.trace,
+          opt_.trace != nullptr
+              ? "task " + nl_.net(source).name + "/" +
+                    std::to_string(t.chunk_index)
+              : std::string(),
+          w.tid + 1);
+      w.out = &buffers[t.source_index][t.chunk_index];
+      begin_source_state(w, source);
+      const unsigned alive = opt_.directions & kScenarioBoth;
+      if (!deadline_hit(w)) {
+        // Chunk 0 owns everything the sequential extend() does before its
+        // first frontier candidate: the source-as-PO record.
+        if (t.chunk_index == 0 && nl_.net(source).is_primary_output) {
+          record(w, source, alive);
+        }
+        extend_over(w, source, alive, t.cand_begin, t.cand_end);
+      }
+      w.stats.backtracks += w.justifier.backtracks();
+    }
+    long source_paths = 0;
+    if (ran) {
+      const double seconds = task_watch.elapsed_seconds();
+      const long trials = w.stats.vector_trials - before.vector_trials;
+      {
+        std::lock_guard<std::mutex> lk(accum_mu);
+        SourceAccum& a = accum[t.source_index];
+        a.vector_trials += trials;
+        a.backtracks += w.stats.backtracks - before.backtracks;
+        a.paths_recorded += w.stats.paths_recorded - before.paths_recorded;
+        a.justify_limited +=
+            w.stats.justify_limited - before.justify_limited;
+        a.seconds += seconds;
+        a.searched = true;
+        source_paths = a.paths_recorded;
+      }
+      if (w.metrics != nullptr) {
+        const SourceMetricIds& ids = source_metric_ids_[t.source_index];
+        w.metrics->add(ids.vector_trials, trials);
+        w.metrics->add(ids.backtracks,
+                       w.stats.backtracks - before.backtracks);
+        w.metrics->add(ids.paths_recorded,
+                       w.stats.paths_recorded - before.paths_recorded);
+        w.metrics->add(ids.justify_limited,
+                       w.stats.justify_limited - before.justify_limited);
+        w.metrics->add(ids.seconds, seconds);
+        w.metrics->add(worker_metric_ids_[w.tid].busy_seconds, seconds);
+      }
+      trials_flushed_.fetch_add(trials, std::memory_order_relaxed);
+    }
+    if (tasks_left[t.source_index].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      // Last task of this source anywhere: the finisher owns the
+      // source-completion milestones, whichever worker it is.
+      if (w.rec != nullptr) {
+        w.rec->record(util::FlightEventKind::kSourceDone, 0,
+                      static_cast<std::uint32_t>(source),
+                      static_cast<std::uint32_t>(source_paths));
+        w.rec->note_source_done();
+      }
+      sources_done_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (w.rec != nullptr) w.rec->set_idle();
+    pending_tasks.fetch_sub(1, std::memory_order_release);
+    maybe_heartbeat();
+  };
+
+  util::ThreadPool pool(n_workers);
+  for (unsigned t = 0; t < n_workers; ++t) {
+    pool.submit([&, t] {
+      Worker w(*this);
+      w.tid = static_cast<int>(t);
+      // Courses are tallied on the canonically merged stream after the
+      // join (see below): one course's vector combos can span tasks on
+      // different workers, so per-worker maps would over-count.
+      w.count_courses = false;
+      if (opt_.metrics != nullptr) w.metrics = &opt_.metrics->create_shard();
+      attach_recorder(w);
+      if (opt_.attribution != nullptr) w.arm_attribution(nl_.num_instances());
+      while (!stop_.load(std::memory_order_relaxed)) {
+        FrontierTask task;
+        // 1. Own work first, in spawn order (chunk 0 carries the PO
+        //    record, so FIFO keeps the common case sequential-shaped).
+        if (deques[t].pop(&task)) {
+          run_task(w, task);
+          continue;
+        }
+        // 2. Claim the next unexpanded source and split it into tasks.
+        if (next_source.load(std::memory_order_relaxed) < sources.size()) {
+          const std::size_t i =
+              next_source.fetch_add(1, std::memory_order_relaxed);
+          if (i < sources.size()) {
+            if (deadline_hit(w)) break;
+            const netlist::NetId source = sources[i];
+            const std::size_t chunks = chunk_counts[i];
+            const std::size_t cands = count_frontier_candidates(source);
+            if (w.rec != nullptr) {
+              w.rec->record(util::FlightEventKind::kSourceClaim, 0,
+                            static_cast<std::uint32_t>(source),
+                            static_cast<std::uint32_t>(i));
+              w.rec->record(util::FlightEventKind::kTaskSpawn,
+                            static_cast<std::uint16_t>(chunks),
+                            static_cast<std::uint32_t>(source),
+                            static_cast<std::uint32_t>(cands));
+            }
+            w.stats.tasks_spawned += static_cast<long>(chunks);
+            if (w.metrics != nullptr) {
+              w.metrics->add(worker_metric_ids_[w.tid].sources, 1);
+            }
+            // Balanced split: chunk j gets base + (j < rem), so sizes
+            // differ by at most one and the partition is canonical.
+            const std::size_t base = cands / chunks;
+            const std::size_t rem = cands % chunks;
+            std::size_t begin = 0;
+            for (std::size_t j = 0; j < chunks; ++j) {
+              const std::size_t size = base + (j < rem ? 1 : 0);
+              const FrontierTask ft{
+                  static_cast<std::uint32_t>(i),
+                  static_cast<std::uint32_t>(j),
+                  static_cast<std::uint32_t>(begin),
+                  static_cast<std::uint32_t>(begin + size)};
+              begin += size;
+              // Bounded deque: on overflow run the task inline — the
+              // source still completes, just with less parallelism.
+              if (!deques[t].push(ft)) run_task(w, ft);
+            }
+            continue;
+          }
+        }
+        // 3. Steal the newest task of the busiest victim.
+        std::size_t victim = n_workers;
+        std::size_t victim_size = 0;
+        for (std::size_t v = 0; v < n_workers; ++v) {
+          if (v == t) continue;
+          const std::size_t sz = deques[v].size();
+          if (sz > victim_size) {
+            victim_size = sz;
+            victim = v;
+          }
+        }
+        if (victim < n_workers && deques[victim].steal(&task)) {
+          ++w.stats.tasks_stolen;
+          if (w.rec != nullptr) {
+            w.rec->record(
+                util::FlightEventKind::kTaskSteal,
+                static_cast<std::uint16_t>(victim),
+                static_cast<std::uint32_t>(sources[task.source_index]),
+                static_cast<std::uint32_t>(task.chunk_index));
+          }
+          run_task(w, task);
+          continue;
+        }
+        ++w.stats.steal_failures;
+        // 4. Nothing anywhere: exit once every spawned task has retired
+        //    (unspawned sources were handled by the claim branch above —
+        //    reaching here means next_source is exhausted).
+        if (pending_tasks.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+      }
+      fold_gate_tallies(w);
+      worker_stats[t] = std::move(w.stats);
+    });
+  }
+  pool.wait_idle();
+
+  PathFinderStats total;
+  for (const PathFinderStats& s : worker_stats) total += s;
+
+  // Canonical merge: (source order, chunk order, in-chunk discovery order)
+  // is exactly the sequential delivery order.  Courses are counted here on
+  // the merged stream — the single place with the global view — which
+  // reproduces the sequential tallies exactly (course keys are
+  // source-prefixed, so the per-worker maps of the source scheduler and
+  // this single map agree).
+  {
+    util::TraceSpan merge_span(opt_.trace, "pathfinder/merge", 0);
+    std::unordered_map<std::string, int> course_counts;
+    for (std::vector<std::vector<TruePath>>& chunks : buffers) {
+      for (std::vector<TruePath>& chunk : chunks) {
+        for (TruePath& p : chunk) {
+          const int count = ++course_counts[p.course_key(nl_)];
+          if (count == 1) ++total.courses;
+          if (count == 2) ++total.multi_vector_courses;
+          if (sink) sink(p);
+        }
+      }
+    }
+  }
+
+  if (opt_.attribution != nullptr) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const SourceAccum& a = accum[i];
+      if (!a.searched) continue;
+      SearchAttribution::SourceCost& row = opt_.attribution->sources[i];
+      row.source = sources[i];
+      row.vector_trials = a.vector_trials;
+      row.backtracks = a.backtracks;
+      row.paths_recorded = a.paths_recorded;
+      row.justify_limited = a.justify_limited;
+      row.seconds = a.seconds;
+    }
+  }
+  return total;
 }
 
 PathFinderStats PathFinder::run(
@@ -1015,9 +1348,18 @@ PathFinderStats PathFinder::run(
     if (reach_[pi]) sources.push_back(pi);
   }
 
-  const unsigned n_workers = std::max<unsigned>(
-      1, std::min<std::size_t>(util::ThreadPool::resolve(opt_.num_threads),
-                               sources.size()));
+  // The source scheduler caps workers at the source count (extra workers
+  // could never get work); the steal scheduler deliberately does not — its
+  // whole point is putting more workers than sources to use.  One worker
+  // always takes the sequential reference path: the steal result is defined
+  // as bit-identical to it, so there is nothing to schedule.
+  const unsigned resolved = util::ThreadPool::resolve(opt_.num_threads);
+  const bool steal_mode = opt_.schedule == ScheduleMode::kSteal &&
+                          resolved > 1 && !sources.empty();
+  const unsigned n_workers =
+      steal_mode ? resolved
+                 : std::max<unsigned>(
+                       1, std::min<std::size_t>(resolved, sources.size()));
   prepare_observability(sources, n_workers);
   if (opt_.trace != nullptr) {
     // Mirror the OS-level pthread names (ThreadPool) into the trace so
@@ -1093,6 +1435,8 @@ PathFinderStats PathFinder::run(
     }
     fold_gate_tallies(w);
     total = w.stats;
+  } else if (steal_mode) {
+    total = run_steal(sources, n_workers, sink, fold_gate_tallies);
   } else {
     // Source-parallel: workers pull sources from an atomic index into
     // per-source buffers, merged in source order after the join so the
@@ -1167,6 +1511,18 @@ PathFinderStats PathFinder::run(
       packed_sweeps_id = opt_.metrics->counter("pathfinder.packed_sweeps");
       lanes_refuted_id = opt_.metrics->counter("pathfinder.lanes_refuted");
     }
+    // Steal-scheduler counters exist exactly when the knob selects kSteal
+    // (zero at 1 worker, where the sequential path runs) — same key-set
+    // discipline as the packed and cache blocks.
+    const bool steal_on = opt_.schedule == ScheduleMode::kSteal;
+    util::CounterId tasks_spawned_id{};
+    util::CounterId tasks_stolen_id{};
+    util::CounterId steal_failures_id{};
+    if (steal_on) {
+      tasks_spawned_id = opt_.metrics->counter("pathfinder.tasks_spawned");
+      tasks_stolen_id = opt_.metrics->counter("pathfinder.tasks_stolen");
+      steal_failures_id = opt_.metrics->counter("pathfinder.steal_failures");
+    }
     // Cache counters are registered (and emitted, even when zero) whenever
     // the cache is on, keeping the JSON key set a function of the options
     // alone.  All ids are registered before the shard is created.
@@ -1219,6 +1575,11 @@ PathFinderStats PathFinder::run(
     if (packed_on) {
       shard.add(packed_sweeps_id, total.packed_sweeps);
       shard.add(lanes_refuted_id, total.lanes_refuted);
+    }
+    if (steal_on) {
+      shard.add(tasks_spawned_id, total.tasks_spawned);
+      shard.add(tasks_stolen_id, total.tasks_stolen);
+      shard.add(steal_failures_id, total.steal_failures);
     }
     if (cache_on) {
       shard.add(cache_ids.hits, total.cache_hits);

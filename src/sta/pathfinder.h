@@ -83,6 +83,22 @@ struct SearchAttribution {
   EscalationController::Snapshot controller;
 };
 
+/// How the parallel search distributes work across worker threads.
+enum class ScheduleMode {
+  /// One source PI per worker at a time (the PR 1 scheduler): workers pull
+  /// whole sources from an atomic index.  Zero coordination inside a
+  /// source, but a single dominant cone serializes on one worker.
+  kSource,
+  /// Work stealing below the source level: the claiming worker splits each
+  /// source's DFS at its first fanout frontier into bounded-deque tasks
+  /// (contiguous candidate ranges in exact trial order) and idle workers
+  /// steal from the busiest victim.  Results are merged in canonical
+  /// (source order, frontier-chunk order), which IS the sequential
+  /// delivery order — so paths, slacks and report bytes are bit-identical
+  /// to kSource at every thread count, regardless of who executed what.
+  kSteal,
+};
+
 struct PathFinderOptions {
   long max_paths = -1;      ///< stop after this many recorded paths (<0: all)
   double max_seconds = -1;  ///< wall-clock guard (<0: unlimited)
@@ -127,6 +143,22 @@ struct PathFinderOptions {
   /// max_seconds keep a deterministic *count* but not a deterministic set
   /// when threads > 1.
   int num_threads = 1;
+
+  /// Worker scheduling policy (see ScheduleMode).  kSteal changes only WHO
+  /// executes each frontier task, never WHAT is searched: every task
+  /// replays the identical launch state (reset + assign_dual) the
+  /// sequential search would carry into its candidate range, and the
+  /// canonical merge restores sequential delivery order.  Unlike kSource,
+  /// kSteal does not cap the worker count at the source count — that is
+  /// precisely the starvation it exists to fix.  The n_worst floor, memo
+  /// cache, packed lanes and escalation controller all compose with
+  /// stealing unchanged (they are already cross-worker shared state).
+  /// stats.packed_sweeps is the one cost counter that legitimately differs
+  /// from kSource when trial_lanes > 1: per-task prescreen batches split at
+  /// chunk boundaries (sweep *results* per candidate are identical either
+  /// way, so vector_trials / lanes_refuted / every cache counter are not
+  /// affected).
+  ScheduleMode schedule = ScheduleMode::kSource;
 
   /// Justification memo cache (see justify_cache.h).  Caching is strictly
   /// result-neutral: only exhaustive fresh-state CONFLICT verdicts prune,
@@ -225,11 +257,12 @@ struct PathFinderOptions {
   /// When non-empty, each watchdog-detected stall also writes a flight
   /// dump here (same format as the signal-triggered dumps).
   std::string watchdog_dump_path;
-  /// TEST-ONLY: invoked after every counted vector trial.  Lets the stall-
-  /// injection test slow the search down deterministically; must never be
-  /// set outside tests (any side effect on shared state would break the
-  /// determinism contract).
-  std::function<void()> test_trial_hook;
+  /// TEST-ONLY: invoked after every counted vector trial with the instance
+  /// under trial.  Lets the stall-injection test block the worker and the
+  /// steal-engagement test inject per-gate delay deterministically; must
+  /// never be set outside tests (any side effect on shared state would
+  /// break the determinism contract).
+  std::function<void(netlist::InstId)> test_trial_hook;
 };
 
 class PathFinder {
@@ -268,6 +301,25 @@ class PathFinder {
   /// on the worker's lane, per-source counter deltas (exact — sources never
   /// span workers), and the progress-heartbeat bookkeeping.
   void run_source(Worker& w, std::size_t source_index, netlist::NetId source);
+  /// Resets the worker's search context for `source` and commits the launch
+  /// transition: exactly the state the sequential search carries into the
+  /// source's first frontier candidate.  Shared by search_source and the
+  /// steal scheduler's task replay (which is what makes a frontier task's
+  /// "assignment prefix" trivially — and exactly — reproducible).
+  void begin_source_state(Worker& w, netlist::NetId source);
+  /// Number of (reachable fanout, sensitization vector) candidates at the
+  /// source net's first frontier, in exact extend() trial order.  The steal
+  /// scheduler's chunking is a pure function of this count.
+  std::size_t count_frontier_candidates(netlist::NetId net) const;
+  /// The work-stealing scheduler body (ScheduleMode::kSteal, > 1 worker):
+  /// claims sources, expands them into frontier tasks, steals from the
+  /// busiest victim when idle, and merges per-(source, chunk) buffers in
+  /// canonical order.  Returns the merged stats.
+  PathFinderStats run_steal(const std::vector<netlist::NetId>& sources,
+                            unsigned n_workers,
+                            const std::function<void(const TruePath&)>& sink,
+                            const std::function<void(const Worker&)>&
+                                fold_gate_tallies);
   /// Registers the per-source / per-worker metric ids and resets the
   /// heartbeat state.  Called once per run(), before any shard exists.
   void prepare_observability(const std::vector<netlist::NetId>& sources,
@@ -276,12 +328,23 @@ class PathFinder {
   /// interval is claimed by CAS, so exactly one worker logs per period).
   void maybe_heartbeat();
   void extend(Worker& w, netlist::NetId net, unsigned alive);
+  /// The candidate loop of extend(), restricted to frontier candidates with
+  /// flat index in [cand_begin, cand_end) — extend() passes the full range;
+  /// the steal scheduler executes one chunk per task.  Candidate indices
+  /// count the (reachable fanout) x (vector) nesting in exact trial order,
+  /// so a range partition of [0, count) partitions the sequential trial
+  /// sequence itself.
+  void extend_over(Worker& w, netlist::NetId net, unsigned alive,
+                   std::size_t cand_begin, std::size_t cand_end);
   /// trial_lanes > 1: packs this extension frame's candidate vectors into
   /// word-wide sweeps on the worker's packed engine and records one refuted
   /// ScenarioMask per candidate, in exact trial order, in
-  /// Worker::packed_refuted.  Returns the frame's arena base (the caller
-  /// restores the arena size on exit, stack-style, like goal_stack).
-  std::size_t packed_prescreen(Worker& w, netlist::NetId net, unsigned alive);
+  /// Worker::packed_refuted.  Only candidates inside [cand_begin, cand_end)
+  /// occupy arena slots, mirroring extend_over's range restriction.
+  /// Returns the frame's arena base (the caller restores the arena size on
+  /// exit, stack-style, like goal_stack).
+  std::size_t packed_prescreen(Worker& w, netlist::NetId net, unsigned alive,
+                               std::size_t cand_begin, std::size_t cand_end);
   void record(Worker& w, netlist::NetId sink_net, unsigned alive);
   /// Memo-cache gate for one (instance, entered pin, vector) trial: true
   /// iff the trial's side-value conjunction — alone or joined with the

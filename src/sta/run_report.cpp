@@ -28,6 +28,16 @@ const char* tier_name(JustifyTier t) {
   return "?";
 }
 
+const char* schedule_name(ScheduleMode s) {
+  switch (s) {
+    case ScheduleMode::kSource:
+      return "source";
+    case ScheduleMode::kSteal:
+      return "steal";
+  }
+  return "?";
+}
+
 const char* mode_name(JustifyCacheMode m) {
   switch (m) {
     case JustifyCacheMode::kOff:
@@ -127,6 +137,8 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
   if (in.options != nullptr) {
     const PathFinderOptions& o = *in.options;
     os << "\n    " << jkey("threads") << ": " << o.num_threads << ",\n    "
+       << jkey("schedule") << ": \"" << schedule_name(o.schedule)
+       << "\",\n    "
        << jkey("cache") << ": \"" << mode_name(o.justify_cache) << "\",\n    "
        << jkey("tier") << ": \"" << tier_name(o.justify_tier) << "\",\n    "
        << jkey("cache_capacity") << ": " << o.justify_cache_capacity
@@ -150,6 +162,9 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
        << jkey("justify_limited") << ": " << s.justify_limited << ",\n    "
        << jkey("packed_sweeps") << ": " << s.packed_sweeps << ",\n    "
        << jkey("lanes_refuted") << ": " << s.lanes_refuted << ",\n    "
+       << jkey("tasks_spawned") << ": " << s.tasks_spawned << ",\n    "
+       << jkey("tasks_stolen") << ": " << s.tasks_stolen << ",\n    "
+       << jkey("steal_failures") << ": " << s.steal_failures << ",\n    "
        << jkey("cpu_seconds") << ": " << num(s.cpu_seconds) << ",\n    "
        << jkey("truncated") << ": " << (s.truncated ? "true" : "false")
        << "\n  ";
@@ -247,10 +262,17 @@ void write_run_report(const RunReportInputs& in, std::ostream& os) {
   {
     const std::vector<WorkerRow> rows = worker_rows(in);
     const char* sep = "";
+    // busy_fraction divides by the run's wall clock: it answers "was this
+    // worker starved", which is the figure the steal scheduler exists to
+    // move toward 1.0 on skewed circuits.
+    const double wall =
+        in.stats != nullptr ? in.stats->cpu_seconds : 0.0;
     for (const WorkerRow& r : rows) {
       os << sep << "\n    {" << jkey("lane") << ": " << r.lane << ", "
          << jkey("sources") << ": " << r.sources << ", "
          << jkey("busy_seconds") << ": " << num(r.busy_seconds) << ", "
+         << jkey("busy_fraction") << ": "
+         << num(wall > 0.0 ? r.busy_seconds / wall : 0.0) << ", "
          << jkey("spans") << ": " << r.spans << "}";
       sep = ",";
     }
@@ -383,6 +405,15 @@ std::vector<std::string> selfcheck_run(const RunReportInputs& in) {
   // Every miss is accounted for by exactly one insert outcome.
   eq("cache_misses == inserts + insert_races + full_drops", s.cache_misses,
      s.cache_inserts + s.cache_insert_races + s.cache_full_drops);
+  // A stolen task is one some worker spawned; the source scheduler spawns
+  // no tasks at all.
+  le("tasks_stolen <= tasks_spawned", s.tasks_stolen, s.tasks_spawned);
+  if (in.options != nullptr &&
+      in.options->schedule == ScheduleMode::kSource) {
+    eq("tasks_spawned (source schedule)", s.tasks_spawned, 0);
+    eq("tasks_stolen (source schedule)", s.tasks_stolen, 0);
+    eq("steal_failures (source schedule)", s.steal_failures, 0);
+  }
   if (in.options != nullptr) {
     le("lanes_refuted <= packed_sweeps * trial_lanes", s.lanes_refuted,
        s.packed_sweeps * std::max(1, in.options->trial_lanes));

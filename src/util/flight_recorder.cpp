@@ -40,6 +40,8 @@ const char* flight_event_kind_name(std::uint8_t kind) {
     case FlightEventKind::kPackedSweep: return "packed_sweep";
     case FlightEventKind::kBacktrackBurst: return "backtrack_burst";
     case FlightEventKind::kPathRecorded: return "path_recorded";
+    case FlightEventKind::kTaskSpawn: return "task_spawn";
+    case FlightEventKind::kTaskSteal: return "task_steal";
   }
   return "?";
 }
@@ -322,7 +324,17 @@ StallWatchdog::~StallWatchdog() {
     stop_ = true;
   }
   cv_.notify_all();
+  tick_done_cv_.notify_all();
   thread_.join();
+}
+
+void StallWatchdog::tick_for_testing() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t target = ++ticks_requested_;
+  cv_.notify_all();
+  tick_done_cv_.wait(lk, [this, target] {
+    return stop_ || ticks_done_ >= target;
+  });
 }
 
 void StallWatchdog::loop() {
@@ -333,7 +345,14 @@ void StallWatchdog::loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(mu_);
-      if (cv_.wait_for(lk, interval, [this] { return stop_; })) return;
+      if (hooks_.manual_tick) {
+        // Injectable pacing: a window closes only when the test hands one
+        // over, never on the wall clock — evaluation below is unchanged.
+        cv_.wait(lk, [this] { return stop_ || ticks_requested_ > ticks_done_; });
+        if (stop_) return;
+      } else {
+        if (cv_.wait_for(lk, interval, [this] { return stop_; })) return;
+      }
     }
     bool any_busy = false;
     bool progressed = false;
@@ -346,23 +365,28 @@ void StallWatchdog::loop() {
     }
     if (!have_prev) {  // first window only establishes the baseline
       have_prev = true;
-      continue;
-    }
-    if (progressed || !any_busy) {
+    } else if (progressed || !any_busy) {
       stalled_for = 0;
-      continue;
-    }
-    stalled_for += interval_seconds_;
-    rec_.note_stall();
-    const std::string report = format_stall_report(
-        rec_, stalled_for, hooks_.net_name, hooks_.inst_name);
-    if (hooks_.on_stall) {
-      hooks_.on_stall(report);
     } else {
-      log_line(LogLevel::kWarning, report);
+      stalled_for += interval_seconds_;
+      rec_.note_stall();
+      const std::string report = format_stall_report(
+          rec_, stalled_for, hooks_.net_name, hooks_.inst_name);
+      if (hooks_.on_stall) {
+        hooks_.on_stall(report);
+      } else {
+        log_line(LogLevel::kWarning, report);
+      }
+      if (!hooks_.dump_path.empty()) {
+        rec_.dump_to_path(hooks_.dump_path.c_str());
+      }
     }
-    if (!hooks_.dump_path.empty()) {
-      rec_.dump_to_path(hooks_.dump_path.c_str());
+    if (hooks_.manual_tick) {
+      // Acknowledge the window only after all of its side effects (report,
+      // dump) landed, so tick_for_testing() returns to a settled state.
+      std::lock_guard<std::mutex> lk(mu_);
+      ++ticks_done_;
+      tick_done_cv_.notify_all();
     }
   }
 }

@@ -54,6 +54,8 @@ enum class FlightEventKind : std::uint8_t {
   kPackedSweep = 8,  // a = lanes swept, b = lanes refuted
   kBacktrackBurst = 9,  // a = backtracks used, b = alive mask
   kPathRecorded = 10,  // arg = launch bit, a = steps, b = sink net id
+  kTaskSpawn = 11,     // arg = task count, a = source net id, b = candidates
+  kTaskSteal = 12,     // arg = victim lane, a = source net id, b = chunk index
 };
 
 /// Stable short name for a kind ("trial", "cache_hit", ...); "?" for
@@ -253,12 +255,24 @@ class StallWatchdog {
     std::function<void(const std::string&)> on_stall;
     /// When non-empty, a flight dump is written here on each stall.
     std::string dump_path;
+    /// TEST-ONLY injectable pacing: when true the watchdog thread never
+    /// waits on the wall clock — it sleeps until tick_for_testing() hands
+    /// it exactly one evaluation window.  Stall accounting still advances
+    /// by interval_seconds per tick, so reports read identically; the test
+    /// just controls *when* windows close instead of racing a timer.
+    bool manual_tick = false;
   };
   StallWatchdog(FlightRecorder& rec, double interval_seconds, Hooks hooks);
   ~StallWatchdog();  // stops and joins
 
   StallWatchdog(const StallWatchdog&) = delete;
   StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// TEST-ONLY (requires Hooks::manual_tick): closes one evaluation window
+  /// and blocks until the watchdog thread has fully processed it — any
+  /// stall report / dump for that window is complete when this returns.
+  /// Deterministic replacement for sleeping past a wall-clock interval.
+  void tick_for_testing();
 
  private:
   void loop();
@@ -268,6 +282,9 @@ class StallWatchdog {
   Hooks hooks_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable tick_done_cv_;
+  std::uint64_t ticks_requested_ = 0;
+  std::uint64_t ticks_done_ = 0;
   bool stop_ = false;
   std::thread thread_;
 };

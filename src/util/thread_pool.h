@@ -33,6 +33,60 @@ inline void set_current_thread_name(const char* name) {
 #endif
 }
 
+/// Bounded per-worker deque for work-stealing schedulers (see
+/// PathFinder's --schedule=steal).  The owner pushes its tasks and pops
+/// them FIFO from the front, so locally-spawned work runs in spawn order;
+/// thieves steal from the back — the task the owner would reach last.  A
+/// plain mutex per deque is deliberate: tasks are coarse (whole sub-search
+/// ranges), so queue operations are cold next to the work they hand out,
+/// and a mutex keeps the TSan story trivial.
+template <typename T>
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Owner only.  Returns false when the deque is full — the caller should
+  /// execute the task inline instead (boundedness is how a pathological
+  /// fanout cannot queue unbounded memory).
+  bool push(const T& task) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.size() >= capacity_) return false;
+    q_.push_back(task);
+    return true;
+  }
+
+  /// Owner only: dequeue the oldest task.
+  bool pop(T* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+  /// Any thread: steal the newest task.
+  bool steal(T* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    *out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+  /// Approximate occupancy for busiest-victim selection.  The value is
+  /// stale the moment the lock drops; victim choice only affects load
+  /// balance, never results.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+};
+
 class ThreadPool {
  public:
   /// Usable hardware concurrency (never 0, even when the runtime cannot

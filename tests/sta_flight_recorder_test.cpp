@@ -8,8 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -146,9 +148,11 @@ TEST(FlightRecorderCoverage, SearchEmitsExpectedKindsAndActivityReconciles) {
 
 // --- Stall watchdog, end to end ---------------------------------------------
 
-// Inject a stall (the first vector trial sleeps well past the watchdog
-// window while the worker is mid-source) and prove the watchdog fires and
-// the dump it writes names the stuck worker's source.
+// Inject a stall (the worker blocks on its first vector trial, mid-source)
+// and prove the watchdog fires and the dump it writes names the stuck
+// worker's source.  Deterministic: the search thread parks on a condition
+// variable until the test releases it, and the watchdog runs in manual-tick
+// mode, so no assertion races a wall-clock timer.
 TEST(FlightRecorderWatchdog, InjectedStallFiresWatchdogAndDumpNamesWorker) {
   const netlist::Netlist nl = generated_circuit(3);
   util::FlightRecorder::Config cfg;
@@ -160,29 +164,67 @@ TEST(FlightRecorderWatchdog, InjectedStallFiresWatchdogAndDumpNamesWorker) {
           .string();
   std::filesystem::remove(dump_path);
 
-  std::atomic<bool> slept{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false;
+  bool released = false;
   PathFinderOptions opt;
   opt.num_threads = 1;
   opt.flight = &rec;
-  opt.watchdog_seconds = 0.05;
-  opt.watchdog_dump_path = dump_path;
-  opt.test_trial_hook = [&] {
-    if (!slept.exchange(true)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(600));
-    }
+  // watchdog_seconds stays off: the test drives its own manual-tick
+  // watchdog so the run never creates a wall-clock one.
+  opt.test_trial_hook = [&](netlist::InstId) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (parked) return;  // only the first trial stalls
+    parked = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return released; });
   };
-  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
-  finder.run([](const TruePath&) {});
 
-  ASSERT_TRUE(slept.load()) << "stall was never injected";
-  EXPECT_GE(rec.stalls(), 1) << "watchdog never fired during the stall";
+  util::StallWatchdog::Hooks hooks;
+  hooks.manual_tick = true;
+  hooks.dump_path = dump_path;
+  std::vector<std::string> reports;
+  hooks.on_stall = [&](const std::string& r) { reports.push_back(r); };
+  hooks.net_name = [&](std::uint32_t net) {
+    return nl.net(static_cast<netlist::NetId>(net)).name;
+  };
+  util::StallWatchdog dog(rec, 1.0, hooks);
 
+  std::thread search([&] {
+    PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+    finder.run([](const TruePath&) {});
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return parked; });
+  }
+  // The worker is now provably mid-source and blocked.  Window 1 records
+  // the progress baseline; window 2 closes with zero progress while the
+  // lane is busy, which is the stall definition.
+  dog.tick_for_testing();
+  dog.tick_for_testing();
+  EXPECT_EQ(rec.stalls(), 1) << "watchdog missed a certain stall";
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("no progress for 1.0 s"), std::string::npos)
+      << reports[0];
+
+  // tick_for_testing returns only after the window is fully processed, so
+  // the dump is complete before the worker is released.
   std::ifstream is(dump_path);
   ASSERT_TRUE(is.good()) << "watchdog wrote no dump";
   std::ostringstream os;
   os << is.rdbuf();
   const std::string dump = os.str();
   std::filesystem::remove(dump_path);
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    released = true;
+  }
+  cv.notify_all();
+  search.join();
+
   EXPECT_EQ(dump.rfind("sasta-flightdump-v1\n", 0), 0u);
   EXPECT_NE(dump.find("end\n"), std::string::npos) << "truncated dump";
   // The stuck worker was mid-source when the dump was taken: its activity
@@ -193,20 +235,59 @@ TEST(FlightRecorderWatchdog, InjectedStallFiresWatchdogAndDumpNamesWorker) {
       << dump;
 }
 
-// A healthy run under the same tight watchdog interval never reports a
-// stall: progress (paths + sources) advances every window.
+// A healthy run never reports a stall: a busy window that makes progress
+// and an idle window after completion both pass.  Same manual-tick pacing
+// as above — window boundaries are chosen by the test, not a timer, so a
+// loaded CI host cannot turn a slow-but-progressing run into a false stall.
 TEST(FlightRecorderWatchdog, HealthyRunReportsNoStalls) {
   const netlist::Netlist nl = generated_circuit(5, 10, 40, 6);
   util::FlightRecorder::Config cfg;
   cfg.lanes = 1;
   util::FlightRecorder rec(cfg);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false;
+  bool released = false;
   PathFinderOptions opt;
   opt.num_threads = 1;
   opt.flight = &rec;
-  opt.watchdog_seconds = 0.05;
-  PathFinder finder(nl, testing::test_charlib("90nm"), opt);
-  finder.run([](const TruePath&) {});
+  opt.test_trial_hook = [&](netlist::InstId) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (parked) return;
+    parked = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return released; });
+  };
+
+  util::StallWatchdog::Hooks hooks;
+  hooks.manual_tick = true;
+  std::vector<std::string> reports;
+  hooks.on_stall = [&](const std::string& r) { reports.push_back(r); };
+  util::StallWatchdog dog(rec, 1.0, hooks);
+
+  std::thread search([&] {
+    PathFinder finder(nl, testing::test_charlib("90nm"), opt);
+    finder.run([](const TruePath&) {});
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return parked; });
+  }
+  dog.tick_for_testing();  // baseline window, worker busy
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    released = true;
+  }
+  cv.notify_all();
+  search.join();
+  // The run recorded paths and finished its sources between the baseline
+  // tick and now: progress advanced, so this window must not fire.  The
+  // windows after that see an idle recorder, which never stalls.
+  dog.tick_for_testing();
+  dog.tick_for_testing();
   EXPECT_EQ(rec.stalls(), 0);
+  EXPECT_TRUE(reports.empty());
 }
 
 // --- Selfcheck reconciliation -----------------------------------------------

@@ -23,6 +23,9 @@ PathFinderStats sample(long base) {
   s.cache_inserts = base + 10;
   s.cache_insert_races = base + 11;
   s.cache_full_drops = base + 12;
+  s.tasks_spawned = base + 13;
+  s.tasks_stolen = base + 14;
+  s.steal_failures = base + 15;
   s.cpu_seconds = static_cast<double>(base);
   return s;
 }
@@ -42,6 +45,9 @@ TEST(PathFinderStats, CounterFieldsSum) {
   EXPECT_EQ(total.cache_inserts, 20 + 110);
   EXPECT_EQ(total.cache_insert_races, 21 + 111);
   EXPECT_EQ(total.cache_full_drops, 22 + 112);
+  EXPECT_EQ(total.tasks_spawned, 23 + 113);
+  EXPECT_EQ(total.tasks_stolen, 24 + 114);
+  EXPECT_EQ(total.steal_failures, 25 + 115);
 }
 
 TEST(PathFinderStats, CpuSecondsMergesAsMax) {

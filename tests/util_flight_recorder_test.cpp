@@ -250,31 +250,36 @@ TEST(StallReport, NamesStuckWorkersAndMarksIdleOnes) {
   EXPECT_NE(raw.find("w0: source 3, gate 7"), std::string::npos) << raw;
 }
 
+// Deterministic window pacing: manual_tick hands the watchdog exactly one
+// evaluation window per tick_for_testing() call, so these tests never race
+// a wall-clock timer (the former sleep-loop versions flaked on loaded CI
+// hosts where 100 x 10 ms could elapse without the 30 ms timer firing).
 TEST(StallWatchdog, FiresOnNoProgressWindowAndWritesDump) {
   FlightRecorder rec(small_config(1, 8));
   rec.lane(0).set_source(5);  // busy forever, no progress
 
-  std::mutex mu;
-  std::vector<std::string> reports;
+  std::vector<std::string> reports;  // manual ticks serialize the callback
   StallWatchdog::Hooks hooks;
-  hooks.on_stall = [&](const std::string& r) {
-    std::lock_guard<std::mutex> lk(mu);
-    reports.push_back(r);
-  };
+  hooks.manual_tick = true;
+  hooks.on_stall = [&](const std::string& r) { reports.push_back(r); };
   hooks.dump_path = temp_path("sasta_watchdog_unit.dump");
   {
-    StallWatchdog dog(rec, 0.03, hooks);
-    // First window establishes the baseline, later ones fire.
-    for (int i = 0; i < 100; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      std::lock_guard<std::mutex> lk(mu);
-      if (!reports.empty()) break;
-    }
+    // Manual ticks never wait on the wall clock, so a human-scale interval
+    // costs nothing and keeps the report's stall accounting readable.
+    StallWatchdog dog(rec, 1.0, hooks);
+    dog.tick_for_testing();  // window 1 establishes the baseline
+    EXPECT_TRUE(reports.empty());
+    dog.tick_for_testing();  // window 2: busy lane, unchanged signature
+    ASSERT_EQ(reports.size(), 1u) << "no-progress window must fire";
+    dog.tick_for_testing();  // still stuck: the stall persists and re-fires
+    ASSERT_EQ(reports.size(), 2u);
   }
-  std::lock_guard<std::mutex> lk(mu);
-  ASSERT_FALSE(reports.empty()) << "watchdog never fired";
+  EXPECT_NE(reports[0].find("no progress for 1.0 s"), std::string::npos)
+      << reports[0];
+  EXPECT_NE(reports[1].find("no progress for 2.0 s"), std::string::npos)
+      << reports[1];
   EXPECT_NE(reports[0].find("w0: source 5"), std::string::npos);
-  EXPECT_GE(rec.stalls(), 1);
+  EXPECT_EQ(rec.stalls(), 2);
   const std::string dump = slurp(hooks.dump_path);
   std::filesystem::remove(hooks.dump_path);
   EXPECT_NE(dump.find("sasta-flightdump-v1\n"), std::string::npos);
@@ -286,12 +291,13 @@ TEST(StallWatchdog, StaysQuietWhenIdleOrProgressing) {
   FlightRecorder rec(small_config(2, 8));
   std::atomic<int> fires{0};
   StallWatchdog::Hooks hooks;
+  hooks.manual_tick = true;
   hooks.on_stall = [&](const std::string&) { ++fires; };
 
   {
-    // All lanes idle: never a stall, no matter how long nothing happens.
+    // All lanes idle: never a stall, no matter how many windows close.
     StallWatchdog dog(rec, 0.02, hooks);
-    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    for (int i = 0; i < 5; ++i) dog.tick_for_testing();
   }
   EXPECT_EQ(fires.load(), 0);
 
@@ -299,13 +305,24 @@ TEST(StallWatchdog, StaysQuietWhenIdleOrProgressing) {
     // Busy but progressing: each window sees a new progress signature.
     rec.lane(0).set_source(1);
     StallWatchdog dog(rec, 0.02, hooks);
+    dog.tick_for_testing();  // baseline
     for (int i = 0; i < 10; ++i) {
       rec.lane(0).note_path_recorded();
-      std::this_thread::sleep_for(std::chrono::milliseconds(12));
+      dog.tick_for_testing();
     }
   }
   EXPECT_EQ(fires.load(), 0);
   EXPECT_EQ(rec.stalls(), 0);
+}
+
+// A destructor racing a pending tick must not deadlock: stop wins.
+TEST(StallWatchdog, DestructionWithNoTicksIsClean) {
+  FlightRecorder rec(small_config(1, 8));
+  StallWatchdog::Hooks hooks;
+  hooks.manual_tick = true;
+  StallWatchdog dog(rec, 0.02, hooks);
+  // No ticks at all: the thread is parked on the manual-tick wait and must
+  // be released by ~StallWatchdog.
 }
 
 // --- Signal plumbing --------------------------------------------------------

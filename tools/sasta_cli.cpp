@@ -15,6 +15,14 @@
 //   --threads N          worker threads for path enumeration (default 0 =
 //                        all hardware threads; 1 = sequential).  Reported
 //                        paths are identical for every thread count.
+//   --schedule S         source | steal  (default source): how workers
+//                        share the search.  "source" hands each worker one
+//                        source PI at a time; "steal" splits every source's
+//                        DFS at its first fanout frontier into stealable
+//                        tasks so idle workers help on a dominant cone.
+//                        Results are bit-identical either way — stealing
+//                        changes who executes the work, never what is
+//                        searched or the order results are reported in.
 //   --justify-cache M    off | shared | per-worker  (default shared):
 //                        memoize fresh-state justification verdicts so
 //                        infeasible sensitization conjunctions are refuted
@@ -121,6 +129,7 @@ struct Options {
   double max_seconds = 60.0;
   int budget = 2000;
   int threads = 0;  ///< 0 = all hardware threads
+  sasta::sta::ScheduleMode schedule = sasta::sta::ScheduleMode::kSource;
   /// CLI default is the shared cache (the library default stays kOff so
   /// programmatic users opt in explicitly).
   sasta::sta::JustifyCacheMode justify_cache =
@@ -159,7 +168,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--tech T] [--paths N] [--prune] [--max-seconds S]\n"
-               "       [--budget B] [--threads N] [--baseline] [--golden]\n"
+               "       [--budget B] [--threads N] [--schedule source|steal]\n"
+               "       [--baseline] [--golden]\n"
                "       [--justify-cache off|shared|per-worker]\n"
                "       [--justify-cache-slots N]\n"
                "       [--justify-tier implication|solver|both|adaptive]\n"
@@ -219,6 +229,17 @@ Options parse_args(int argc, char** argv) {
       o.budget = static_cast<int>(long_value(-1));
     } else if (a == "--threads") {
       o.threads = static_cast<int>(long_value(0));
+    } else if (a == "--schedule") {
+      const std::string mode = value();
+      if (mode == "source") {
+        o.schedule = sasta::sta::ScheduleMode::kSource;
+      } else if (mode == "steal") {
+        o.schedule = sasta::sta::ScheduleMode::kSteal;
+      } else {
+        std::cerr << "unknown --schedule mode '" << mode
+                  << "' (source | steal)\n";
+        usage(argv[0]);
+      }
     } else if (a == "--justify-cache") {
       const std::string mode = value();
       if (mode == "off") {
@@ -444,6 +465,7 @@ int main(int argc, char** argv) {
     sopt.finder.max_seconds = opt.max_seconds;
     sopt.finder.justify_backtrack_budget = opt.budget;
     sopt.finder.num_threads = opt.threads;
+    sopt.finder.schedule = opt.schedule;
     sopt.finder.justify_cache = opt.justify_cache;
     sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
     sopt.finder.justify_tier = opt.justify_tier;
