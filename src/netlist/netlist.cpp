@@ -83,6 +83,25 @@ void Netlist::validate() const {
   }
 }
 
+void Netlist::replace_cell(InstId i, const cell::Cell* new_cell) {
+  SASTA_CHECK(i >= 0 && i < num_instances()) << " instance " << i;
+  SASTA_CHECK(new_cell != nullptr) << " null replacement cell";
+  Instance& inst = instances_[i];
+  SASTA_CHECK(static_cast<int>(inst.inputs.size()) == new_cell->num_inputs())
+      << " swap_gate pin-count mismatch: " << inst.name << " has "
+      << inst.inputs.size() << " inputs, cell " << new_cell->name()
+      << " wants " << new_cell->num_inputs();
+  inst.cell = new_cell;
+}
+
+void Netlist::set_drive_scale(InstId i, double scale) {
+  SASTA_CHECK(i >= 0 && i < num_instances()) << " instance " << i;
+  SASTA_CHECK(scale > 0.0) << " drive scale must be positive, got " << scale;
+  if (drive_scale_.size() < instances_.size())
+    drive_scale_.resize(instances_.size(), 1.0);
+  drive_scale_[i] = scale;
+}
+
 int Netlist::complex_gate_count() const {
   int count = 0;
   for (const auto& inst : instances_) {

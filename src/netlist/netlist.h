@@ -71,6 +71,27 @@ class Netlist {
   /// Number of instances whose cell is a complex gate.
   int complex_gate_count() const;
 
+  // --- ECO edits (serve mode, docs/SERVER.md) ---------------------------
+  // Connectivity never changes: both edits keep every net, pin and fanout
+  // list intact, which is what lets the incremental re-analysis reason
+  // about affected cones purely from the original graph.
+
+  /// Replaces an instance's cell with another of the same pin count
+  /// (`swap_gate`).  Throws util::Error on a pin-count mismatch.
+  void replace_cell(InstId i, const cell::Cell* new_cell);
+
+  /// Per-instance drive-strength scale (`resize_cell`): the delay
+  /// calculator models a resized instance as `scale`× input capacitance on
+  /// every pin and `scale`× drive on its output (see
+  /// DelayCalculator::net_load / equivalent_fanout).  1.0 — the universal
+  /// default — reproduces the unscaled library cell exactly.
+  void set_drive_scale(InstId i, double scale);
+  double drive_scale(InstId i) const {
+    return static_cast<std::size_t>(i) < drive_scale_.size()
+               ? drive_scale_[i]
+               : 1.0;
+  }
+
  private:
   std::string name_;
   std::vector<Net> nets_;
@@ -78,6 +99,7 @@ class Netlist {
   std::unordered_map<std::string, NetId> name_to_net_;
   std::vector<NetId> pis_;
   std::vector<NetId> pos_;
+  std::vector<double> drive_scale_;  ///< empty until the first resize
 };
 
 // ---------------------------------------------------------------------------

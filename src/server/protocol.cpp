@@ -1,0 +1,83 @@
+#include "server/protocol.h"
+
+namespace sasta::server {
+
+std::optional<RpcRequest> parse_request(std::string_view line,
+                                        std::string* error_code,
+                                        std::string* error_message,
+                                        long* id_out, bool* has_id_out) {
+  *id_out = -1;
+  *has_id_out = false;
+  util::JsonValue doc;
+  std::string parse_error;
+  if (!util::JsonValue::parse(line, &doc, &parse_error)) {
+    *error_code = kErrParse;
+    *error_message = "request is not valid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc.is_object()) {
+    *error_code = kErrProto;
+    *error_message = "request must be a JSON object";
+    return std::nullopt;
+  }
+  RpcRequest req;
+  if (const util::JsonValue* id = doc.find("id")) {
+    if (!id->is_number()) {
+      *error_code = kErrProto;
+      *error_message = "\"id\" must be a number";
+      return std::nullopt;
+    }
+    req.id = id->as_long();
+    req.has_id = true;
+    *id_out = req.id;
+    *has_id_out = true;
+  }
+  const util::JsonValue* method = doc.find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->as_string().empty()) {
+    *error_code = kErrProto;
+    *error_message = "request lacks a string \"method\"";
+    return std::nullopt;
+  }
+  req.method = method->as_string();
+  if (const util::JsonValue* params = doc.find("params")) {
+    if (!params->is_object()) {
+      *error_code = kErrProto;
+      *error_message = "\"params\" must be an object";
+      return std::nullopt;
+    }
+    req.params = *params;
+  } else {
+    req.params = util::JsonValue::object();
+  }
+  return req;
+}
+
+namespace {
+
+util::JsonValue envelope(long id, bool has_id) {
+  util::JsonValue resp = util::JsonValue::object();
+  resp.set("version", util::JsonValue::string(kProtocolVersion));
+  resp.set("id", has_id ? util::JsonValue::number(id) : util::JsonValue());
+  return resp;
+}
+
+}  // namespace
+
+util::JsonValue make_response(long id, bool has_id, util::JsonValue result) {
+  util::JsonValue resp = envelope(id, has_id);
+  resp.set("result", std::move(result));
+  return resp;
+}
+
+util::JsonValue make_error(long id, bool has_id, std::string_view code,
+                           std::string_view message) {
+  util::JsonValue resp = envelope(id, has_id);
+  util::JsonValue err = util::JsonValue::object();
+  err.set("code", util::JsonValue::string(std::string(code)));
+  err.set("message", util::JsonValue::string(std::string(message)));
+  resp.set("error", std::move(err));
+  return resp;
+}
+
+}  // namespace sasta::server

@@ -24,7 +24,9 @@ double DelayCalculator::net_load(netlist::NetId net) const {
   for (const netlist::Fanout& f : n.fanouts) {
     const netlist::Instance& sink = nl_.instance(f.inst);
     const charlib::CellTiming& t = charlib_.timing(sink.cell->name());
-    cap += t.pin_caps.at(f.pin);
+    // A resized sink (ECO resize_cell) presents scaled input pins: wider
+    // transistors load the driving net proportionally.
+    cap += t.pin_caps.at(f.pin) * nl_.drive_scale(f.inst);
     cap += tech_.wire_cap_per_fanout;
   }
   if (n.is_primary_output) cap += po_load_cap_;
@@ -37,7 +39,11 @@ double DelayCalculator::equivalent_fanout(netlist::InstId driver,
   const charlib::CellTiming& t = charlib_.timing(inst.cell->name());
   SASTA_CHECK(t.avg_input_cap > 0.0) << " zero input cap for "
                                      << inst.cell->name();
-  return net_load(net) / t.avg_input_cap;
+  // A resized driver divides the same load over `scale`× the drive: its
+  // equivalent fanout — the unit the characterization sweeps over — drops
+  // by the scale factor.  scale 1.0 (the default) is bit-identical to the
+  // pre-ECO formula.
+  return net_load(net) / (t.avg_input_cap * nl_.drive_scale(driver));
 }
 
 TimedPath DelayCalculator::compute(const TruePath& path) const {

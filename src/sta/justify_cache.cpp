@@ -48,6 +48,7 @@ GoalSetKey canonicalize_goals(std::span<const Goal> goals,
   for (const Goal& g : goals) {
     packed.push_back((static_cast<std::uint64_t>(g.net) << 1) |
                      (g.value ? 1u : 0u));
+    key.support |= std::uint64_t{1} << (static_cast<std::uint64_t>(g.net) & 63);
   }
   std::sort(packed.begin(), packed.end());
   packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
@@ -84,10 +85,18 @@ JustifyCache::JustifyCache(const Config& config) {
                                 config.max_probe,
                                 static_cast<unsigned>(shard_slots_)));
   slots_ = std::vector<Slot>(capacity);
+  shard_epoch_ = std::make_unique<std::atomic<std::uint32_t>[]>(shards_);
+  shard_support_ = std::make_unique<std::atomic<std::uint64_t>[]>(shards_);
+  for (unsigned s = 0; s < shards_; ++s) {
+    shard_epoch_[s].store(1, std::memory_order_relaxed);
+    shard_support_[s].store(0, std::memory_order_relaxed);
+  }
 }
 
-std::uint64_t JustifyCache::tag_for(const GoalSetKey& key) const {
-  const std::uint64_t e = epoch_.load(std::memory_order_relaxed) & 0xFFFF;
+std::uint64_t JustifyCache::tag_for(const GoalSetKey& key,
+                                    std::size_t shard) const {
+  const std::uint64_t e =
+      shard_epoch_[shard].load(std::memory_order_relaxed) & 0xFFFF;
   return (e << 48) | (key.lo & kLo48Mask);
 }
 
@@ -111,9 +120,9 @@ std::size_t JustifyCache::slot_base(const GoalSetKey& key) const {
 JustifyVerdict JustifyCache::probe(const GoalSetKey& key) const {
   SASTA_CHECK(!key.contradictory && !key.empty)
       << " probe of a degenerate goal-set key";
-  const std::uint64_t tag = tag_for(key);
-  const std::uint64_t want = key.hi & ~kVerdictMask;
   const std::size_t shard_begin = slot_base(key) & ~(shard_slots_ - 1);
+  const std::uint64_t tag = tag_for(key, shard_begin / shard_slots_);
+  const std::uint64_t want = key.hi & ~kVerdictMask;
   std::size_t idx = slot_base(key) - shard_begin;
   for (unsigned i = 0; i < max_probe_; ++i) {
     const Slot& slot = slots_[shard_begin + ((idx + i) & (shard_slots_ - 1))];
@@ -134,11 +143,17 @@ JustifyCache::InsertOutcome JustifyCache::insert(const GoalSetKey& key,
       << " kUnknown is the miss sentinel, not a storable verdict";
   SASTA_CHECK(!key.contradictory && !key.empty)
       << " insert of a degenerate goal-set key";
-  const std::uint64_t tag = tag_for(key);
+  const std::size_t shard_begin = slot_base(key) & ~(shard_slots_ - 1);
+  const std::size_t shard = shard_begin / shard_slots_;
+  const std::uint64_t tag = tag_for(key, shard);
   const std::uint64_t payload = payload_for(key, verdict);
   const std::uint64_t current_epoch =
-      epoch_.load(std::memory_order_relaxed) & 0xFFFF;
-  const std::size_t shard_begin = slot_base(key) & ~(shard_slots_ - 1);
+      shard_epoch_[shard].load(std::memory_order_relaxed) & 0xFFFF;
+  // Publish the key's support into the shard's union *before* the entry
+  // becomes probeable, so a scoped invalidate() that observes the entry
+  // also observes its support bits.
+  if (key.support)
+    shard_support_[shard].fetch_or(key.support, std::memory_order_relaxed);
   std::size_t idx = slot_base(key) - shard_begin;
   for (unsigned i = 0; i < max_probe_; ++i) {
     Slot& slot = slots_[shard_begin + ((idx + i) & (shard_slots_ - 1))];
@@ -168,21 +183,38 @@ JustifyCache::InsertOutcome JustifyCache::insert(const GoalSetKey& key,
   return InsertOutcome::kFull;
 }
 
-void JustifyCache::clear() {
-  std::uint32_t e = epoch_.load(std::memory_order_relaxed);
+void JustifyCache::bump_shard(std::size_t shard) {
+  std::atomic<std::uint32_t>& epoch = shard_epoch_[shard];
+  std::uint32_t e = epoch.load(std::memory_order_relaxed);
   std::uint32_t next;
   do {
     next = (e >= 0xFFFF) ? 1 : e + 1;
-  } while (!epoch_.compare_exchange_weak(e, next,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_relaxed));
+  } while (!epoch.compare_exchange_weak(e, next, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed));
+  shard_support_[shard].store(0, std::memory_order_relaxed);
+}
+
+void JustifyCache::clear() {
+  for (unsigned s = 0; s < shards_; ++s) bump_shard(s);
+}
+
+std::size_t JustifyCache::invalidate(std::uint64_t affected_support) {
+  std::size_t bumped = 0;
+  for (unsigned s = 0; s < shards_; ++s) {
+    const std::uint64_t mask =
+        shard_support_[s].load(std::memory_order_relaxed);
+    if ((mask & affected_support) == 0) continue;
+    bump_shard(s);
+    ++bumped;
+  }
+  return bumped;
 }
 
 std::vector<std::size_t> JustifyCache::shard_occupancy() const {
-  const std::uint64_t current_epoch =
-      epoch_.load(std::memory_order_relaxed) & 0xFFFF;
   std::vector<std::size_t> occupancy(shards_, 0);
   for (unsigned s = 0; s < shards_; ++s) {
+    const std::uint64_t current_epoch =
+        shard_epoch_[s].load(std::memory_order_relaxed) & 0xFFFF;
     const std::size_t begin = std::size_t{s} * shard_slots_;
     for (std::size_t i = 0; i < shard_slots_; ++i) {
       const Slot& slot = slots_[begin + i];

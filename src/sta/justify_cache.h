@@ -44,16 +44,21 @@
 // so a wrong-verdict aliasing requires a 109-bit collision between two
 // canonical goal sets probed in one run — negligible against the test
 // battery's differential checks, and an *eviction-like* miss (not a wrong
-// answer) in every partial-collision case.  clear() bumps the epoch, an
-// O(1) invalidation of all entries that never touches slot memory and is
-// safe against concurrent probes (stale-epoch entries read as empty and
-// are reclaimed by later inserts).  Epochs wrap at 2^16 - 1 generations;
+// answer) in every partial-collision case.  Epochs are tracked *per
+// shard*: clear() bumps every shard (an O(shards) invalidation that never
+// touches slot memory), while invalidate() bumps only the shards whose
+// inserted-support union intersects a perturbed-net mask — the scoped
+// eviction that lets a long-lived serve-mode session keep memos for
+// untouched logic across ECO edits.  Both are safe against concurrent
+// probes (stale-epoch entries read as empty and are reclaimed by later
+// inserts).  Epochs wrap at 2^16 - 1 generations;
 // verdicts are pure per netlist/tier/budget, so even an ABA'd survivor
 // would still be correct for the same PathFinder instance.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -101,6 +106,11 @@ enum class JustifyVerdict : std::uint8_t {
 struct GoalSetKey {
   std::uint64_t lo = 0;
   std::uint64_t hi = 0;
+  /// 64-bit folded support: bit `net % 64` set for every net the
+  /// conjunction constrains.  Used only for scoped invalidation (see
+  /// JustifyCache::invalidate) — never for identity or placement, so two
+  /// keys with equal fingerprints always carry equal supports.
+  std::uint64_t support = 0;
   bool contradictory = false;  ///< some net required steady-0 AND steady-1
   bool empty = false;          ///< no goals survived deduplication
 
@@ -150,14 +160,45 @@ class JustifyCache {
   /// probed slot, losers re-check and move on.
   InsertOutcome insert(const GoalSetKey& key, JustifyVerdict verdict);
 
-  /// O(1) invalidation of every entry by bumping the epoch; concurrent
-  /// probes and inserts stay safe (old-epoch entries read as empty).
+  /// O(shards) invalidation of every entry by bumping each shard's epoch;
+  /// concurrent probes and inserts stay safe (old-epoch entries read as
+  /// empty).
   void clear();
+
+  /// Scoped invalidation for ECO-incremental re-analysis: bumps the epoch
+  /// of only those shards whose resident entries may constrain a net in
+  /// `affected_support` (the 64-bit folded mask of the perturbed region's
+  /// nets, bit `net % 64`).  Each shard tracks the union of the supports
+  /// of every key inserted since its last bump; a shard whose union mask
+  /// is disjoint from `affected_support` provably holds no verdict about
+  /// any affected net, and its memos survive the ECO.  The fold makes the
+  /// per-shard mask a superset of the true support set, so false sharing
+  /// of a bit can only *over*-invalidate — never keep a stale verdict.
+  /// Returns the number of shards bumped.
+  ///
+  /// Requires insert-quiescence: no concurrent insert() while invalidating
+  /// (a racing insert could publish its support union after the reset and
+  /// be missed by a *later* invalidate).  Concurrent probes are safe.  The
+  /// serve-mode session satisfies this by applying ECOs strictly between
+  /// search runs.
+  std::size_t invalidate(std::uint64_t affected_support);
 
   std::size_t capacity() const { return slots_.size(); }
   unsigned shard_count() const { return shards_; }
+  /// The first shard's epoch.  clear() bumps every shard in lockstep, so
+  /// for whole-table clears this behaves exactly like the pre-sharded
+  /// global epoch (tests rely on the 1..0xFFFF wrap there); after a scoped
+  /// invalidate() the shards may disagree and per-shard epochs are the
+  /// only meaningful view (shard_epoch()).
   std::uint32_t epoch() const {
-    return epoch_.load(std::memory_order_relaxed);
+    return shard_epoch_[0].load(std::memory_order_relaxed);
+  }
+  std::uint32_t shard_epoch(unsigned shard) const {
+    return shard_epoch_[shard].load(std::memory_order_relaxed);
+  }
+  /// Union of inserted-key supports since the shard's last bump.
+  std::uint64_t shard_support(unsigned shard) const {
+    return shard_support_[shard].load(std::memory_order_relaxed);
   }
 
   /// Published current-epoch entries resident per shard, in shard order.
@@ -172,17 +213,22 @@ class JustifyCache {
     std::atomic<std::uint64_t> payload{0};
   };
 
-  std::uint64_t tag_for(const GoalSetKey& key) const;
+  std::uint64_t tag_for(const GoalSetKey& key, std::size_t shard) const;
   static std::uint64_t payload_for(const GoalSetKey& key,
                                    JustifyVerdict verdict);
   /// First slot index of the key's probe sequence (within its shard).
   std::size_t slot_base(const GoalSetKey& key) const;
+  /// Bumps one shard's epoch (1..0xFFFF, never 0) and resets its support
+  /// union.
+  void bump_shard(std::size_t shard);
 
   std::vector<Slot> slots_;
   unsigned shards_ = 1;
   std::size_t shard_slots_ = 0;  ///< slots per shard (power of two)
   unsigned max_probe_ = 16;
-  std::atomic<std::uint32_t> epoch_{1};  ///< 1..0xFFFF, never 0
+  /// Per-shard epoch (1..0xFFFF, never 0) and inserted-support union.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> shard_epoch_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_support_;
 };
 
 /// Online payoff controller for JustifyTier::kAdaptive (ROADMAP: "adaptive

@@ -35,7 +35,7 @@ struct PathFinder::Worker {
       own_cache = std::make_unique<JustifyCache>(cfg);
       cache = own_cache.get();
     } else {
-      cache = owner.shared_cache_.get();
+      cache = owner.active_shared_cache();
     }
     // Scratch solver for fresh-state memo solves: same netlist, guide and
     // budget as the search solver, but its own assignment state so a memo
@@ -142,7 +142,8 @@ PathFinder::PathFinder(const netlist::Netlist& nl,
                                 PackedImplicationEngine::kMaxLanes);
   guide_ = netlist::compute_controllability(nl);
   reach_ = netlist::reaches_output(nl);
-  if (opt_.justify_cache == JustifyCacheMode::kShared) {
+  if (opt_.justify_cache == JustifyCacheMode::kShared &&
+      opt_.external_cache == nullptr) {
     JustifyCache::Config cfg;
     cfg.capacity = opt_.justify_cache_capacity;
     shared_cache_ = std::make_unique<JustifyCache>(cfg);
@@ -1345,7 +1346,9 @@ PathFinderStats PathFinder::run(
 
   std::vector<netlist::NetId> sources;
   for (netlist::NetId pi : nl_.primary_inputs()) {
-    if (reach_[pi]) sources.push_back(pi);
+    if (!reach_[pi]) continue;
+    if (opt_.source_filter && !opt_.source_filter(pi)) continue;
+    sources.push_back(pi);
   }
 
   // The source scheduler caps workers at the source count (extra workers
@@ -1487,8 +1490,8 @@ PathFinderStats PathFinder::run(
           {static_cast<netlist::InstId>(i), gate_trials[i], gate_prunes[i],
            gate_escalations[i], gate_escalation_backtracks[i]});
     }
-    if (shared_cache_ != nullptr) {
-      opt_.attribution->cache_shards = shared_cache_->shard_occupancy();
+    if (active_shared_cache() != nullptr) {
+      opt_.attribution->cache_shards = active_shared_cache()->shard_occupancy();
     }
     if (controller_ != nullptr) {
       opt_.attribution->controller_active = true;

@@ -173,6 +173,17 @@ struct PathFinderOptions {
   /// kPerWorker mode).  Overflow degrades gracefully: verdicts that do not
   /// fit are recomputed on demand, never invented.
   std::size_t justify_cache_capacity = std::size_t{1} << 16;
+  /// kShared only: borrow a caller-owned memo table instead of building a
+  /// fresh one per PathFinder.  This is how the serve-mode session keeps
+  /// justification memos warm across requests and ECO edits: verdicts are
+  /// pure functions of (netlist, goal set, budget), so reuse across
+  /// PathFinder instances over the *same* logic is as sound as reuse
+  /// across workers within one run — and the owner must clear() or
+  /// invalidate() the table whenever netlist logic or the backtrack budget
+  /// changes (justify_cache_capacity is ignored; the external table keeps
+  /// its own geometry).  Null (the default) preserves the classic
+  /// finder-owned table.
+  JustifyCache* external_cache = nullptr;
   /// How a memo-cache miss is refuted.  Misses resolve per
   /// support-disjoint component of the goal conjunction: kBoth (default)
   /// runs the zero-backtracking implication-closure refuter first and
@@ -263,6 +274,19 @@ struct PathFinderOptions {
   /// never be set outside tests (any side effect on shared state would
   /// break the determinism contract).
   std::function<void(netlist::InstId)> test_trial_hook;
+
+  /// When set, only sources (primary inputs) accepted by the filter are
+  /// searched; the rest are skipped before any scheduling happens, so the
+  /// searched subset runs with exactly the sequential/steal semantics of a
+  /// netlist whose other PIs did not exist.  This is the ECO-incremental
+  /// hook: the serve-mode session re-runs only dirtied sources and splices
+  /// the fresh per-source results over its warm ones.  Per-source true
+  /// paths are independent (a source's enumeration never reads another
+  /// source's state), so a filtered run's paths for an accepted source are
+  /// bit-identical to that source's paths in an unfiltered run — except
+  /// under n_worst pruning, whose shared floor couples sources; callers
+  /// wanting splice-equality (the session does) must keep n_worst = 0.
+  std::function<bool(netlist::NetId)> source_filter;
 };
 
 class PathFinder {
@@ -399,8 +423,15 @@ class PathFinder {
   std::vector<bool> reach_;
   /// The cross-worker memo table (kShared mode only; workers own their
   /// tables in kPerWorker mode).  Lives for the PathFinder's lifetime —
-  /// verdicts stay valid across run() calls of the same instance.
+  /// verdicts stay valid across run() calls of the same instance.  Not
+  /// built when the caller lends options.external_cache.
   std::unique_ptr<JustifyCache> shared_cache_;
+  /// The shared table in effect: the borrowed external one if set, else
+  /// the finder-owned one; null outside kShared mode.
+  JustifyCache* active_shared_cache() const {
+    return opt_.external_cache != nullptr ? opt_.external_cache
+                                          : shared_cache_.get();
+  }
   /// The kAdaptive payoff controller (null for every other tier).  Shared
   /// by all workers; like the cache it lives for the PathFinder's
   /// lifetime, so the payoff estimate carries across run() calls.

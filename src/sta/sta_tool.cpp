@@ -28,6 +28,69 @@ StaTool::StaTool(const netlist::Netlist& nl,
       opt_(options),
       calc_(nl, charlib, tech, options.delay) {}
 
+namespace {
+
+// Min-heap on delay when keeping only the N worst.
+bool heap_cmp(const TimedPath& a, const TimedPath& b) {
+  return a.delay > b.delay;
+}
+// Max-heap comparator for the keep-fastest set (front = largest delay,
+// evicted when a faster path arrives).
+bool fast_cmp(const TimedPath& a, const TimedPath& b) {
+  return a.delay < b.delay;
+}
+
+}  // namespace
+
+PathSelection::PathSelection(long keep_worst, long keep_fastest)
+    : keep_worst_(keep_worst), keep_fastest_(keep_fastest) {}
+
+void PathSelection::add(TimedPath timed) {
+  if (keep_fastest_ > 0) {
+    if (static_cast<long>(fastest_.size()) < keep_fastest_) {
+      fastest_.push_back(timed);
+      std::push_heap(fastest_.begin(), fastest_.end(), fast_cmp);
+    } else if (timed.delay < fastest_.front().delay) {
+      std::pop_heap(fastest_.begin(), fastest_.end(), fast_cmp);
+      fastest_.back() = timed;
+      std::push_heap(fastest_.begin(), fastest_.end(), fast_cmp);
+    }
+  }
+  if (keep_worst_ < 0) {
+    paths_.push_back(std::move(timed));
+    return;
+  }
+  if (static_cast<long>(paths_.size()) <= keep_worst_) {
+    paths_.push_back(std::move(timed));
+    std::push_heap(paths_.begin(), paths_.end(), heap_cmp);
+    if (static_cast<long>(paths_.size()) > keep_worst_) {
+      std::pop_heap(paths_.begin(), paths_.end(), heap_cmp);
+      paths_.pop_back();
+    }
+  } else if (timed.delay > paths_.front().delay) {
+    std::pop_heap(paths_.begin(), paths_.end(), heap_cmp);
+    paths_.back() = std::move(timed);
+    std::push_heap(paths_.begin(), paths_.end(), heap_cmp);
+  }
+}
+
+void PathSelection::finish(std::vector<TimedPath>& paths,
+                           std::vector<TimedPath>& fastest) {
+  // Stable sorts keep equal-delay paths in delivery order, which the finder
+  // guarantees is the sequential source-then-discovery order for every
+  // thread count — so the reported list is deterministic even under ties.
+  std::stable_sort(paths_.begin(), paths_.end(),
+                   [](const TimedPath& a, const TimedPath& b) {
+                     return a.delay > b.delay;
+                   });
+  std::stable_sort(fastest_.begin(), fastest_.end(),
+                   [](const TimedPath& a, const TimedPath& b) {
+                     return a.delay < b.delay;
+                   });
+  paths = std::move(paths_);
+  fastest = std::move(fastest_);
+}
+
 StaResult StaTool::run() {
   StaResult result;
   util::TraceSpan run_span(opt_.finder.trace, "sta/run", 0);
@@ -47,15 +110,7 @@ StaResult StaTool::run() {
   PathFinder finder(nl_, charlib_, opt_.finder);
   if (opt_.finder.n_worst > 0) finder.enable_n_worst_pruning(calc_);
 
-  // Min-heap on delay when keeping only the N worst.
-  auto heap_cmp = [](const TimedPath& a, const TimedPath& b) {
-    return a.delay > b.delay;
-  };
-  // Max-heap comparator for the keep-fastest set (front = largest delay,
-  // evicted when a faster path arrives).
-  auto fast_cmp = [](const TimedPath& a, const TimedPath& b) {
-    return a.delay < b.delay;
-  };
+  PathSelection selection(opt_.keep_worst, opt_.keep_fastest);
   result.stats = finder.run([&](const TruePath& p) {
     TimedPath timed;
     if (metrics_shard != nullptr) {
@@ -66,50 +121,14 @@ StaResult StaTool::run() {
     } else {
       timed = calc_.compute(p);
     }
-    if (opt_.keep_fastest > 0) {
-      auto& fast = result.fastest;
-      if (static_cast<long>(fast.size()) < opt_.keep_fastest) {
-        fast.push_back(timed);
-        std::push_heap(fast.begin(), fast.end(), fast_cmp);
-      } else if (timed.delay < fast.front().delay) {
-        std::pop_heap(fast.begin(), fast.end(), fast_cmp);
-        fast.back() = timed;
-        std::push_heap(fast.begin(), fast.end(), fast_cmp);
-      }
-    }
-    if (opt_.keep_worst < 0) {
-      result.paths.push_back(std::move(timed));
-      return;
-    }
-    if (static_cast<long>(result.paths.size()) <= opt_.keep_worst) {
-      result.paths.push_back(std::move(timed));
-      std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
-      if (static_cast<long>(result.paths.size()) > opt_.keep_worst) {
-        std::pop_heap(result.paths.begin(), result.paths.end(), heap_cmp);
-        result.paths.pop_back();
-      }
-    } else if (timed.delay > result.paths.front().delay) {
-      std::pop_heap(result.paths.begin(), result.paths.end(), heap_cmp);
-      result.paths.back() = std::move(timed);
-      std::push_heap(result.paths.begin(), result.paths.end(), heap_cmp);
-    }
+    selection.add(std::move(timed));
   });
   if (metrics_shard != nullptr) {
     metrics_shard->add(paths_timed_id, paths_timed);
     metrics_shard->add(delaycalc_seconds_id, delaycalc_seconds);
   }
-  // Stable sorts keep equal-delay paths in delivery order, which the finder
-  // guarantees is the sequential source-then-discovery order for every
-  // thread count — so the reported list is deterministic even under ties.
   util::TraceSpan sort_span(opt_.finder.trace, "sta/sort", 0);
-  std::stable_sort(result.paths.begin(), result.paths.end(),
-                   [](const TimedPath& a, const TimedPath& b) {
-                     return a.delay > b.delay;
-                   });
-  std::stable_sort(result.fastest.begin(), result.fastest.end(),
-                   [](const TimedPath& a, const TimedPath& b) {
-                     return a.delay < b.delay;
-                   });
+  selection.finish(result.paths, result.fastest);
   return result;
 }
 

@@ -42,6 +42,31 @@ struct StaResult {
   const TimedPath& shortest() const;
 };
 
+/// Streaming retention of the N worst (and optionally N fastest) timed
+/// paths, factored out of StaTool::run so every consumer ranks identically:
+/// the batch tool feeds it straight from the finder sink, and the
+/// serve-mode session replays warm per-source buffers through it.  The
+/// selection is a pure function of the delivery *sequence* — same paths in
+/// the same order give byte-identical retained sets (heap eviction and the
+/// final stable sorts break delay ties by delivery order) — which is what
+/// makes a warm server response provably equal to a cold batch run.
+class PathSelection {
+ public:
+  /// keep_worst < 0 keeps every path; keep_fastest 0 keeps none.
+  PathSelection(long keep_worst, long keep_fastest);
+
+  void add(TimedPath timed);
+  /// Sorts and moves the retained sets out.  The selection is spent
+  /// afterwards.
+  void finish(std::vector<TimedPath>& paths, std::vector<TimedPath>& fastest);
+
+ private:
+  long keep_worst_;
+  long keep_fastest_;
+  std::vector<TimedPath> paths_;
+  std::vector<TimedPath> fastest_;
+};
+
 class StaTool {
  public:
   StaTool(const netlist::Netlist& nl, const charlib::CharLibrary& charlib,

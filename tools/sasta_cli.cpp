@@ -83,6 +83,20 @@
 //                        stall watchdog; read it back with sasta_inspect.
 //   --watchdog-seconds S stall watchdog: warn (and dump) when no global
 //                        progress is made for S seconds (default off)
+//   --serve              run as a persistent timing daemon instead of one
+//                        batch analysis: bind --socket, keep characterized
+//                        libraries / netlists / memo caches warm across
+//                        requests, and answer sasta-rpc-v1 queries
+//                        (docs/SERVER.md).  Search options on the command
+//                        line become the per-session defaults; requests
+//                        may override threads / max_seconds.  SIGINT (or a
+//                        shutdown request) drains: the in-flight request
+//                        finishes (truncated if mid-search), queued
+//                        requests get E_SHUTDOWN, exit 0.
+//   --socket PATH        AF_UNIX socket path for --serve (required with
+//                        --serve; stale paths are replaced, the path is
+//                        unlinked on clean shutdown).  --metrics-json in
+//                        serve mode writes the server counters on exit.
 //   --selfcheck          end-of-run counter reconciliation: cross-check
 //                        attribution rows, per-source metrics and recorder
 //                        activity slots against the aggregate stats; any
@@ -107,6 +121,7 @@
 #include "netlist/iscas_gen.h"
 #include "netlist/techmap.h"
 #include "netlist/verilog.h"
+#include "server/server.h"
 #include "sta/corners.h"
 #include "sta/erc.h"
 #include "sta/report.h"
@@ -158,6 +173,8 @@ struct Options {
   bool flight_recorder = true;  ///< per-worker event rings + activity slots
   std::string flight_dump;      ///< post-mortem dump path ("" = temp dir)
   double watchdog_seconds = -1.0;  ///< stall watchdog interval (<=0 = off)
+  bool serve = false;         ///< persistent daemon mode (docs/SERVER.md)
+  std::string socket_path;    ///< AF_UNIX socket path for --serve
   bool selfcheck = false;     ///< end-of-run counter reconciliation
   bool profile = false;       ///< print the search-cost profile summary
   bool progress = false;      ///< periodic search-progress heartbeat
@@ -180,6 +197,7 @@ struct Options {
                "       [--metrics-json F] [--trace-out F] [--report-json F]\n"
                "       [--flight-recorder on|off] [--flight-dump F]\n"
                "       [--watchdog-seconds S] [--selfcheck]\n"
+               "       [--serve --socket PATH]\n"
                "       [--profile] [--progress]\n"
                "       [--log-level debug|info|warn|error] [-v]\n"
                "       <netlist>\n";
@@ -328,6 +346,10 @@ Options parse_args(int argc, char** argv) {
       o.flight_dump = value();
     } else if (a == "--watchdog-seconds") {
       o.watchdog_seconds = double_value(0.0);
+    } else if (a == "--serve") {
+      o.serve = true;
+    } else if (a == "--socket") {
+      o.socket_path = value();
     } else if (a == "--selfcheck") {
       o.selfcheck = true;
     } else if (a == "--profile") {
@@ -352,7 +374,19 @@ Options parse_args(int argc, char** argv) {
       o.netlist = a;
     }
   }
-  if (o.netlist.empty()) usage(argv[0]);
+  if (o.serve) {
+    if (o.socket_path.empty()) {
+      std::cerr << "--serve requires --socket PATH\n";
+      usage(argv[0]);
+    }
+    if (!o.netlist.empty()) {
+      std::cerr << "--serve takes no netlist operand (designs are loaded "
+                   "via the `load` request; see docs/SERVER.md)\n";
+      usage(argv[0]);
+    }
+  } else if (o.netlist.empty()) {
+    usage(argv[0]);
+  }
   return o;
 }
 
@@ -386,6 +420,37 @@ int main(int argc, char** argv) {
     util::set_log_level(*opt.log_level);
   } else if (!opt.quiet) {
     util::set_log_level(util::LogLevel::kInfo);
+  }
+
+  if (opt.serve) {
+    // Daemon mode: the search flags parsed above become the per-session
+    // defaults; everything else (netlist, characterization, reports) is
+    // driven per request over the socket.
+    server::ServerOptions so;
+    so.socket_path = opt.socket_path;
+    so.tech = opt.tech;
+    so.full_char = opt.full_char;
+    so.metrics_json_path = opt.metrics_json;
+    sta::StaToolOptions& sopt = so.session_defaults.tool;
+    sopt.finder.max_seconds = opt.max_seconds;
+    sopt.finder.justify_backtrack_budget = opt.budget;
+    sopt.finder.num_threads = opt.threads;
+    sopt.finder.schedule = opt.schedule;
+    sopt.finder.justify_cache = opt.justify_cache;
+    sopt.finder.justify_cache_capacity = opt.justify_cache_slots;
+    sopt.finder.justify_tier = opt.justify_tier;
+    sopt.finder.escalation_payoff = opt.escalation_payoff;
+    sopt.finder.trial_lanes = opt.trial_lanes;
+    sopt.delay.temperature_c = opt.temp_c;
+    sopt.delay.vdd = opt.vdd;
+    util::install_interrupt_handler();
+    try {
+      server::Server server(so);
+      return server.run();
+    } catch (const util::Error& e) {
+      std::cerr << "serve failed: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   // Observability sinks: enabled by their output flags, shared by every

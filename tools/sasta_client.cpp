@@ -1,0 +1,180 @@
+// sasta_client — thin sasta-rpc-v1 client for scripting and CI
+// (protocol: docs/SERVER.md; server: sasta --serve --socket PATH).
+//
+// Usage:
+//   sasta_client --socket PATH <method> [key=value ...]
+//   sasta_client --socket PATH --stdin
+//
+// Options:
+//   --socket PATH        AF_UNIX socket of a running `sasta --serve`
+//   --stdin              raw mode: forward each stdin line as one request
+//                        and print one response line per request
+//   --id N               request id for method mode (default 1)
+//
+// Method mode builds {"id": N, "method": "<method>", "params": {...}} from
+// key=value operands: a value that parses as JSON is embedded typed
+// (`paths=3`, `force_cold=true`), anything else becomes a string
+// (`netlist=c17`).  The response line is printed verbatim on stdout.
+//
+// Exit status: 0 = every response carried "result", 3 = some response
+// carried "error", 1 = connection/transport failure, 2 = usage.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --socket PATH <method> [key=value ...]\n"
+               "       "
+            << argv0 << " --socket PATH --stdin\n";
+  std::exit(2);
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated response, carrying leftover bytes across
+/// calls in `buffer`.
+bool read_line(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// True when the response line is a protocol error (or unparseable).
+bool is_error_response(const std::string& line) {
+  sasta::util::JsonValue doc;
+  if (!sasta::util::JsonValue::parse(line, &doc, nullptr)) return true;
+  return doc.find("error") != nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sasta::util::JsonValue;
+  std::string socket_path;
+  std::string method;
+  bool stdin_mode = false;
+  long id = 1;
+  JsonValue params = JsonValue::object();
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") {
+      if (i + 1 >= argc) usage(argv[0]);
+      socket_path = argv[++i];
+    } else if (a == "--stdin") {
+      stdin_mode = true;
+    } else if (a == "--id") {
+      if (i + 1 >= argc) usage(argv[0]);
+      id = std::strtol(argv[++i], nullptr, 10);
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-' && method.empty()) {
+      std::cerr << "unknown option " << a << "\n";
+      usage(argv[0]);
+    } else if (method.empty()) {
+      method = a;
+    } else {
+      const std::size_t eq = a.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "expected key=value, got '" << a << "'\n";
+        usage(argv[0]);
+      }
+      const std::string key = a.substr(0, eq);
+      const std::string raw = a.substr(eq + 1);
+      JsonValue value;
+      if (!JsonValue::parse(raw, &value, nullptr)) {
+        value = JsonValue::string(raw);
+      }
+      params.set(key, std::move(value));
+    }
+  }
+  if (socket_path.empty() || (method.empty() == !stdin_mode)) usage(argv[0]);
+
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::cerr << "cannot connect to '" << socket_path
+              << "': " << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  int exit_code = 0;
+  std::string buffer;
+  std::string response;
+  if (stdin_mode) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (!send_line(fd, line)) {
+        exit_code = 1;
+        break;
+      }
+      if (!read_line(fd, &buffer, &response)) {
+        std::cerr << "connection closed before a response arrived\n";
+        exit_code = 1;
+        break;
+      }
+      std::cout << response << "\n";
+      if (is_error_response(response)) exit_code = 3;
+    }
+  } else {
+    JsonValue request = JsonValue::object();
+    request.set("id", JsonValue::number(id));
+    request.set("method", JsonValue::string(method));
+    request.set("params", std::move(params));
+    if (!send_line(fd, request.dump()) ||
+        !read_line(fd, &buffer, &response)) {
+      std::cerr << "connection closed before a response arrived\n";
+      ::close(fd);
+      return 1;
+    }
+    std::cout << response << "\n";
+    if (is_error_response(response)) exit_code = 3;
+  }
+  ::close(fd);
+  return exit_code;
+}
